@@ -1,0 +1,349 @@
+// Package aqualogic is a from-scratch reproduction of the system described
+// in "SQL to XQuery Translation in the AquaLogic Data Services Platform"
+// (ICDE 2006): a SQL-92 SELECT → XQuery translator, the JDBC-style driver
+// built around it, and the substrates it needs — an XQuery data model and
+// evaluator standing in for the AquaLogic DSP server, and a catalog of data
+// service metadata standing in for the platform's remote metadata API.
+//
+// The package is a facade over the internal packages:
+//
+//	internal/sqlparser  SQL-92 SELECT lexer/parser (translation stage one)
+//	internal/translator three-stage SQL→XQuery translation (the paper's
+//	                    core contribution: contexts, resultset nodes,
+//	                    typed generation, §4 result wrappers)
+//	internal/catalog    application/data-service metadata + cache
+//	internal/xquery     generated-XQuery AST and serializer
+//	internal/xqeval     XQuery engine executing generated queries
+//	internal/resultset  XML and text-mode result decoding
+//	internal/driver     database/sql driver ("the JDBC driver")
+//
+// Quick start:
+//
+//	p := aqualogic.Demo()
+//	rows, err := p.Query("SELECT CUSTOMERNAME, CITY FROM CUSTOMERS WHERE CUSTOMERID < ?", 1010)
+//
+// or through database/sql:
+//
+//	aqualogic.Demo().RegisterDriver("demo")
+//	db, err := sql.Open("aqualogic", "demo")
+package aqualogic
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/demo"
+	"repro/internal/driver"
+	"repro/internal/resultset"
+	"repro/internal/translator"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// Re-exported core types, so library users need only this package for the
+// common paths.
+type (
+	// Application is DSP application metadata: the SQL catalog.
+	Application = catalog.Application
+	// DSFile is one data service (.ds) file: the SQL schema.
+	DSFile = catalog.DSFile
+	// Function is a data service function: a SQL table (parameterless)
+	// or stored procedure (parameterized).
+	Function = catalog.Function
+	// Column is one column of a function's flat row type.
+	Column = catalog.Column
+	// Parameter is a formal parameter of a parameterized function.
+	Parameter = catalog.Parameter
+	// Engine is the XQuery engine data service functions register with.
+	Engine = xqeval.Engine
+	// Translation is a completed SQL→XQuery translation.
+	Translation = translator.Result
+	// ResultColumn describes one output column of a translation.
+	ResultColumn = translator.ResultColumn
+	// Rows is a decoded, scrollable result set.
+	Rows = resultset.Rows
+	// Element is a row element of the XML data model (for implementing
+	// custom data service functions).
+	Element = xdm.Element
+	// Sequence is an XQuery value sequence.
+	Sequence = xdm.Sequence
+)
+
+// SQL column types for building catalogs.
+const (
+	SQLInteger   = catalog.SQLInteger
+	SQLSmallint  = catalog.SQLSmallint
+	SQLDecimal   = catalog.SQLDecimal
+	SQLDouble    = catalog.SQLDouble
+	SQLVarchar   = catalog.SQLVarchar
+	SQLChar      = catalog.SQLChar
+	SQLBoolean   = catalog.SQLBoolean
+	SQLDate      = catalog.SQLDate
+	SQLTime      = catalog.SQLTime
+	SQLTimestamp = catalog.SQLTimestamp
+)
+
+// ResultMode selects §4 result handling.
+type ResultMode = translator.ResultMode
+
+// Result modes.
+const (
+	ModeXML  = translator.ModeXML
+	ModeText = translator.ModeText
+)
+
+// NewEngine creates an empty XQuery engine.
+func NewEngine() *Engine { return xqeval.New() }
+
+// NewRelationalImport builds the function metadata a DSP relational import
+// would produce for a table (paper Example 2).
+func NewRelationalImport(path, name string, cols []Column) *Function {
+	return catalog.NewRelationalImport(path, name, cols)
+}
+
+// Platform bundles an application's metadata with the engine serving its
+// data: one AquaLogic-DSP-shaped deployment.
+type Platform struct {
+	App    *Application
+	Engine *Engine
+
+	// MetadataLatency, when set, simulates the round trip of the remote
+	// metadata API on every uncached lookup.
+	MetadataLatency time.Duration
+
+	cache *catalog.Cache
+}
+
+// New creates a platform over application metadata and an engine.
+func New(app *Application, engine *Engine) *Platform {
+	return &Platform{App: app, Engine: engine}
+}
+
+// Demo builds the paper's example application (CUSTOMERS, PAYMENTS,
+// PO_CUSTOMERS, PO_ITEMS plus the getCustomerById procedure) with the
+// default synthetic dataset.
+func Demo() *Platform {
+	app, _, engine := demo.Setup(demo.DefaultSizes)
+	return New(app, engine)
+}
+
+// metaSource builds the metadata stack: application (→ simulated remote)
+// → client-side cache.
+func (p *Platform) metaSource() catalog.Source {
+	if p.cache == nil {
+		var src catalog.Source = p.App
+		if p.MetadataLatency > 0 {
+			src = &catalog.Remote{Inner: p.App, Latency: p.MetadataLatency}
+		}
+		p.cache = catalog.NewCache(src)
+	}
+	return p.cache
+}
+
+// Translator returns a translator over the platform's (cached) metadata.
+func (p *Platform) Translator(mode ResultMode) *translator.Translator {
+	tr := translator.New(p.metaSource())
+	tr.Options.Mode = mode
+	tr.Options.DefaultCatalog = p.App.Name
+	return tr
+}
+
+// Translate converts a SQL-92 SELECT into XQuery, returning the full
+// translation (generated query, result schema, parameter info).
+func (p *Platform) Translate(sql string, mode ResultMode) (*Translation, error) {
+	return p.Translator(mode).Translate(sql)
+}
+
+// TranslateText is a convenience returning just the XQuery source in XML
+// result mode — what `cmd/sql2xq` prints.
+func (p *Platform) TranslateText(sql string) (string, error) {
+	res, err := p.Translate(sql, ModeXML)
+	if err != nil {
+		return "", err
+	}
+	return res.XQuery(), nil
+}
+
+// Query translates and executes a SELECT end to end, binding the given
+// parameter values to `?` markers, and decodes the result set. It uses the
+// §4 text-mode path, the driver's default.
+func (p *Platform) Query(sql string, args ...any) (*Rows, error) {
+	return p.QueryMode(ModeText, sql, args...)
+}
+
+// QueryMode is Query with an explicit result-handling mode.
+func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, error) {
+	res, err := p.Translate(sql, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != res.ParamCount {
+		return nil, fmt.Errorf("aqualogic: statement has %d parameter(s), got %d value(s)", res.ParamCount, len(args))
+	}
+	ext := make(map[string]Sequence, len(args))
+	for i, a := range args {
+		v, err := ToAtomic(a)
+		if err != nil {
+			return nil, fmt.Errorf("aqualogic: parameter %d: %v", i+1, err)
+		}
+		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
+	}
+	out, err := p.Engine.EvalWith(res.Query, ext)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]resultset.Column, len(res.Columns))
+	for i, c := range res.Columns {
+		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName, Type: c.Type, Nullable: c.Nullable}
+	}
+	if mode == ModeText {
+		it, err := out.Singleton()
+		if err != nil {
+			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)
+		}
+		return resultset.FromText(xdm.StringValue(it), cols)
+	}
+	return resultset.FromXML(out, cols)
+}
+
+// RegisterDriver exposes the platform through database/sql under the given
+// DSN name: sql.Open("aqualogic", name).
+func (p *Platform) RegisterDriver(name string) {
+	driver.RegisterServer(name, &driver.Server{
+		App:        p.App,
+		Engine:     p.Engine,
+		Meta:       p.metaSource(),
+		DefineView: p.DefineView,
+	})
+}
+
+// MetadataStats reports the metadata cache's hit/miss counters.
+func (p *Platform) MetadataStats() catalog.CacheStats {
+	if p.cache == nil {
+		return catalog.CacheStats{}
+	}
+	return p.cache.Stats()
+}
+
+// ToAtomic converts a Go value to an XQuery atomic value, accepting the
+// types database/sql users pass as parameters.
+func ToAtomic(v any) (xdm.Atomic, error) {
+	switch v := v.(type) {
+	case int:
+		return xdm.Integer(v), nil
+	case int32:
+		return xdm.Integer(v), nil
+	case int64:
+		return xdm.Integer(v), nil
+	case float32:
+		return xdm.Double(v), nil
+	case float64:
+		return xdm.Double(v), nil
+	case bool:
+		return xdm.Boolean(v), nil
+	case string:
+		return xdm.String(v), nil
+	case []byte:
+		return xdm.String(string(v)), nil
+	case time.Time:
+		return xdm.DateTime{T: v}, nil
+	case xdm.Atomic:
+		return v, nil
+	default:
+		return nil, fmt.Errorf("unsupported parameter type %T", v)
+	}
+}
+
+// RegisterRows installs a parameterless data service function returning
+// fixed rows on an engine — the quickest way to serve custom data.
+func RegisterRows(e *Engine, namespace, local string, rows []*Element) {
+	e.RegisterRows(namespace, local, rows)
+}
+
+// NewRow builds a flat row element: NewRow("CUSTOMERS", "CUSTOMERID", "55",
+// "CUSTOMERNAME", "Joe"). Empty values are skipped (SQL NULL).
+func NewRow(rowElement string, colValuePairs ...string) *Element {
+	row := xdm.NewElement(rowElement)
+	for i := 0; i+1 < len(colValuePairs); i += 2 {
+		if colValuePairs[i+1] != "" {
+			row.AddChild(xdm.NewTextElement(colValuePairs[i], colValuePairs[i+1]))
+		}
+	}
+	return row
+}
+
+// DefineView registers a logical data service: a new data service function
+// whose body is a SQL view over existing data services — the paper's §2
+// layering, where logical data services are authored on top of physical
+// ones and are themselves queryable (and further composable). The view is
+// translated once; each call evaluates the stored query and returns flat
+// rows shaped like any physical function's.
+//
+// The view appears as table `name` in schema `path/name`, with columns
+// named by the view's (necessarily unique) output labels.
+func (p *Platform) DefineView(path, name, sql string) error {
+	res, err := p.Translate(sql, ModeXML)
+	if err != nil {
+		return fmt.Errorf("aqualogic: define view %s: %w", name, err)
+	}
+	if res.ParamCount != 0 {
+		return fmt.Errorf("aqualogic: define view %s: views cannot contain parameter markers", name)
+	}
+	seen := map[string]bool{}
+	cols := make([]Column, len(res.Columns))
+	for i, c := range res.Columns {
+		label := strings.ToUpper(c.Label)
+		if seen[label] {
+			return fmt.Errorf("aqualogic: define view %s: duplicate output column %s (alias the columns uniquely)", name, label)
+		}
+		seen[label] = true
+		cols[i] = Column{Name: label, Type: c.Type, Nullable: c.Nullable,
+			Precision: c.Precision, Scale: c.Scale}
+	}
+	if _, err := p.metaSource().Lookup(catalog.TableRef{Table: name}); err == nil {
+		return fmt.Errorf("aqualogic: define view %s: a table with that name already exists", name)
+	}
+
+	fn := catalog.NewRelationalImport(path, name, cols)
+	p.App.AddDSFile(&DSFile{Path: path, Name: name, Functions: []*Function{fn}})
+	// The metadata cache may hold a negative entry for the new name.
+	if p.cache != nil {
+		p.cache.Invalidate()
+	}
+
+	query := res.Query
+	resCols := res.Columns
+	p.Engine.Register(fn.Namespace, fn.Name, func(args []Sequence) (Sequence, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("view %s takes no arguments", name)
+		}
+		out, err := p.Engine.Eval(query)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", name, err)
+		}
+		it, err := out.Singleton()
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %v", name, err)
+		}
+		recordset, ok := it.(*xdm.Element)
+		if !ok {
+			return nil, fmt.Errorf("view %s: unexpected result shape", name)
+		}
+		var rows Sequence
+		for _, rec := range recordset.ChildElements("RECORD") {
+			row := xdm.NewElement(name)
+			for i, c := range resCols {
+				src := rec.FirstChildElement(c.ElementName)
+				if src == nil {
+					continue // NULL stays absent
+				}
+				row.AddChild(xdm.NewTextElement(cols[i].Name, src.StringValue()))
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	})
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command aqlshell is an interactive SQL shell over the demo AquaLogic
+// deployment, speaking through the database/sql driver — the closest thing
+// to pointing a JDBC console at the paper's system.
+//
+// Supported statements: SQL-92 SELECT (translated to XQuery and executed),
+// SHOW CATALOGS/SCHEMAS/TABLES/PROCEDURES, SHOW COLUMNS FROM <t>,
+// CALL <proc>(args), plus the shell commands \x (print the XQuery a SELECT
+// translates to) and \q (quit).
+package main
+
+import (
+	"bufio"
+	"database/sql"
+	"fmt"
+	"os"
+	"strings"
+
+	aqualogic "repro"
+	_ "repro/internal/driver"
+)
+
+func main() {
+	p := aqualogic.Demo()
+	p.RegisterDriver("demo")
+	db, err := sql.Open("aqualogic", "demo")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqlshell:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Println("aqlshell — SQL over the AquaLogic-style demo deployment")
+	fmt.Println(`type SQL (SELECT/SHOW/CALL), "\x SELECT ..." to see the XQuery,`)
+	fmt.Println(`"\c SELECT ..." to see the query contexts (Figure 4), "\q" to quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("sql> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+			return
+		case strings.HasPrefix(line, `\x `):
+			xq, err := p.TranslateText(strings.TrimPrefix(line, `\x `))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(xq)
+		case strings.HasPrefix(line, `\c `):
+			res, err := p.Translate(strings.TrimPrefix(line, `\c `), aqualogic.ModeXML)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.Contexts.Tree())
+		default:
+			if err := runQuery(db, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}
+
+func runQuery(db *sql.DB, query string) error {
+	rows, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return err
+	}
+
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	var table [][]string
+	for rows.Next() {
+		raw := make([]any, len(cols))
+		for i := range raw {
+			raw[i] = new(sql.NullString)
+		}
+		if err := rows.Scan(raw...); err != nil {
+			return err
+		}
+		rec := make([]string, len(cols))
+		for i := range raw {
+			ns := raw[i].(*sql.NullString)
+			if ns.Valid {
+				rec[i] = ns.String
+			} else {
+				rec[i] = "NULL"
+			}
+			if len(rec[i]) > widths[i] {
+				widths[i] = len(rec[i])
+			}
+		}
+		table = append(table, rec)
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+
+	printRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], v)
+		}
+		fmt.Println()
+	}
+	printRow(cols)
+	for i, w := range widths {
+		if i > 0 {
+			fmt.Print("-+-")
+		}
+		fmt.Print(strings.Repeat("-", w))
+	}
+	fmt.Println()
+	for _, rec := range table {
+		printRow(rec)
+	}
+	fmt.Printf("(%d row(s))\n", len(table))
+	return nil
+}

@@ -1,0 +1,20 @@
+// Command benchharness regenerates every experiment table recorded in
+// EXPERIMENTS.md: the §4 result-handling sweep (P1), translation latency
+// per query class (P2), and the metadata cache study (P3). The same code
+// paths back the testing.B benchmarks in bench_test.go; this binary prints
+// the paper-style rows directly.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := bench.Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command sql2xq translates SQL-92 SELECT statements into XQuery against
+// the demo application's catalog, printing the generated query — the
+// translator half of the paper's JDBC driver, exposed as a CLI.
+//
+// Usage:
+//
+//	sql2xq [-mode xml|text] [-columns] "SELECT * FROM CUSTOMERS"
+//	echo "SELECT ..." | sql2xq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	aqualogic "repro"
+)
+
+func main() {
+	mode := flag.String("mode", "xml", "result handling mode: xml (RECORDSET output) or text (§4 delimiter-separated wrapper)")
+	columns := flag.Bool("columns", false, "also print the computed result schema")
+	flag.Parse()
+
+	var sql string
+	if flag.NArg() > 0 {
+		sql = strings.Join(flag.Args(), " ")
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fatal(fmt.Errorf("no SQL given (pass as argument or on stdin)"))
+	}
+
+	resultMode := aqualogic.ModeXML
+	switch *mode {
+	case "xml":
+	case "text":
+		resultMode = aqualogic.ModeText
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	p := aqualogic.Demo()
+	res, err := p.Translate(sql, resultMode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.XQuery())
+	if *columns {
+		fmt.Println()
+		fmt.Println("-- result schema:")
+		for i, c := range res.Columns {
+			nullable := ""
+			if c.Nullable {
+				nullable = " NULL"
+			}
+			fmt.Printf("--   %d. %s %s%s (element <%s>)\n", i+1, c.Label, c.Type, nullable, c.ElementName)
+		}
+		if res.ParamCount > 0 {
+			fmt.Printf("-- parameters: %d\n", res.ParamCount)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sql2xq:", err)
+	os.Exit(1)
+}

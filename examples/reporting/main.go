@@ -1,0 +1,111 @@
+// Reporting: plays the role the paper's JDBC driver was built for — a
+// SQL-based reporting tool (think Crystal Reports) pointed at an
+// XML-world data services platform it knows nothing about.
+//
+// The "tool" first browses metadata the way JDBC's DatabaseMetaData is
+// used (SHOW statements), then builds and runs ad-hoc report queries with
+// joins, grouping and prepared statements, all through database/sql.
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"strings"
+
+	aqualogic "repro"
+	_ "repro/internal/driver"
+)
+
+func main() {
+	aqualogic.Demo().RegisterDriver("reporting-demo")
+	db, err := sql.Open("aqualogic", "reporting-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Step 1: discover what can be reported on.
+	fmt.Println("== discovered tables ==")
+	rows, err := db.Query("SHOW TABLES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tables []string
+	for rows.Next() {
+		var cat, schema, name, typ string
+		if err := rows.Scan(&cat, &schema, &name, &typ); err != nil {
+			log.Fatal(err)
+		}
+		tables = append(tables, fmt.Sprintf("%s.%s", schema, name))
+	}
+	rows.Close()
+	fmt.Println(strings.Join(tables, "\n"))
+
+	fmt.Println("\n== CUSTOMERS columns ==")
+	rows, err = db.Query("SHOW COLUMNS FROM CUSTOMERS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var name, typ, nullable string
+		var pos int64
+		if err := rows.Scan(&name, &typ, &nullable, &pos); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d. %-14s %-9s nullable=%s\n", pos, name, typ, nullable)
+	}
+	rows.Close()
+
+	// Step 2: the classic report — revenue by city, customers ranked.
+	fmt.Println("\n== revenue by city (orders joined to customers) ==")
+	report, err := db.Query(`
+		SELECT C.CITY, COUNT(*) AS ORDERS, SUM(O.TOTAL) AS REVENUE
+		FROM CUSTOMERS C INNER JOIN PO_CUSTOMERS O ON C.CUSTOMERID = O.CUSTOMERID
+		WHERE C.CITY IS NOT NULL
+		GROUP BY C.CITY
+		HAVING COUNT(*) > 1
+		ORDER BY 3 DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %-7s %s\n", "CITY", "ORDERS", "REVENUE")
+	for report.Next() {
+		var city string
+		var orders int64
+		var revenue float64
+		if err := report.Scan(&city, &orders, &revenue); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-7d %10.2f\n", city, orders, revenue)
+	}
+	report.Close()
+
+	// Step 3: a drill-down with a prepared statement, re-executed per
+	// parameter (the translator runs once; only values change).
+	fmt.Println("\n== customers without any orders (anti-join), first 5 ==")
+	stmt, err := db.Prepare(`
+		SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS C
+		WHERE NOT EXISTS (SELECT 1 FROM PO_CUSTOMERS O WHERE O.CUSTOMERID = C.CUSTOMERID)
+		AND CUSTOMERID < ?
+		ORDER BY CUSTOMERID`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	quiet, err := stmt.Query(1050)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for quiet.Next() && n < 5 {
+		var id int64
+		var name string
+		if err := quiet.Scan(&id, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d %s\n", id, name)
+		n++
+	}
+	quiet.Close()
+}

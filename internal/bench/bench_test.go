@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWideTableShape(t *testing.T) {
+	app, engine := WideTable(10, 5)
+	meta, err := app.Lookup(tableRef("W"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Function.Columns) != 5 {
+		t.Fatalf("columns = %d", len(meta.Function.Columns))
+	}
+	rows, err := engine.Call("ld:Bench/W", "W", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestBuildPayloadsDecodeEquivalence(t *testing.T) {
+	p, err := BuildPayloads(50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.XML == "" || p.Text == "" {
+		t.Fatal("empty payloads")
+	}
+	xmlRows, err := p.DecodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	textRows, err := p.DecodeText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmlRows.Len() != 50 || textRows.Len() != 50 {
+		t.Fatalf("rows = %d / %d", xmlRows.Len(), textRows.Len())
+	}
+	// Both paths must decode to identical values, including NULLs and
+	// values containing markup characters.
+	for xmlRows.Next() && textRows.Next() {
+		for i := range p.Columns {
+			a, aok, err := xmlRows.String(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, bok, err := textRows.String(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b || aok != bok {
+				t.Fatalf("column %d differs: xml %q/%v vs text %q/%v", i, a, aok, b, bok)
+			}
+		}
+	}
+}
+
+func TestPayloadsContainEscapedData(t *testing.T) {
+	p, err := BuildPayloads(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator plants "100% & <sons>" strings; both encodings must
+	// carry them escaped.
+	if !strings.Contains(p.XML, "&amp;") || !strings.Contains(p.Text, "&amp;") {
+		t.Fatal("expected escaped ampersands in payloads")
+	}
+}
+
+func TestRunResultHandlingSmall(t *testing.T) {
+	points, err := RunResultHandling([]int{20}, []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	pt := points[0]
+	if pt.XMLBytes <= pt.TextBytes {
+		t.Fatalf("XML should be larger: %d vs %d", pt.XMLBytes, pt.TextBytes)
+	}
+	if pt.SpeedupDecode <= 0 || pt.BytesRatio <= 1 {
+		t.Fatalf("point = %+v", pt)
+	}
+}
+
+func TestRunTranslationCoversWorkload(t *testing.T) {
+	points, err := RunTranslation(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(TranslationWorkload) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.PerCall <= 0 {
+			t.Fatalf("%s: zero duration", p.Name)
+		}
+	}
+}
+
+func TestRunMetadataCacheColdSlower(t *testing.T) {
+	points, err := RunMetadataCache(200*time.Microsecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	cold, warm := points[0].PerCall, points[1].PerCall
+	if cold <= warm {
+		t.Fatalf("cold (%v) should exceed warm (%v)", cold, warm)
+	}
+}
+
+func TestReportRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report sweep in -short mode")
+	}
+	var sb strings.Builder
+	// A reduced sweep through the public pieces keeps this test fast.
+	if _, err := RunResultHandling([]int{50}, []int{2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReportTranslation(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "complex") {
+		t.Fatalf("report output:\n%s", sb.String())
+	}
+}

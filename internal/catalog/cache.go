@@ -1,0 +1,122 @@
+package catalog
+
+import (
+	"sync"
+	"time"
+)
+
+// Remote wraps a Source and injects a fixed latency per call, simulating
+// the round trip to the AquaLogic DSP server's remote metadata API. The
+// paper's design caches fetched table metadata locally precisely because
+// this round trip is not free; the benchmark harness uses Remote to make
+// the cache's effect measurable.
+type Remote struct {
+	Inner   Source
+	Latency time.Duration
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Lookup implements Source with simulated round-trip delay.
+func (r *Remote) Lookup(ref TableRef) (*TableMeta, error) {
+	r.delay()
+	return r.Inner.Lookup(ref)
+}
+
+// Tables implements Source.
+func (r *Remote) Tables() ([]*TableMeta, error) {
+	r.delay()
+	return r.Inner.Tables()
+}
+
+// Procedures implements Source.
+func (r *Remote) Procedures() ([]*TableMeta, error) {
+	r.delay()
+	return r.Inner.Procedures()
+}
+
+// Calls returns how many remote round trips have been made.
+func (r *Remote) Calls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func (r *Remote) delay() {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// Cache is the client-side metadata cache of §3.5: "Fetched table metadata
+// is cached locally for further use." Negative results (not-found,
+// ambiguous) are also cached, since reporting tools retry bad names.
+// Cache is safe for concurrent use.
+type Cache struct {
+	Inner Source
+
+	mu      sync.Mutex
+	entries map[TableRef]cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	meta *TableMeta
+	err  error
+}
+
+// NewCache builds a cache over src.
+func NewCache(src Source) *Cache {
+	return &Cache{Inner: src, entries: make(map[TableRef]cacheEntry)}
+}
+
+// Lookup implements Source, consulting the cache first.
+func (c *Cache) Lookup(ref TableRef) (*TableMeta, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[ref]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.meta, e.err
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	meta, err := c.Inner.Lookup(ref)
+
+	c.mu.Lock()
+	c.entries[ref] = cacheEntry{meta: meta, err: err}
+	c.mu.Unlock()
+	return meta, err
+}
+
+// Tables implements Source (pass-through; listing is a browsing operation,
+// not on the per-query hot path).
+func (c *Cache) Tables() ([]*TableMeta, error) { return c.Inner.Tables() }
+
+// Procedures implements Source (pass-through).
+func (c *Cache) Procedures() ([]*TableMeta, error) { return c.Inner.Procedures() }
+
+// Stats returns a snapshot of hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate drops every cached entry (e.g. after a data service
+// redeployment).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[TableRef]cacheEntry)
+}

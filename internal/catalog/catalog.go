@@ -1,0 +1,395 @@
+// Package catalog models the AquaLogic DSP artifacts the JDBC driver
+// queries — applications, projects, data service (.ds) files, and data
+// service functions — together with the SQL-side analogies the paper's
+// Figure 2 establishes:
+//
+//	application name      → SQL catalog name
+//	path to .ds file      → SQL schema name
+//	parameterless function→ SQL table
+//	function w/ params    → SQL stored procedure
+//	row-element children  → SQL columns
+//
+// The package also implements the metadata access pattern of §3.5: a Source
+// that answers lookups (in production, a remote metadata API; here, either
+// an in-memory source or a latency-simulating remote wrapper) and a
+// client-side Cache in front of it.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// SQLType enumerates the SQL-92 column types the driver surfaces through
+// result-set metadata.
+type SQLType int
+
+// SQL column types.
+const (
+	SQLUnknown SQLType = iota
+	SQLInteger
+	SQLSmallint
+	SQLDecimal
+	SQLDouble
+	SQLVarchar
+	SQLChar
+	SQLBoolean
+	SQLDate
+	SQLTime
+	SQLTimestamp
+)
+
+// String returns the SQL spelling of the type.
+func (t SQLType) String() string {
+	switch t {
+	case SQLInteger:
+		return "INTEGER"
+	case SQLSmallint:
+		return "SMALLINT"
+	case SQLDecimal:
+		return "DECIMAL"
+	case SQLDouble:
+		return "DOUBLE"
+	case SQLVarchar:
+		return "VARCHAR"
+	case SQLChar:
+		return "CHAR"
+	case SQLBoolean:
+		return "BOOLEAN"
+	case SQLDate:
+		return "DATE"
+	case SQLTime:
+		return "TIME"
+	case SQLTimestamp:
+		return "TIMESTAMP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// XSD returns the XML Schema type name recorded in the data service's .xsd
+// for columns of this SQL type.
+func (t SQLType) XSD() string {
+	switch t {
+	case SQLInteger, SQLSmallint:
+		return "xs:int"
+	case SQLDecimal:
+		return "xs:decimal"
+	case SQLDouble:
+		return "xs:double"
+	case SQLVarchar, SQLChar:
+		return "xs:string"
+	case SQLBoolean:
+		return "xs:boolean"
+	case SQLDate:
+		return "xs:date"
+	case SQLTime:
+		return "xs:time"
+	case SQLTimestamp:
+		return "xs:dateTime"
+	default:
+		return "xs:anySimpleType"
+	}
+}
+
+// Atomic returns the xdm atomic type used to represent column values of
+// this SQL type inside the XQuery engine.
+func (t SQLType) Atomic() xdm.AtomicType {
+	switch t {
+	case SQLInteger, SQLSmallint:
+		return xdm.TypeInteger
+	case SQLDecimal:
+		return xdm.TypeDecimal
+	case SQLDouble:
+		return xdm.TypeDouble
+	case SQLVarchar, SQLChar:
+		return xdm.TypeString
+	case SQLBoolean:
+		return xdm.TypeBoolean
+	case SQLDate:
+		return xdm.TypeDate
+	case SQLTime:
+		return xdm.TypeTime
+	case SQLTimestamp:
+		return xdm.TypeDateTime
+	default:
+		return xdm.TypeUntyped
+	}
+}
+
+// SQLTypeFromName parses a SQL type spelling (as written in a CAST) back to
+// a SQLType.
+func SQLTypeFromName(name string) SQLType {
+	switch strings.ToUpper(name) {
+	case "INTEGER", "INT":
+		return SQLInteger
+	case "SMALLINT":
+		return SQLSmallint
+	case "DECIMAL", "DEC", "NUMERIC":
+		return SQLDecimal
+	case "DOUBLE", "FLOAT", "REAL":
+		return SQLDouble
+	case "VARCHAR", "CHARACTER VARYING":
+		return SQLVarchar
+	case "CHAR", "CHARACTER":
+		return SQLChar
+	case "BOOLEAN":
+		return SQLBoolean
+	case "DATE":
+		return SQLDate
+	case "TIME":
+		return SQLTime
+	case "TIMESTAMP":
+		return SQLTimestamp
+	default:
+		return SQLUnknown
+	}
+}
+
+// Column describes one simple-typed child element of a function's row
+// element — a SQL column in the driver's table view.
+type Column struct {
+	Name     string
+	Type     SQLType
+	Nullable bool
+	// Precision and Scale carry DECIMAL(p, s) / VARCHAR(n) facets for
+	// result-set metadata; zero means unspecified.
+	Precision int
+	Scale     int
+}
+
+// Parameter is a formal parameter of a parameterized data service function
+// (surfaced as a stored procedure in the SQL view).
+type Parameter struct {
+	Name string
+	Type SQLType
+}
+
+// Function is a data service function. A parameterless function whose
+// return type is a flat element sequence is presented as a SQL table; a
+// parameterized one as a stored procedure.
+type Function struct {
+	Name string
+	// RowElement is the local name of the element each returned row is
+	// wrapped in (CUSTOMERS in the paper's examples).
+	RowElement string
+	// Namespace is the target namespace of the function's schema, e.g.
+	// "ld:TestDataServices/CUSTOMERS".
+	Namespace string
+	// SchemaLocation is the .xsd location used in generated schema
+	// imports, e.g. "ld:TestDataServices/schemas/CUSTOMERS.xsd".
+	SchemaLocation string
+	Columns        []Column
+	Params         []Parameter
+}
+
+// IsTable reports whether the function appears as a SQL table (no
+// parameters) rather than a stored procedure.
+func (f *Function) IsTable() bool { return len(f.Params) == 0 }
+
+// Column returns the named column (case-insensitive, as SQL identifiers
+// are) and whether it exists.
+func (f *Function) Column(name string) (Column, bool) {
+	for _, c := range f.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// DSFile is a data service (.ds) file: a named collection of functions.
+// Path is the project/folder path; Path + "/" + Name forms the SQL schema
+// name (Figure 2's analogy (ii)).
+type DSFile struct {
+	Path      string // e.g. "TestDataServices" or "Demo/Sales"
+	Name      string // e.g. "CUSTOMERS"
+	Functions []*Function
+}
+
+// SchemaName returns the SQL schema name the driver presents for this .ds
+// file.
+func (d *DSFile) SchemaName() string {
+	if d.Path == "" {
+		return d.Name
+	}
+	return d.Path + "/" + d.Name
+}
+
+// Function returns the named function (case-insensitive) and whether it
+// exists.
+func (d *DSFile) Function(name string) (*Function, bool) {
+	for _, f := range d.Functions {
+		if strings.EqualFold(f.Name, name) {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Application is an AquaLogic DSP application: the SQL catalog.
+type Application struct {
+	Name    string
+	DSFiles []*DSFile
+}
+
+// AddDSFile appends a data service file to the application.
+func (a *Application) AddDSFile(d *DSFile) { a.DSFiles = append(a.DSFiles, d) }
+
+// TableRef identifies a table (data service function) by the SQL names the
+// driver exposes. Schema and Catalog may be empty for unqualified
+// references; resolution then requires the table name to be unambiguous.
+type TableRef struct {
+	Catalog string
+	Schema  string
+	Table   string
+}
+
+func (r TableRef) String() string {
+	var parts []string
+	if r.Catalog != "" {
+		parts = append(parts, r.Catalog)
+	}
+	if r.Schema != "" {
+		parts = append(parts, r.Schema)
+	}
+	parts = append(parts, r.Table)
+	return strings.Join(parts, ".")
+}
+
+// TableMeta is everything the translator needs to know about one table
+// (§3.5 items (i) and (ii)): the function's location for schema imports
+// and the column metadata for validation and wildcard expansion.
+type TableMeta struct {
+	Schema   string // SQL schema name (the .ds path)
+	Function *Function
+}
+
+// NotFoundError reports a failed metadata lookup.
+type NotFoundError struct {
+	Ref TableRef
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("catalog: no such table %s", e.Ref)
+}
+
+// AmbiguousError reports an unqualified table name matching functions in
+// more than one schema.
+type AmbiguousError struct {
+	Ref     TableRef
+	Schemas []string
+}
+
+func (e *AmbiguousError) Error() string {
+	return fmt.Sprintf("catalog: table name %s is ambiguous across schemas %s",
+		e.Ref.Table, strings.Join(e.Schemas, ", "))
+}
+
+// Source answers metadata lookups. Implementations: the in-memory
+// Application itself, a Remote simulation with injected latency, and a
+// Cache layered over either.
+type Source interface {
+	// Lookup resolves a table reference to its metadata.
+	Lookup(ref TableRef) (*TableMeta, error)
+	// Tables lists every table (parameterless flat function) the source
+	// exposes, for DatabaseMetaData-style browsing.
+	Tables() ([]*TableMeta, error)
+	// Procedures lists every parameterized function.
+	Procedures() ([]*TableMeta, error)
+}
+
+// Lookup implements Source directly on the application.
+func (a *Application) Lookup(ref TableRef) (*TableMeta, error) {
+	if ref.Catalog != "" && !strings.EqualFold(ref.Catalog, a.Name) {
+		return nil, &NotFoundError{Ref: ref}
+	}
+	var matches []*TableMeta
+	for _, ds := range a.DSFiles {
+		if ref.Schema != "" && !schemaMatches(ref.Schema, ds) {
+			continue
+		}
+		if f, ok := ds.Function(ref.Table); ok {
+			matches = append(matches, &TableMeta{Schema: ds.SchemaName(), Function: f})
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return nil, &NotFoundError{Ref: ref}
+	case 1:
+		return matches[0], nil
+	default:
+		schemas := make([]string, len(matches))
+		for i, m := range matches {
+			schemas[i] = m.Schema
+		}
+		sort.Strings(schemas)
+		return nil, &AmbiguousError{Ref: ref, Schemas: schemas}
+	}
+}
+
+// schemaMatches compares a SQL schema reference against a .ds file. The
+// full path ("TestDataServices/CUSTOMERS") matches exactly; a bare .ds
+// name matches when unambiguous at the name level (reporting tools often
+// emit only the last path segment).
+func schemaMatches(ref string, ds *DSFile) bool {
+	if strings.EqualFold(ref, ds.SchemaName()) {
+		return true
+	}
+	return strings.EqualFold(ref, ds.Name)
+}
+
+// Tables implements Source.
+func (a *Application) Tables() ([]*TableMeta, error) {
+	var out []*TableMeta
+	for _, ds := range a.DSFiles {
+		for _, f := range ds.Functions {
+			if f.IsTable() {
+				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Schema != out[j].Schema {
+			return out[i].Schema < out[j].Schema
+		}
+		return out[i].Function.Name < out[j].Function.Name
+	})
+	return out, nil
+}
+
+// Procedures implements Source.
+func (a *Application) Procedures() ([]*TableMeta, error) {
+	var out []*TableMeta
+	for _, ds := range a.DSFiles {
+		for _, f := range ds.Functions {
+			if !f.IsTable() {
+				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Schema != out[j].Schema {
+			return out[i].Schema < out[j].Schema
+		}
+		return out[i].Function.Name < out[j].Function.Name
+	})
+	return out, nil
+}
+
+// NewRelationalImport builds the Function a DSP metadata import would
+// produce for a relational table (the paper's Example 2): namespace
+// "ld:<path>/<name>", schema location "ld:<path>/schemas/<name>.xsd", row
+// element named after the table.
+func NewRelationalImport(path, name string, cols []Column) *Function {
+	return &Function{
+		Name:           name,
+		RowElement:     name,
+		Namespace:      "ld:" + path + "/" + name,
+		SchemaLocation: "ld:" + path + "/schemas/" + name + ".xsd",
+		Columns:        cols,
+	}
+}

@@ -1,0 +1,276 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/xdm"
+)
+
+// TestArtifactMappingFigure2 checks the SQL-analogy mapping of the paper's
+// Figure 2: application→catalog, .ds path→schema, function→table,
+// row-element children→columns.
+func TestArtifactMappingFigure2(t *testing.T) {
+	app := Demo()
+	if app.Name != "TestApp" {
+		t.Fatalf("catalog name = %q", app.Name)
+	}
+	meta, err := app.Lookup(TableRef{Table: "CUSTOMERS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Schema != "TestDataServices/CUSTOMERS" {
+		t.Fatalf("schema = %q", meta.Schema)
+	}
+	f := meta.Function
+	if !f.IsTable() {
+		t.Fatal("CUSTOMERS() must present as a table")
+	}
+	if f.Namespace != "ld:TestDataServices/CUSTOMERS" {
+		t.Fatalf("namespace = %q", f.Namespace)
+	}
+	if f.SchemaLocation != "ld:TestDataServices/schemas/CUSTOMERS.xsd" {
+		t.Fatalf("schema location = %q", f.SchemaLocation)
+	}
+	col, ok := f.Column("CUSTOMERNAME")
+	if !ok || col.Type != SQLVarchar || !col.Nullable {
+		t.Fatalf("column = %+v ok=%v", col, ok)
+	}
+	if _, ok := f.Column("customerid"); !ok {
+		t.Fatal("column lookup must be case-insensitive")
+	}
+}
+
+func TestArtifactMappingParameterizedFunction(t *testing.T) {
+	app := Demo()
+	meta, err := app.Lookup(TableRef{Table: "getCustomerById"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Function.IsTable() {
+		t.Fatal("parameterized function must present as a procedure, not a table")
+	}
+	procs, err := app.Procedures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 || procs[0].Function.Name != "getCustomerById" {
+		t.Fatalf("procedures = %+v", procs)
+	}
+}
+
+func TestLookupQualification(t *testing.T) {
+	app := Demo()
+	// Fully qualified.
+	if _, err := app.Lookup(TableRef{Catalog: "TestApp", Schema: "TestDataServices/CUSTOMERS", Table: "CUSTOMERS"}); err != nil {
+		t.Fatal(err)
+	}
+	// Last-segment schema shorthand.
+	if _, err := app.Lookup(TableRef{Schema: "CUSTOMERS", Table: "CUSTOMERS"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong catalog.
+	if _, err := app.Lookup(TableRef{Catalog: "Other", Table: "CUSTOMERS"}); err == nil {
+		t.Fatal("wrong catalog should fail")
+	}
+	// Case-insensitive table name.
+	if _, err := app.Lookup(TableRef{Table: "customers"}); err != nil {
+		t.Fatal("table lookup must be case-insensitive")
+	}
+	var nf *NotFoundError
+	_, err := app.Lookup(TableRef{Table: "NO_SUCH"})
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupAmbiguity(t *testing.T) {
+	app := Demo()
+	// Add a second CUSTOMERS function in another schema.
+	app.AddDSFile(&DSFile{
+		Path: "OtherProject",
+		Name: "CUSTOMERS",
+		Functions: []*Function{
+			NewRelationalImport("OtherProject", "CUSTOMERS", []Column{{Name: "ID", Type: SQLInteger}}),
+		},
+	})
+	var amb *AmbiguousError
+	_, err := app.Lookup(TableRef{Table: "CUSTOMERS"})
+	if !errors.As(err, &amb) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(amb.Schemas) != 2 {
+		t.Fatalf("schemas = %v", amb.Schemas)
+	}
+	// Qualifying by schema disambiguates.
+	meta, err := app.Lookup(TableRef{Schema: "OtherProject/CUSTOMERS", Table: "CUSTOMERS"})
+	if err != nil || meta.Schema != "OtherProject/CUSTOMERS" {
+		t.Fatalf("meta = %+v err = %v", meta, err)
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	app := Demo()
+	tables, err := app.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// Sorted by schema then name; parameterized function excluded.
+	for _, m := range tables {
+		if !m.Function.IsTable() {
+			t.Fatalf("%s should not be in table listing", m.Function.Name)
+		}
+	}
+}
+
+func TestSQLTypeMappings(t *testing.T) {
+	cases := []struct {
+		t      SQLType
+		sql    string
+		xsd    string
+		atomic xdm.AtomicType
+	}{
+		{SQLInteger, "INTEGER", "xs:int", xdm.TypeInteger},
+		{SQLSmallint, "SMALLINT", "xs:int", xdm.TypeInteger},
+		{SQLDecimal, "DECIMAL", "xs:decimal", xdm.TypeDecimal},
+		{SQLDouble, "DOUBLE", "xs:double", xdm.TypeDouble},
+		{SQLVarchar, "VARCHAR", "xs:string", xdm.TypeString},
+		{SQLChar, "CHAR", "xs:string", xdm.TypeString},
+		{SQLBoolean, "BOOLEAN", "xs:boolean", xdm.TypeBoolean},
+		{SQLDate, "DATE", "xs:date", xdm.TypeDate},
+		{SQLTime, "TIME", "xs:time", xdm.TypeTime},
+		{SQLTimestamp, "TIMESTAMP", "xs:dateTime", xdm.TypeDateTime},
+	}
+	for _, c := range cases {
+		if c.t.String() != c.sql || c.t.XSD() != c.xsd || c.t.Atomic() != c.atomic {
+			t.Fatalf("%v: %s %s %v", c.t, c.t.String(), c.t.XSD(), c.t.Atomic())
+		}
+		if SQLTypeFromName(c.sql) != c.t {
+			t.Fatalf("round trip of %s", c.sql)
+		}
+	}
+	if SQLTypeFromName("BLOB") != SQLUnknown {
+		t.Fatal("unknown type should map to SQLUnknown")
+	}
+	if SQLTypeFromName("INT") != SQLInteger || SQLTypeFromName("NUMERIC") != SQLDecimal {
+		t.Fatal("type synonyms should normalize")
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	app := Demo()
+	remote := &Remote{Inner: app}
+	cache := NewCache(remote)
+	ref := TableRef{Table: "CUSTOMERS"}
+	for i := 0; i < 5; i++ {
+		if _, err := cache.Lookup(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := cache.Stats()
+	if stats.Misses != 1 || stats.Hits != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if remote.Calls() != 1 {
+		t.Fatalf("remote calls = %d", remote.Calls())
+	}
+}
+
+func TestCacheNegativeCaching(t *testing.T) {
+	app := Demo()
+	remote := &Remote{Inner: app}
+	cache := NewCache(remote)
+	ref := TableRef{Table: "MISSING"}
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Lookup(ref); err == nil {
+			t.Fatal("lookup should fail")
+		}
+	}
+	if remote.Calls() != 1 {
+		t.Fatalf("negative result should be cached; remote calls = %d", remote.Calls())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	app := Demo()
+	remote := &Remote{Inner: app}
+	cache := NewCache(remote)
+	ref := TableRef{Table: "CUSTOMERS"}
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	cache.Invalidate()
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Calls() != 2 {
+		t.Fatalf("invalidate should force a refetch; calls = %d", remote.Calls())
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	cache := NewCache(Demo())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				cache.Lookup(TableRef{Table: "CUSTOMERS"})
+				cache.Lookup(TableRef{Table: "PAYMENTS"})
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	stats := cache.Stats()
+	if stats.Hits+stats.Misses != 1600 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRemoteLatency(t *testing.T) {
+	remote := &Remote{Inner: Demo(), Latency: 2 * time.Millisecond}
+	start := time.Now()
+	if _, err := remote.Lookup(TableRef{Table: "CUSTOMERS"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+	if _, err := remote.Tables(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Procedures(); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Calls() != 3 {
+		t.Fatalf("calls = %d", remote.Calls())
+	}
+}
+
+func TestDSFileSchemaName(t *testing.T) {
+	d := &DSFile{Path: "", Name: "X"}
+	if d.SchemaName() != "X" {
+		t.Fatalf("schema = %q", d.SchemaName())
+	}
+	d = &DSFile{Path: "A/B", Name: "X"}
+	if d.SchemaName() != "A/B/X" {
+		t.Fatalf("schema = %q", d.SchemaName())
+	}
+}
+
+func TestTableRefString(t *testing.T) {
+	r := TableRef{Catalog: "C", Schema: "S", Table: "T"}
+	if r.String() != "C.S.T" {
+		t.Fatalf("got %q", r.String())
+	}
+	r = TableRef{Table: "T"}
+	if r.String() != "T" {
+		t.Fatalf("got %q", r.String())
+	}
+}

@@ -1,0 +1,189 @@
+// Package demo generates the deterministic synthetic dataset behind the
+// paper's example tables (CUSTOMERS, PAYMENTS, PO_CUSTOMERS, PO_ITEMS) and
+// registers it with an XQuery engine as data service functions. It is the
+// workload generator for tests, examples and the benchmark harness: row
+// counts are parameterized so the §4 result-handling experiment can sweep
+// data sizes.
+//
+// Generation is deterministic (a fixed linear congruential generator) so
+// every run, test and benchmark sees identical data.
+package demo
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// Sizes parameterizes the generated dataset.
+type Sizes struct {
+	Customers int
+	// PaymentsPerCustomer is the average; actual counts vary 0..2×avg,
+	// and roughly one in eight customers has no payments at all (the
+	// outer-join-interesting case).
+	PaymentsPerCustomer int
+	Orders              int
+	ItemsPerOrder       int
+}
+
+// DefaultSizes is the dataset used by examples and tests.
+var DefaultSizes = Sizes{Customers: 50, PaymentsPerCustomer: 2, Orders: 120, ItemsPerOrder: 3}
+
+// Dataset holds generated rows per table.
+type Dataset struct {
+	Customers   []*xdm.Element
+	Payments    []*xdm.Element
+	POCustomers []*xdm.Element
+	POItems     []*xdm.Element
+}
+
+// rng is a small deterministic linear congruential generator; math/rand
+// would work too, but a local LCG guarantees stability across Go versions.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var firstNames = []string{
+	"Joe", "Sue", "Ann", "Bob", "Eve", "Max", "Ida", "Ned", "Ora", "Pat",
+	"Quinn", "Rex", "Tess", "Uma", "Vic", "Wren", "Xena", "Yuri", "Zoe", "Al",
+}
+
+var companySuffixes = []string{
+	"Widget Stores", "Supermart", "Distributors", "Parts and Service",
+	"Logistics", "Holdings", "Trading Co", "Industries",
+}
+
+var cities = []string{
+	"Springfield", "Riverton", "Lakeside", "Hillcrest", "Marble Falls",
+	"Oak Grove", "Fairview", "", // empty → NULL city
+}
+
+var products = []string{
+	"Widget", "Sprocket", "Gizmo", "Flange", "Gear", "Bracket", "Coupling",
+}
+
+var statuses = []string{"OPEN", "SHIPPED", "CLOSED", "HOLD"}
+
+// Generate builds a dataset of the given sizes.
+func Generate(sz Sizes) *Dataset {
+	r := &rng{state: 20060705}
+	d := &Dataset{}
+
+	for i := 0; i < sz.Customers; i++ {
+		id := 1000 + i
+		row := xdm.NewElement("CUSTOMERS")
+		row.AddChild(xdm.NewTextElement("CUSTOMERID", itoa(id)))
+		name := fmt.Sprintf("%s %s", firstNames[r.intn(len(firstNames))], companySuffixes[r.intn(len(companySuffixes))])
+		row.AddChild(xdm.NewTextElement("CUSTOMERNAME", name))
+		if city := cities[r.intn(len(cities))]; city != "" {
+			row.AddChild(xdm.NewTextElement("CITY", city))
+		}
+		if r.intn(10) != 0 { // one in ten has NULL signup date
+			row.AddChild(xdm.NewTextElement("SIGNUPDATE",
+				fmt.Sprintf("200%d-%02d-%02d", r.intn(6), 1+r.intn(12), 1+r.intn(28))))
+		}
+		d.Customers = append(d.Customers, row)
+	}
+
+	payID := 1
+	for i := 0; i < sz.Customers; i++ {
+		custID := 1000 + i
+		if r.intn(8) == 0 {
+			continue // customer with no payments
+		}
+		n := r.intn(2*sz.PaymentsPerCustomer + 1)
+		for j := 0; j < n; j++ {
+			row := xdm.NewElement("PAYMENTS")
+			row.AddChild(xdm.NewTextElement("PAYMENTID", itoa(payID)))
+			payID++
+			row.AddChild(xdm.NewTextElement("CUSTID", itoa(custID)))
+			cents := 500 + r.intn(100000)
+			row.AddChild(xdm.NewTextElement("PAYMENT", fmt.Sprintf("%d.%02d", cents/100, cents%100)))
+			row.AddChild(xdm.NewTextElement("PAYDATE",
+				fmt.Sprintf("200%d-%02d-%02d", 3+r.intn(3), 1+r.intn(12), 1+r.intn(28))))
+			d.Payments = append(d.Payments, row)
+		}
+	}
+
+	for i := 0; i < sz.Orders; i++ {
+		orderID := 5000 + i
+		row := xdm.NewElement("PO_CUSTOMERS")
+		row.AddChild(xdm.NewTextElement("ORDERID", itoa(orderID)))
+		custID := 1000 + r.intn(maxInt(sz.Customers, 1))
+		row.AddChild(xdm.NewTextElement("CUSTOMERID", itoa(custID)))
+		row.AddChild(xdm.NewTextElement("ORDERDATE",
+			fmt.Sprintf("200%d-%02d-%02d", 4+r.intn(2), 1+r.intn(12), 1+r.intn(28))))
+		row.AddChild(xdm.NewTextElement("STATUS", statuses[r.intn(len(statuses))]))
+		cents := 1000 + r.intn(500000)
+		row.AddChild(xdm.NewTextElement("TOTAL", fmt.Sprintf("%d.%02d", cents/100, cents%100)))
+		d.POCustomers = append(d.POCustomers, row)
+
+		itemCount := 1 + r.intn(2*sz.ItemsPerOrder)
+		for j := 0; j < itemCount; j++ {
+			item := xdm.NewElement("PO_ITEMS")
+			item.AddChild(xdm.NewTextElement("ITEMID", itoa(orderID*100+j)))
+			item.AddChild(xdm.NewTextElement("ORDERID", itoa(orderID)))
+			item.AddChild(xdm.NewTextElement("PRODUCT", products[r.intn(len(products))]))
+			item.AddChild(xdm.NewTextElement("QUANTITY", itoa(1+r.intn(20))))
+			cents := 100 + r.intn(20000)
+			item.AddChild(xdm.NewTextElement("PRICE", fmt.Sprintf("%d.%02d", cents/100, cents%100)))
+			d.POItems = append(d.POItems, item)
+		}
+	}
+	return d
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewEngine builds an XQuery engine with the dataset registered under the
+// demo application's namespaces, including the parameterized
+// getCustomerById function (the stored-procedure example).
+func NewEngine(d *Dataset) *xqeval.Engine {
+	e := xqeval.New()
+	e.RegisterRows("ld:TestDataServices/CUSTOMERS", "CUSTOMERS", d.Customers)
+	e.RegisterRows("ld:TestDataServices/PAYMENTS", "PAYMENTS", d.Payments)
+	e.RegisterRows("ld:TestDataServices/PO_CUSTOMERS", "PO_CUSTOMERS", d.POCustomers)
+	e.RegisterRows("ld:TestDataServices/PO_ITEMS", "PO_ITEMS", d.POItems)
+
+	customers := d.Customers
+	e.Register("ld:TestDataServices/CUSTOMERS", "getCustomerById",
+		func(args []xdm.Sequence) (xdm.Sequence, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("getCustomerById expects 1 argument, got %d", len(args))
+			}
+			if args[0].Empty() {
+				return nil, nil
+			}
+			want := xdm.StringValue(args[0][0])
+			var out xdm.Sequence
+			for _, c := range customers {
+				if el := c.FirstChildElement("CUSTOMERID"); el != nil && el.StringValue() == want {
+					out = append(out, c)
+				}
+			}
+			return out, nil
+		})
+	return e
+}
+
+// Setup is the one-call fixture: demo metadata, generated data, and an
+// engine serving it.
+func Setup(sz Sizes) (*catalog.Application, *Dataset, *xqeval.Engine) {
+	app := catalog.Demo()
+	data := Generate(sz)
+	return app, data, NewEngine(data)
+}

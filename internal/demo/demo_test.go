@@ -1,0 +1,124 @@
+package demo
+
+import (
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultSizes)
+	b := Generate(DefaultSizes)
+	if len(a.Customers) != len(b.Customers) || len(a.Payments) != len(b.Payments) {
+		t.Fatal("sizes differ between runs")
+	}
+	for i := range a.Customers {
+		if xdm.Marshal(a.Customers[i]) != xdm.Marshal(b.Customers[i]) {
+			t.Fatalf("customer %d differs between runs", i)
+		}
+	}
+	for i := range a.Payments {
+		if xdm.Marshal(a.Payments[i]) != xdm.Marshal(b.Payments[i]) {
+			t.Fatalf("payment %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d := Generate(Sizes{Customers: 40, PaymentsPerCustomer: 2, Orders: 80, ItemsPerOrder: 2})
+	if len(d.Customers) != 40 {
+		t.Fatalf("customers = %d", len(d.Customers))
+	}
+	if len(d.POCustomers) != 80 {
+		t.Fatalf("orders = %d", len(d.POCustomers))
+	}
+	if len(d.Payments) == 0 || len(d.POItems) == 0 {
+		t.Fatal("payments/items empty")
+	}
+	// NULL-bearing columns exist (the outer-join-interesting cases).
+	nullCity := false
+	for _, c := range d.Customers {
+		if c.FirstChildElement("CITY") == nil {
+			nullCity = true
+		}
+		if c.FirstChildElement("CUSTOMERID") == nil {
+			t.Fatal("CUSTOMERID must never be NULL")
+		}
+	}
+	if !nullCity {
+		t.Fatal("expected some NULL cities")
+	}
+	// Some customers have no payments.
+	paid := map[string]bool{}
+	for _, p := range d.Payments {
+		paid[p.FirstChildElement("CUSTID").StringValue()] = true
+	}
+	unpaid := 0
+	for _, c := range d.Customers {
+		if !paid[c.FirstChildElement("CUSTOMERID").StringValue()] {
+			unpaid++
+		}
+	}
+	if unpaid == 0 {
+		t.Fatal("expected some customers without payments")
+	}
+	// Order foreign keys reference existing customers.
+	ids := map[string]bool{}
+	for _, c := range d.Customers {
+		ids[c.FirstChildElement("CUSTOMERID").StringValue()] = true
+	}
+	for _, o := range d.POCustomers {
+		if !ids[o.FirstChildElement("CUSTOMERID").StringValue()] {
+			t.Fatal("dangling order foreign key")
+		}
+	}
+}
+
+func TestSetupServesAllTables(t *testing.T) {
+	app, data, engine := Setup(Sizes{Customers: 5, PaymentsPerCustomer: 1, Orders: 5, ItemsPerOrder: 1})
+	if app == nil || engine == nil {
+		t.Fatal("nil setup")
+	}
+	for _, tc := range []struct {
+		ns, fn string
+		want   int
+	}{
+		{"ld:TestDataServices/CUSTOMERS", "CUSTOMERS", len(data.Customers)},
+		{"ld:TestDataServices/PAYMENTS", "PAYMENTS", len(data.Payments)},
+		{"ld:TestDataServices/PO_CUSTOMERS", "PO_CUSTOMERS", len(data.POCustomers)},
+		{"ld:TestDataServices/PO_ITEMS", "PO_ITEMS", len(data.POItems)},
+	} {
+		out, err := engine.Call(tc.ns, tc.fn, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.fn, err)
+		}
+		if len(out) != tc.want {
+			t.Fatalf("%s rows = %d, want %d", tc.fn, len(out), tc.want)
+		}
+	}
+}
+
+func TestGetCustomerById(t *testing.T) {
+	_, data, engine := Setup(Sizes{Customers: 3, PaymentsPerCustomer: 1, Orders: 1, ItemsPerOrder: 1})
+	want := data.Customers[1].FirstChildElement("CUSTOMERID").StringValue()
+	out, err := engine.Call("ld:TestDataServices/CUSTOMERS", "getCustomerById",
+		[]xdm.Sequence{xdm.SequenceOf(xdm.String(want))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if out[0].(*xdm.Element).FirstChildElement("CUSTOMERID").StringValue() != want {
+		t.Fatal("wrong customer returned")
+	}
+	// Missing id returns no rows; wrong arity errors.
+	out, err = engine.Call("ld:TestDataServices/CUSTOMERS", "getCustomerById",
+		[]xdm.Sequence{xdm.SequenceOf(xdm.String("999999"))})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("missing id: %v %v", out, err)
+	}
+	if _, err := engine.Call("ld:TestDataServices/CUSTOMERS", "getCustomerById", nil); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+}

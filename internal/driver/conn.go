@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/resultset"
+	"repro/internal/translator"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// conn is one connection: a translator with its own metadata cache (the
+// paper's per-connection fetch-and-cache behavior) plus the execution
+// engine.
+type conn struct {
+	srv        *Server
+	engine     *xqeval.Engine
+	translator *translator.Translator
+	cache      *catalog.Cache
+	closed     bool
+}
+
+func newConn(srv *Server, mode string) *conn {
+	cache := catalog.NewCache(srv.metaSource())
+	tr := translator.New(cache)
+	tr.Options.DefaultCatalog = srv.App.Name
+	if mode == "xml" {
+		tr.Options.Mode = translator.ModeXML
+	} else {
+		tr.Options.Mode = translator.ModeText
+	}
+	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache}
+}
+
+// Prepare implements driver.Conn: statements translate once here and
+// execute many times with different parameters.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	trimmed := strings.TrimSpace(query)
+	upper := strings.ToUpper(trimmed)
+	switch {
+	case strings.HasPrefix(upper, "SHOW "):
+		return newShowStmt(c, trimmed)
+	case strings.HasPrefix(upper, "CALL ") || strings.HasPrefix(upper, "{CALL"):
+		return newCallStmt(c, trimmed)
+	case strings.HasPrefix(upper, "EXPLAIN "):
+		return newExplainStmt(c, strings.TrimSpace(trimmed[len("EXPLAIN"):]))
+	case strings.HasPrefix(upper, "CREATE VIEW "):
+		return newCreateViewStmt(c, trimmed)
+	}
+	res, err := c.translator.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, res: res}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Begin implements driver.Conn. The platform is read-only (XQuery 1.0 has
+// no updates), so transactions are refused.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("aqualogic: transactions are not supported (data services are read-only)")
+}
+
+// stmt is a prepared SELECT.
+type stmt struct {
+	conn *conn
+	res  *translator.Result
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt.
+func (s *stmt) NumInput() int { return s.res.ParamCount }
+
+// Exec implements driver.Stmt; the driver is read-only.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("aqualogic: only SELECT statements are supported")
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.queryContext(context.Background(), args)
+}
+
+// QueryContext implements driver.StmtQueryContext: the evaluation observes
+// cancellation and deadlines at tuple boundaries.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	plain := make([]driver.Value, len(args))
+	for i, a := range args {
+		plain[i] = a.Value
+	}
+	return s.queryContext(ctx, plain)
+}
+
+func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (driver.Rows, error) {
+	ext := make(map[string]xdm.Sequence, len(args))
+	for i, a := range args {
+		v, err := toAtomic(a)
+		if err != nil {
+			return nil, fmt.Errorf("aqualogic: parameter %d: %v", i+1, err)
+		}
+		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
+	}
+	out, err := s.conn.engine.EvalWithContext(ctx, s.res.Query, ext)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]resultset.Column, len(s.res.Columns))
+	for i, c := range s.res.Columns {
+		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
+			Type: c.Type, Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
+	}
+	var rows *resultset.Rows
+	if s.res.Mode == translator.ModeText {
+		it, err := out.Singleton()
+		if err != nil {
+			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)
+		}
+		rows, err = resultset.FromText(xdm.StringValue(it), cols)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows, err = resultset.FromXML(out, cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &driverRows{rows: rows}, nil
+}
+
+// toAtomic converts a database/sql parameter to an atomic value.
+func toAtomic(v driver.Value) (xdm.Atomic, error) {
+	switch v := v.(type) {
+	case int64:
+		return xdm.Integer(v), nil
+	case float64:
+		return xdm.Double(v), nil
+	case bool:
+		return xdm.Boolean(v), nil
+	case string:
+		return xdm.String(v), nil
+	case []byte:
+		return xdm.String(string(v)), nil
+	case time.Time:
+		return xdm.DateTime{T: v}, nil
+	case nil:
+		return nil, fmt.Errorf("NULL parameters are not supported (comparisons with NULL are never true in SQL)")
+	default:
+		return nil, fmt.Errorf("unsupported parameter type %T", v)
+	}
+}
+
+// driverRows adapts resultset.Rows to driver.Rows.
+type driverRows struct {
+	rows *resultset.Rows
+}
+
+// Columns implements driver.Rows.
+func (r *driverRows) Columns() []string {
+	cols := r.rows.Columns()
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Label
+	}
+	return out
+}
+
+// Close implements driver.Rows.
+func (r *driverRows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *driverRows) Next(dest []driver.Value) error {
+	if !r.rows.Next() {
+		return io.EOF
+	}
+	for i := range dest {
+		v, err := r.rows.Value(i)
+		if err != nil {
+			return err
+		}
+		dest[i] = fromAtomic(v)
+	}
+	return nil
+}
+
+// ColumnTypeDatabaseTypeName implements driver.RowsColumnTypeDatabaseTypeName:
+// rows.ColumnTypes() reports the SQL type of each output column.
+func (r *driverRows) ColumnTypeDatabaseTypeName(index int) string {
+	return r.rows.Columns()[index].Type.String()
+}
+
+// ColumnTypeNullable implements driver.RowsColumnTypeNullable.
+func (r *driverRows) ColumnTypeNullable(index int) (nullable, ok bool) {
+	return r.rows.Columns()[index].Nullable, true
+}
+
+// ColumnTypePrecisionScale implements driver.RowsColumnTypePrecisionScale
+// for columns with declared facets (DECIMAL(p,s), VARCHAR(n)).
+func (r *driverRows) ColumnTypePrecisionScale(index int) (precision, scale int64, ok bool) {
+	c := r.rows.Columns()[index]
+	if c.Precision == 0 && c.Scale == 0 {
+		return 0, 0, false
+	}
+	return int64(c.Precision), int64(c.Scale), true
+}
+
+// fromAtomic converts an atomic value to a driver.Value.
+func fromAtomic(v xdm.Atomic) driver.Value {
+	switch v := v.(type) {
+	case nil:
+		return nil
+	case xdm.Integer:
+		return int64(v)
+	case xdm.Decimal:
+		return float64(v)
+	case xdm.Double:
+		return float64(v)
+	case xdm.Boolean:
+		return bool(v)
+	case xdm.Date:
+		return v.T
+	case xdm.Time:
+		return v.T
+	case xdm.DateTime:
+		return v.T
+	default:
+		return v.Lexical()
+	}
+}

@@ -1,0 +1,105 @@
+// Package driver implements the Go analog of the paper's JDBC driver: a
+// database/sql/driver over the SQL-to-XQuery translator and an XQuery
+// engine. SQL arrives through the standard database/sql API, is translated
+// per statement (once, at Prepare time — the prepared-statement path), and
+// executes against the registered in-memory DSP stand-in.
+//
+// Beyond SELECT, the driver supports the metadata-browsing and
+// stored-procedure surfaces reporting tools use:
+//
+//	SHOW CATALOGS / SHOW SCHEMAS / SHOW TABLES / SHOW PROCEDURES
+//	SHOW COLUMNS FROM <table>
+//	CALL <function>(args…)   — parameterized data service functions
+//
+// The DSN names a registered server, optionally selecting the §4 result
+// mode: "demo", "demo?mode=text" (default), "demo?mode=xml".
+package driver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/xqeval"
+)
+
+// Server is one AquaLogic-style deployment: the application metadata and
+// the engine serving its data service functions.
+type Server struct {
+	App    *catalog.Application
+	Engine *xqeval.Engine
+	// Meta optionally overrides the metadata source seen by translators
+	// (e.g. a latency-simulating catalog.Remote). Defaults to App.
+	Meta catalog.Source
+	// DefineView, when set, enables the CREATE VIEW statement: it should
+	// register a logical data service for the given schema path, view
+	// name, and SELECT body (the Platform facade wires its DefineView
+	// here).
+	DefineView func(path, name, sql string) error
+}
+
+func (s *Server) metaSource() catalog.Source {
+	if s.Meta != nil {
+		return s.Meta
+	}
+	return s.App
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Server{}
+)
+
+// RegisterServer installs a server under a DSN name.
+func RegisterServer(name string, s *Server) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = s
+}
+
+// lookupServer resolves a DSN name.
+func lookupServer(name string) (*Server, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	name := dsn
+	mode := "text"
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		name = dsn[:i]
+		for _, kv := range strings.Split(dsn[i+1:], "&") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("aqualogic: malformed DSN option %q", kv)
+			}
+			switch k {
+			case "mode":
+				if v != "text" && v != "xml" {
+					return nil, fmt.Errorf("aqualogic: unknown result mode %q", v)
+				}
+				mode = v
+			default:
+				return nil, fmt.Errorf("aqualogic: unknown DSN option %q", k)
+			}
+		}
+	}
+	srv, ok := lookupServer(name)
+	if !ok {
+		return nil, fmt.Errorf("aqualogic: no registered server %q", name)
+	}
+	return newConn(srv, mode), nil
+}
+
+func init() {
+	sql.Register("aqualogic", Driver{})
+}

@@ -1,0 +1,452 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/demo"
+)
+
+var registerOnce sync.Once
+
+func openDemo(t *testing.T, opts string) *sql.DB {
+	t.Helper()
+	registerOnce.Do(func() {
+		app, _, engine := demo.Setup(demo.DefaultSizes)
+		RegisterServer("demo", &Server{App: app, Engine: engine})
+	})
+	db, err := sql.Open("aqualogic", "demo"+opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestQueryThroughDatabaseSQL(t *testing.T) {
+	db := openDemo(t, "")
+	rows, err := db.Query("SELECT CUSTOMERID, CUSTOMERNAME, CITY FROM CUSTOMERS ORDER BY CUSTOMERID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(cols, ",") != "CUSTOMERID,CUSTOMERNAME,CITY" {
+		t.Fatalf("columns = %v", cols)
+	}
+	count := 0
+	var lastID int64 = -1
+	for rows.Next() {
+		var id int64
+		var name string
+		var city sql.NullString
+		if err := rows.Scan(&id, &name, &city); err != nil {
+			t.Fatal(err)
+		}
+		if id <= lastID {
+			t.Fatalf("ids not ascending: %d after %d", id, lastID)
+		}
+		lastID = id
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != demo.DefaultSizes.Customers {
+		t.Fatalf("rows = %d", count)
+	}
+}
+
+func TestNullScanning(t *testing.T) {
+	db := openDemo(t, "")
+	rows, err := db.Query("SELECT CITY FROM CUSTOMERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	sawNull, sawValue := false, false
+	for rows.Next() {
+		var city sql.NullString
+		if err := rows.Scan(&city); err != nil {
+			t.Fatal(err)
+		}
+		if city.Valid {
+			sawValue = true
+		} else {
+			sawNull = true
+		}
+	}
+	if !sawNull || !sawValue {
+		t.Fatalf("sawNull=%v sawValue=%v (demo data has both)", sawNull, sawValue)
+	}
+}
+
+func TestPreparedStatementReuse(t *testing.T) {
+	db := openDemo(t, "")
+	stmt, err := db.Prepare("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, id := range []int{1000, 1001, 1002} {
+		var name string
+		if err := stmt.QueryRow(id).Scan(&name); err != nil {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		if name == "" {
+			t.Fatalf("id %d: empty name", id)
+		}
+	}
+}
+
+func TestAggregationThroughDriver(t *testing.T) {
+	db := openDemo(t, "")
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM PAYMENTS").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected payments")
+	}
+	var total float64
+	if err := db.QueryRow("SELECT SUM(PAYMENT) FROM PAYMENTS").Scan(&total); err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestXMLModeMatchesTextMode(t *testing.T) {
+	text := openDemo(t, "?mode=text")
+	xml := openDemo(t, "?mode=xml")
+	q := "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID"
+	collect := func(db *sql.DB) []string {
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out []string
+		for rows.Next() {
+			var id int64
+			var name string
+			if err := rows.Scan(&id, &name); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, name)
+		}
+		return out
+	}
+	a, b := collect(text), collect(xml)
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatal("text and XML modes disagree")
+	}
+}
+
+func TestShowStatements(t *testing.T) {
+	db := openDemo(t, "")
+
+	var cat string
+	if err := db.QueryRow("SHOW CATALOGS").Scan(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if cat != "TestApp" {
+		t.Fatalf("catalog = %q", cat)
+	}
+
+	rows, err := db.Query("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := 0
+	for rows.Next() {
+		var c, s, n, typ string
+		if err := rows.Scan(&c, &s, &n, &typ); err != nil {
+			t.Fatal(err)
+		}
+		if typ != "TABLE" {
+			t.Fatalf("type = %q", typ)
+		}
+		tables++
+	}
+	rows.Close()
+	if tables != 4 {
+		t.Fatalf("tables = %d", tables)
+	}
+
+	rows, err = db.Query("SHOW COLUMNS FROM CUSTOMERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	colCount := 0
+	for rows.Next() {
+		var name, typ, nullable string
+		var pos int64
+		if err := rows.Scan(&name, &typ, &nullable, &pos); err != nil {
+			t.Fatal(err)
+		}
+		colCount++
+	}
+	rows.Close()
+	if colCount != 4 {
+		t.Fatalf("columns = %d", colCount)
+	}
+
+	rows, err = db.Query("SHOW PROCEDURES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := 0
+	for rows.Next() {
+		var c, s, n string
+		var params int64
+		if err := rows.Scan(&c, &s, &n, &params); err != nil {
+			t.Fatal(err)
+		}
+		if n != "getCustomerById" || params != 1 {
+			t.Fatalf("proc = %s(%d)", n, params)
+		}
+		procs++
+	}
+	rows.Close()
+	if procs != 1 {
+		t.Fatalf("procs = %d", procs)
+	}
+
+	if _, err := db.Query("SHOW NONSENSE"); err == nil {
+		t.Fatal("unknown SHOW should fail")
+	}
+}
+
+func TestCallProcedure(t *testing.T) {
+	db := openDemo(t, "")
+	var id int64
+	var name string
+	var city, signup sql.NullString
+	err := db.QueryRow("CALL getCustomerById(?)", 1003).Scan(&id, &name, &city, &signup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1003 || name == "" {
+		t.Fatalf("got %d %q", id, name)
+	}
+	// Literal-argument and JDBC-escape forms.
+	if err := db.QueryRow("CALL getCustomerById(1004)").Scan(&id, &name, &city, &signup); err != nil {
+		t.Fatal(err)
+	}
+	if id != 1004 {
+		t.Fatalf("id = %d", id)
+	}
+	if err := db.QueryRow("{call getCustomerById('1005')}").Scan(&id, &name, &city, &signup); err != nil {
+		t.Fatal(err)
+	}
+	if id != 1005 {
+		t.Fatalf("id = %d", id)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	db := openDemo(t, "")
+	if _, err := db.Query("CALL CUSTOMERS()"); err == nil || !strings.Contains(err.Error(), "is a table") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := db.Query("CALL getCustomerById()"); err == nil || !strings.Contains(err.Error(), "expects 1 argument") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := db.Query("CALL noSuchProc(1)"); err == nil {
+		t.Fatal("unknown procedure should fail")
+	}
+}
+
+func TestReadOnlyRefusals(t *testing.T) {
+	db := openDemo(t, "")
+	if _, err := db.Exec("SELECT * FROM CUSTOMERS"); err == nil {
+		t.Fatal("Exec should be refused")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("transactions should be refused")
+	}
+	if _, err := db.Query("INSERT INTO CUSTOMERS VALUES (1)"); err == nil {
+		t.Fatal("non-SELECT should fail to parse")
+	}
+}
+
+func TestBadDSN(t *testing.T) {
+	if db, err := sql.Open("aqualogic", "nope"); err == nil {
+		if err := db.Ping(); err == nil {
+			t.Fatal("unknown server should fail")
+		}
+		db.Close()
+	}
+	if db, err := sql.Open("aqualogic", "demo?mode=bogus"); err == nil {
+		if err := db.Ping(); err == nil {
+			t.Fatal("bad mode should fail")
+		}
+		db.Close()
+	}
+	if db, err := sql.Open("aqualogic", "demo?nonsense"); err == nil {
+		if err := db.Ping(); err == nil {
+			t.Fatal("malformed option should fail")
+		}
+		db.Close()
+	}
+}
+
+func TestSemanticErrorSurfacesAtPrepare(t *testing.T) {
+	db := openDemo(t, "")
+	_, err := db.Prepare("SELECT NOPE FROM CUSTOMERS")
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := openDemo(t, "")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			if err := db.QueryRow("SELECT COUNT(*) FROM CUSTOMERS").Scan(&n); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	db := openDemo(t, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	// A triple cross join over the demo tables is far too large to finish
+	// within the deadline.
+	_, err := db.QueryContext(ctx, `
+		SELECT COUNT(*) FROM CUSTOMERS A, CUSTOMERS B, CUSTOMERS C, PO_CUSTOMERS D`)
+	if err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	db := openDemo(t, "")
+	rows, err := db.Query("EXPLAIN SELECT INFO.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var lines []string
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+	}
+	plan := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"query contexts", "CTX0 (marker)", "CTX1:", "CTX2:",
+		"generated XQuery", "let $tempvar", "RECORDSET",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	if _, err := db.Query("EXPLAIN SELECT NOPE FROM CUSTOMERS"); err == nil {
+		t.Fatal("EXPLAIN of invalid SQL should fail")
+	}
+}
+
+func TestColumnTypes(t *testing.T) {
+	db := openDemo(t, "")
+	rows, err := db.Query("SELECT CUSTOMERID, CUSTOMERNAME, CITY FROM CUSTOMERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	types, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types[0].DatabaseTypeName() != "INTEGER" || types[1].DatabaseTypeName() != "VARCHAR" {
+		t.Fatalf("type names = %s, %s", types[0].DatabaseTypeName(), types[1].DatabaseTypeName())
+	}
+	if nullable, ok := types[0].Nullable(); !ok || nullable {
+		t.Fatal("CUSTOMERID should be non-nullable")
+	}
+	if nullable, ok := types[2].Nullable(); !ok || !nullable {
+		t.Fatal("CITY should be nullable")
+	}
+	// VARCHAR length facet (surfaced through DecimalSize, the
+	// database/sql accessor for driver precision/scale).
+	if p, _, ok := types[1].DecimalSize(); !ok || p != 64 {
+		t.Fatalf("CUSTOMERNAME precision = %d ok=%v", p, ok)
+	}
+}
+
+func TestColumnTypesDecimalFacets(t *testing.T) {
+	db := openDemo(t, "")
+	rows, err := db.Query("SELECT PAYMENT, CAST(PAYMENT AS DECIMAL(12, 3)) FROM PAYMENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	types, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, s, ok := types[0].DecimalSize()
+	if !ok || p != 10 || s != 2 {
+		t.Fatalf("PAYMENT facets = %d,%d ok=%v", p, s, ok)
+	}
+	p, s, ok = types[1].DecimalSize()
+	if !ok || p != 12 || s != 3 {
+		t.Fatalf("CAST facets = %d,%d ok=%v", p, s, ok)
+	}
+}
+
+func TestTimeParameterAgainstDateColumn(t *testing.T) {
+	db := openDemo(t, "")
+	cutoff := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	var n int64
+	err := db.QueryRow("SELECT COUNT(*) FROM CUSTOMERS WHERE SIGNUPDATE >= ?", cutoff).Scan(&n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected signups on or after 2004")
+	}
+	var all int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM CUSTOMERS WHERE SIGNUPDATE IS NOT NULL").Scan(&all); err != nil {
+		t.Fatal(err)
+	}
+	if n > all {
+		t.Fatalf("filtered %d > total %d", n, all)
+	}
+}
+
+func TestCreateViewWithoutHookRefused(t *testing.T) {
+	db := openDemo(t, "")
+	_, err := db.Exec("CREATE VIEW X AS SELECT 1")
+	if err == nil || !strings.Contains(err.Error(), "does not support CREATE VIEW") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+package resultset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/xdm"
+)
+
+func testCols() []Column {
+	return []Column{
+		{Label: "ID", ElementName: "ID", Type: catalog.SQLInteger},
+		{Label: "NAME", ElementName: "NAME", Type: catalog.SQLVarchar, Nullable: true},
+		{Label: "AMOUNT", ElementName: "AMOUNT", Type: catalog.SQLDecimal, Nullable: true},
+	}
+}
+
+func buildXML() xdm.Sequence {
+	rs := xdm.NewElement("RECORDSET")
+	r1 := xdm.NewElement("RECORD")
+	r1.AddChild(xdm.NewTextElement("ID", "1"))
+	r1.AddChild(xdm.NewTextElement("NAME", "Acme <Widgets> & Sons"))
+	r1.AddChild(xdm.NewTextElement("AMOUNT", "100.50"))
+	r2 := xdm.NewElement("RECORD")
+	r2.AddChild(xdm.NewTextElement("ID", "2"))
+	// NAME absent (NULL), AMOUNT absent (NULL)
+	rs.AddChild(r1)
+	rs.AddChild(r2)
+	return xdm.SequenceOf(rs)
+}
+
+func TestFromXML(t *testing.T) {
+	rows, err := FromXML(buildXML(), testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if !rows.Next() {
+		t.Fatal("Next")
+	}
+	id, ok, err := rows.Int64(0)
+	if err != nil || !ok || id != 1 {
+		t.Fatalf("id = %d %v %v", id, ok, err)
+	}
+	name, ok, _ := rows.String(1)
+	if !ok || name != "Acme <Widgets> & Sons" {
+		t.Fatalf("name = %q", name)
+	}
+	amt, ok, _ := rows.Float64(2)
+	if !ok || amt != 100.50 {
+		t.Fatalf("amount = %v", amt)
+	}
+	if !rows.Next() {
+		t.Fatal("Next 2")
+	}
+	if null, _ := rows.IsNull(1); !null {
+		t.Fatal("row 2 NAME should be NULL")
+	}
+	if _, ok, _ := rows.Float64(2); ok {
+		t.Fatal("row 2 AMOUNT should be NULL")
+	}
+	if rows.Next() {
+		t.Fatal("cursor should be exhausted")
+	}
+}
+
+func TestCursorDiscipline(t *testing.T) {
+	rows, err := FromXML(buildXML(), testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Value(0); err == nil {
+		t.Fatal("Value before Next should error")
+	}
+	for rows.Next() {
+	}
+	if _, err := rows.Value(0); err == nil {
+		t.Fatal("Value after exhaustion should error")
+	}
+	rows.Reset()
+	if !rows.Next() {
+		t.Fatal("Reset should rewind")
+	}
+	if _, err := rows.Value(99); err == nil {
+		t.Fatal("out-of-range column should error")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	rows, _ := FromXML(buildXML(), testCols())
+	i, err := rows.ColumnIndex("name")
+	if err != nil || i != 1 {
+		t.Fatalf("index = %d %v", i, err)
+	}
+	if _, err := rows.ColumnIndex("missing"); err == nil {
+		t.Fatal("missing label should error")
+	}
+}
+
+func TestFromXMLString(t *testing.T) {
+	payload := `<RECORDSET><RECORD><ID>7</ID><NAME>Sue</NAME></RECORD></RECORDSET>`
+	rows, err := FromXMLString(payload, testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	id, _, _ := rows.Int64(0)
+	if id != 7 {
+		t.Fatalf("id = %d", id)
+	}
+	// Missing AMOUNT is NULL.
+	if null, _ := rows.IsNull(2); !null {
+		t.Fatal("AMOUNT should be NULL")
+	}
+}
+
+func TestFromXMLErrors(t *testing.T) {
+	if _, err := FromXML(nil, testCols()); err == nil {
+		t.Fatal("empty sequence should fail")
+	}
+	if _, err := FromXML(xdm.SequenceOf(xdm.NewElement("OTHER")), testCols()); err == nil {
+		t.Fatal("wrong root should fail")
+	}
+	bad := xdm.NewElement("RECORDSET")
+	rec := xdm.NewElement("RECORD")
+	rec.AddChild(xdm.NewTextElement("ID", "notanumber"))
+	bad.AddChild(rec)
+	if _, err := FromXML(xdm.SequenceOf(bad), testCols()); err == nil {
+		t.Fatal("untypeable value should fail")
+	}
+}
+
+func TestFromText(t *testing.T) {
+	payload := ">1<Acme &lt;Widgets&gt; &amp; Sons<100.50" + ">2<&null;<&null;"
+	rows, err := FromText(payload, testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	rows.Next()
+	name, _, _ := rows.String(1)
+	if name != "Acme <Widgets> & Sons" {
+		t.Fatalf("name = %q", name)
+	}
+	rows.Next()
+	if null, _ := rows.IsNull(1); !null {
+		t.Fatal("NULL token should decode as NULL")
+	}
+}
+
+func TestFromTextEmpty(t *testing.T) {
+	rows, err := FromText("", testCols())
+	if err != nil || rows.Len() != 0 {
+		t.Fatalf("rows = %v err = %v", rows.Len(), err)
+	}
+}
+
+func TestFromTextErrors(t *testing.T) {
+	if _, err := FromText("1<2<3", testCols()); err == nil {
+		t.Fatal("missing leading delimiter should fail")
+	}
+	if _, err := FromText(">1<2", testCols()); err == nil {
+		t.Fatal("field-count mismatch should fail")
+	}
+	if _, err := FromText(">x<y<1.5", testCols()); err == nil {
+		t.Fatal("untypeable integer should fail")
+	}
+}
+
+func TestFromTextDistinguishesNullFromEmptyString(t *testing.T) {
+	payload := ">1<<1.0" + ">2<&null;<2.0"
+	rows, err := FromText(payload, testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	s, ok, _ := rows.String(1)
+	if !ok || s != "" {
+		t.Fatalf("row 1 name = %q ok=%v, want empty string", s, ok)
+	}
+	rows.Next()
+	if null, _ := rows.IsNull(1); !null {
+		t.Fatal("row 2 name should be NULL")
+	}
+}
+
+func TestTypedGetters(t *testing.T) {
+	cols := []Column{
+		{Label: "B", ElementName: "B", Type: catalog.SQLBoolean},
+		{Label: "D", ElementName: "D", Type: catalog.SQLDate},
+		{Label: "TS", ElementName: "TS", Type: catalog.SQLTimestamp},
+	}
+	rows, err := FromText(">true<2006-07-05<2006-07-05T10:30:00", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	b, ok, err := rows.Bool(0)
+	if err != nil || !ok || !b {
+		t.Fatalf("bool = %v %v %v", b, ok, err)
+	}
+	d, ok, err := rows.Time(1)
+	if err != nil || !ok || d.Year() != 2006 || d.Month() != 7 {
+		t.Fatalf("date = %v %v %v", d, ok, err)
+	}
+	ts, ok, err := rows.Time(2)
+	if err != nil || !ok || ts.Hour() != 10 {
+		t.Fatalf("ts = %v %v %v", ts, ok, err)
+	}
+}
+
+func TestGetterConversionErrors(t *testing.T) {
+	cols := []Column{{Label: "S", ElementName: "S", Type: catalog.SQLVarchar}}
+	rows, _ := FromText(">hello", cols)
+	rows.Next()
+	if _, _, err := rows.Int64(0); err == nil {
+		t.Fatal("string→int should error")
+	}
+	if _, _, err := rows.Time(0); err == nil {
+		t.Fatal("string→time should error")
+	}
+}
+
+func TestDuplicateElementNamesMatchPositionally(t *testing.T) {
+	cols := []Column{
+		{Label: "X", ElementName: "X", Type: catalog.SQLInteger},
+		{Label: "X", ElementName: "X", Type: catalog.SQLInteger},
+	}
+	rows, err := FromXMLString("<RECORDSET><RECORD><X>1</X><X>2</X></RECORD></RECORDSET>", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	a, _, _ := rows.Int64(0)
+	b, _, _ := rows.Int64(1)
+	if a != 1 || b != 2 {
+		t.Fatalf("got %d %d", a, b)
+	}
+}
+
+func TestUnknownTypeStaysString(t *testing.T) {
+	cols := []Column{{Label: "U", ElementName: "U", Type: catalog.SQLUnknown}}
+	rows, err := FromText(">anything", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	s, ok, _ := rows.String(0)
+	if !ok || s != "anything" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows, _ := FromXML(buildXML(), testCols())
+	out := rows.Table()
+	if !strings.Contains(out, "ID") || !strings.Contains(out, "NULL") || !strings.Contains(out, "Acme") {
+		t.Fatalf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,277 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError is a syntax error with source position, returned by the lexer
+// and parser. Stage one rejects syntactically invalid SQL immediately.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans SQL source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream ending in a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Type == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '-' && lx.peekByteAt(1) == '-':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errAt(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Type: TokEOF, Pos: start}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case isIdentStart(b):
+		return lx.lexIdent(start), nil
+	case b >= '0' && b <= '9':
+		return lx.lexNumber(start)
+	case b == '.' && isDigit(lx.peekByteAt(1)):
+		return lx.lexNumber(start)
+	case b == '\'':
+		return lx.lexString(start)
+	case b == '"':
+		return lx.lexQuotedIdent(start)
+	case b == '?':
+		lx.advance()
+		return Token{Type: TokParam, Text: "?", Pos: start}, nil
+	}
+	return lx.lexOperator(start)
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || isDigit(b) || b == '$' || b == '#'
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func (lx *lexer) lexIdent(start Pos) Token {
+	begin := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	text := strings.ToUpper(lx.src[begin:lx.off])
+	if keywords[text] {
+		return Token{Type: TokKeyword, Text: text, Pos: start}
+	}
+	return Token{Type: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexNumber(start Pos) (Token, error) {
+	begin := lx.off
+	sawDot := false
+	sawExp := false
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case isDigit(b):
+			lx.advance()
+		case b == '.' && !sawDot && !sawExp:
+			sawDot = true
+			lx.advance()
+		case (b == 'e' || b == 'E') && !sawExp && isExpTail(lx.src[lx.off+1:]):
+			sawExp = true
+			lx.advance() // e
+			if lx.peekByte() == '+' || lx.peekByte() == '-' {
+				lx.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[begin:lx.off]
+	if lx.off < len(lx.src) && isIdentStart(lx.peekByte()) {
+		return Token{}, errAt(start, "malformed numeric literal %q", text+string(lx.peekByte()))
+	}
+	switch {
+	case sawExp:
+		return Token{Type: TokFloat, Text: text, Pos: start}, nil
+	case sawDot:
+		return Token{Type: TokDecimal, Text: text, Pos: start}, nil
+	default:
+		return Token{Type: TokInteger, Text: text, Pos: start}, nil
+	}
+}
+
+func isExpTail(rest string) bool {
+	if rest == "" {
+		return false
+	}
+	i := 0
+	if rest[0] == '+' || rest[0] == '-' {
+		i = 1
+	}
+	return i < len(rest) && isDigit(rest[i])
+}
+
+func (lx *lexer) lexString(start Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errAt(start, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '\'' {
+			if lx.peekByte() == '\'' { // doubled quote is an escaped quote
+				lx.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return Token{Type: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (lx *lexer) lexQuotedIdent(start Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errAt(start, "unterminated delimited identifier")
+		}
+		c := lx.advance()
+		if c == '"' {
+			if lx.peekByte() == '"' {
+				lx.advance()
+				b.WriteByte('"')
+				continue
+			}
+			if b.Len() == 0 {
+				return Token{}, errAt(start, "empty delimited identifier")
+			}
+			return Token{Type: TokQuotedIdent, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+// operator spellings, longest first so "<=" wins over "<".
+var operators = []string{"<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";"}
+
+func (lx *lexer) lexOperator(start Pos) (Token, error) {
+	rest := lx.src[lx.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				lx.advance()
+			}
+			text := op
+			if text == "!=" { // normalize to the SQL-92 spelling
+				text = "<>"
+			}
+			return Token{Type: TokOp, Text: text, Pos: start}, nil
+		}
+	}
+	r := rune(lx.peekByte())
+	if !unicode.IsPrint(r) {
+		return Token{}, errAt(start, "unexpected byte 0x%02x", lx.peekByte())
+	}
+	return Token{}, errAt(start, "unexpected character %q", r)
+}

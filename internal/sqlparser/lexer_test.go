@@ -1,0 +1,135 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	toks := lexAll(t, "select Foo froM customers")
+	want := []struct {
+		typ  TokenType
+		text string
+	}{
+		{TokKeyword, "SELECT"},
+		{TokIdent, "FOO"},
+		{TokKeyword, "FROM"},
+		{TokIdent, "CUSTOMERS"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.typ || toks[i].Text != w.text {
+			t.Fatalf("tok %d = %v %q, want %v %q", i, toks[i].Type, toks[i].Text, w.typ, w.text)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "SELECT\n  X")
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Fatalf("SELECT pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Fatalf("X pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		typ  TokenType
+		text string
+	}{
+		{"42", TokInteger, "42"},
+		{"5.6", TokDecimal, "5.6"},
+		{".1", TokDecimal, ".1"},
+		{"10.", TokDecimal, "10."},
+		{"1e3", TokFloat, "1e3"},
+		{"2.5E-1", TokFloat, "2.5E-1"},
+		{"7E+2", TokFloat, "7E+2"},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if toks[0].Type != c.typ || toks[0].Text != c.text {
+			t.Fatalf("%q → %v %q, want %v %q", c.src, toks[0].Type, toks[0].Text, c.typ, c.text)
+		}
+	}
+}
+
+func TestLexMalformedNumber(t *testing.T) {
+	if _, err := Lex("12abc"); err == nil {
+		t.Fatal("12abc should be a lexical error")
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks := lexAll(t, "'it''s'")
+	if toks[0].Type != TokString || toks[0].Text != "it's" {
+		t.Fatalf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+}
+
+func TestLexQuotedIdent(t *testing.T) {
+	toks := lexAll(t, `"Mixed Case ""x"""`)
+	if toks[0].Type != TokQuotedIdent || toks[0].Text != `Mixed Case "x"` {
+		t.Fatalf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated delimited identifier should error")
+	}
+	if _, err := Lex(`""`); err == nil {
+		t.Fatal("empty delimited identifier should error")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "a<>b<=c>=d!=e||f")
+	var ops []string
+	for _, tok := range toks {
+		if tok.Type == TokOp {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<>", "<=", ">=", "<>", "||"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "SELECT -- line comment\n/* block\ncomment */ 1")
+	if len(toks) != 3 { // SELECT, 1, EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Fatal("unterminated block comment should error")
+	}
+}
+
+func TestLexParam(t *testing.T) {
+	toks := lexAll(t, "x = ?")
+	if toks[2].Type != TokParam {
+		t.Fatalf("got %v", toks[2])
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Fatal("@ should be a lexical error")
+	}
+}

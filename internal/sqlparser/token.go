@@ -1,0 +1,133 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL-92 SELECT dialect that the AquaLogic JDBC driver accepts: SELECT
+// statements with joins (including outer joins), derived tables, set
+// operations, grouping, ordering, scalar and aggregate functions, and the
+// full SQL-92 predicate repertoire (BETWEEN, IN, LIKE, IS NULL, EXISTS,
+// quantified comparisons), plus `?` parameter markers for prepared
+// statements.
+//
+// The parser is stage one of the paper's three-stage translation: it rejects
+// syntactically invalid SQL immediately and produces a typed abstract syntax
+// tree; semantic validation happens later, in the translator, once metadata
+// and positional context are available (§3.4.3 of the paper).
+package sqlparser
+
+import "fmt"
+
+// TokenType identifies a lexical token class.
+type TokenType int
+
+// Token types.
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokQuotedIdent // "Delimited Identifier"
+	TokKeyword
+	TokString  // 'literal'
+	TokInteger // 42
+	TokDecimal // 5.6, .1
+	TokFloat   // 1e3, 2.5E-1 (approximate numeric)
+	TokParam   // ?
+	TokOp      // one of the operator spellings below
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokQuotedIdent:
+		return "delimited identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string literal"
+	case TokInteger:
+		return "integer literal"
+	case TokDecimal:
+		return "decimal literal"
+	case TokFloat:
+		return "float literal"
+	case TokParam:
+		return "parameter marker"
+	case TokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("TokenType(%d)", int(t))
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("line %d, column %d", p.Line, p.Col) }
+
+// Token is a lexical token. Text holds the canonical spelling: keywords and
+// plain identifiers are uppercased (SQL's case-insensitivity), string
+// literal text has quotes stripped and doubled quotes unescaped, delimited
+// identifiers keep their exact case.
+type Token struct {
+	Type TokenType
+	Text string
+	Pos  Pos
+}
+
+// Is reports whether the token is the given keyword.
+func (t Token) Is(keyword string) bool {
+	return t.Type == TokKeyword && t.Text == keyword
+}
+
+// IsOp reports whether the token is the given operator spelling.
+func (t Token) IsOp(op string) bool {
+	return t.Type == TokOp && t.Text == op
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the SQL-92 reserved-word subset the SELECT grammar uses.
+// Identifiers matching these (case-insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"ALL": true, "AND": true, "ANY": true, "AS": true, "ASC": true,
+	"AVG": true, "BETWEEN": true, "BOTH": true, "BY": true, "CASE": true,
+	"CAST": true, "CHAR": true, "CHARACTER": true, "COALESCE": true,
+	"COUNT": true, "CROSS": true, "CURRENT_DATE": true, "CURRENT_TIME": true,
+	"CURRENT_TIMESTAMP": true, "DATE": true, "DEC": true, "DECIMAL": true,
+	"DESC": true, "DISTINCT": true, "DOUBLE": true, "ELSE": true, "END": true,
+	"ESCAPE": true, "EXCEPT": true, "EXISTS": true, "EXTRACT": true,
+	"FETCH": true, "FIRST": true,
+	"FALSE": true, "FLOAT": true, "FOR": true, "FROM": true, "FULL": true,
+	"GROUP": true, "HAVING": true, "IN": true, "INNER": true, "INT": true,
+	"INTEGER": true, "INTERSECT": true, "IS": true, "JOIN": true,
+	"LEADING": true, "LEFT": true, "LIKE": true, "LOWER": true, "MAX": true,
+	"MIN": true, "NATURAL": true, "NOT": true, "NULL": true, "NULLIF": true,
+	"NEXT": true, "NUMERIC": true, "ON": true, "ONLY": true, "OR": true,
+	"ORDER": true, "OUTER": true,
+	"POSITION": true, "PRECISION": true, "REAL": true, "RIGHT": true,
+	"ROW": true, "ROWS": true,
+	"SELECT": true, "SMALLINT": true, "SOME": true, "SUBSTRING": true,
+	"SUM": true, "THEN": true, "TIME": true, "TIMESTAMP": true,
+	"TRAILING": true, "TRIM": true, "TRUE": true, "UNION": true,
+	"UPPER": true, "USING": true, "VARCHAR": true, "WHEN": true,
+	"WHERE": true, "WITH": true,
+}
+
+// nonReservedInExpr lists keywords that may still appear as function names
+// or identifiers in expression position (SQL-92 grants several built-ins
+// keyword status but they parse like function calls).
+var functionKeywords = map[string]bool{
+	"AVG": true, "COUNT": true, "MAX": true, "MIN": true, "SUM": true,
+	"UPPER": true, "LOWER": true, "COALESCE": true, "NULLIF": true,
+	"CHAR": true, "LEFT": true, "RIGHT": true,
+}

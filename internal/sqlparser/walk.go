@@ -1,0 +1,122 @@
+package sqlparser
+
+// WalkExpr calls fn for e and every sub-expression of e, top-down. If fn
+// returns false, the walk does not descend into that expression's children.
+// Subqueries embedded in expressions are NOT entered; callers that need to
+// see inside subqueries handle SubqueryExpr/InExpr/ExistsExpr/QuantifiedExpr
+// themselves (the translator treats each subquery as its own context).
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *UnaryExpr:
+		WalkExpr(e.Operand, fn)
+	case *BinaryExpr:
+		WalkExpr(e.Left, fn)
+		WalkExpr(e.Right, fn)
+	case *FuncCall:
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *CaseExpr:
+		WalkExpr(e.Operand, fn)
+		for _, w := range e.Whens {
+			WalkExpr(w.When, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(e.Else, fn)
+	case *CastExpr:
+		WalkExpr(e.Operand, fn)
+	case *BetweenExpr:
+		WalkExpr(e.Operand, fn)
+		WalkExpr(e.Low, fn)
+		WalkExpr(e.High, fn)
+	case *InExpr:
+		WalkExpr(e.Operand, fn)
+		for _, item := range e.List {
+			WalkExpr(item, fn)
+		}
+	case *LikeExpr:
+		WalkExpr(e.Operand, fn)
+		WalkExpr(e.Pattern, fn)
+		WalkExpr(e.Escape, fn)
+	case *IsNullExpr:
+		WalkExpr(e.Operand, fn)
+	case *QuantifiedExpr:
+		WalkExpr(e.Left, fn)
+	case *RowExpr:
+		for _, item := range e.Items {
+			WalkExpr(item, fn)
+		}
+	}
+}
+
+// ContainsAggregate reports whether the expression contains an aggregate
+// function call at this query's level (not inside a nested subquery).
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsAggregate() {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// CollectColumnRefs returns every column reference in the expression, in
+// source order, without entering subqueries.
+func CollectColumnRefs(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColumnRef); ok {
+			refs = append(refs, c)
+		}
+		return true
+	})
+	return refs
+}
+
+// CollectAggregates returns every aggregate call in the expression, in
+// source order, without entering subqueries.
+func CollectAggregates(e Expr) []*FuncCall {
+	var aggs []*FuncCall
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsAggregate() {
+			aggs = append(aggs, f)
+			return false // arguments of an aggregate are inside it
+		}
+		return true
+	})
+	return aggs
+}
+
+// CollectParams returns every parameter marker in the expression tree.
+func CollectParams(e Expr) []*Param {
+	var params []*Param
+	WalkExpr(e, func(x Expr) bool {
+		if p, ok := x.(*Param); ok {
+			params = append(params, p)
+		}
+		return true
+	})
+	return params
+}
+
+// WalkTableRefs calls fn for every table reference under refs, including
+// the branches of join trees. Derived-table subqueries are not entered.
+func WalkTableRefs(refs []TableRef, fn func(TableRef)) {
+	var walk func(TableRef)
+	walk = func(r TableRef) {
+		fn(r)
+		if j, ok := r.(*JoinExpr); ok {
+			walk(j.Left)
+			walk(j.Right)
+		}
+	}
+	for _, r := range refs {
+		walk(r)
+	}
+}

@@ -1,0 +1,212 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// Context is the query context of §3.4.3: the single point of access to all
+// semantic information about one (sub)query, captured during stage one. A
+// statement with subqueries yields a context tree — the paper's Figure 4
+// shows three contexts for a doubly nested query. The root is a marker
+// context (the paper's CTX0) whose children are the statement's top-level
+// query blocks.
+type Context struct {
+	// ID numbers contexts in discovery (preorder) order; the marker root
+	// is 0 and the outermost real query is 1, matching the paper's CTX0 /
+	// CTX1 narration.
+	ID       int
+	Parent   *Context
+	Children []*Context
+
+	// Spec is the SELECT block this context describes; nil for the marker
+	// root and for set-operation grouping contexts.
+	Spec *sqlparser.QuerySpec
+
+	// HasAggregates records whether the block's projection or HAVING uses
+	// aggregate functions — captured in stage one because it decides the
+	// translation shape (grouped vs plain FLWOR) in stage three.
+	HasAggregates bool
+
+	// SubqueryCount is the number of directly nested query blocks
+	// (derived tables plus predicate subqueries).
+	SubqueryCount int
+}
+
+// CaptureContexts walks a parsed statement and builds its context tree
+// (stage one's semantic capture).
+func CaptureContexts(stmt *sqlparser.SelectStmt) *Context {
+	root := &Context{ID: 0}
+	counter := 1
+	captureQueryExpr(stmt.Body, root, &counter)
+	return root
+}
+
+func captureQueryExpr(body sqlparser.QueryExpr, parent *Context, counter *int) {
+	switch body := body.(type) {
+	case *sqlparser.QuerySpec:
+		captureSpec(body, parent, counter)
+	case *sqlparser.SetOpExpr:
+		captureQueryExpr(body.Left, parent, counter)
+		captureQueryExpr(body.Right, parent, counter)
+	}
+}
+
+func captureSpec(spec *sqlparser.QuerySpec, parent *Context, counter *int) {
+	ctx := &Context{ID: *counter, Parent: parent, Spec: spec}
+	*counter++
+	parent.Children = append(parent.Children, ctx)
+
+	for _, item := range spec.Items {
+		if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+			ctx.HasAggregates = true
+		}
+	}
+	if spec.Having != nil && sqlparser.ContainsAggregate(spec.Having) {
+		ctx.HasAggregates = true
+	}
+
+	// Derived tables in FROM.
+	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
+		if d, ok := r.(*sqlparser.DerivedTable); ok {
+			ctx.SubqueryCount++
+			captureQueryExpr(d.Query.Body, ctx, counter)
+		}
+	})
+	// Join conditions can hold subqueries too.
+	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
+		if j, ok := r.(*sqlparser.JoinExpr); ok && j.Cond != nil {
+			captureExprSubqueries(j.Cond, ctx, counter)
+		}
+	})
+
+	// Predicate subqueries in expressions.
+	for _, item := range spec.Items {
+		captureExprSubqueries(item.Expr, ctx, counter)
+	}
+	captureExprSubqueries(spec.Where, ctx, counter)
+	for _, e := range spec.GroupBy {
+		captureExprSubqueries(e, ctx, counter)
+	}
+	captureExprSubqueries(spec.Having, ctx, counter)
+}
+
+func captureExprSubqueries(e sqlparser.Expr, ctx *Context, counter *int) {
+	if e == nil {
+		return
+	}
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		switch x := x.(type) {
+		case *sqlparser.SubqueryExpr:
+			ctx.SubqueryCount++
+			captureQueryExpr(x.Query.Body, ctx, counter)
+		case *sqlparser.InExpr:
+			if x.Subquery != nil {
+				ctx.SubqueryCount++
+				captureQueryExpr(x.Subquery.Body, ctx, counter)
+			}
+		case *sqlparser.ExistsExpr:
+			ctx.SubqueryCount++
+			captureQueryExpr(x.Subquery.Body, ctx, counter)
+		case *sqlparser.QuantifiedExpr:
+			ctx.SubqueryCount++
+			captureQueryExpr(x.Subquery.Body, ctx, counter)
+		}
+		return true
+	})
+}
+
+// Count returns the number of contexts in the tree, excluding the marker
+// root.
+func (c *Context) Count() int {
+	n := 0
+	if c.Spec != nil {
+		n = 1
+	}
+	for _, ch := range c.Children {
+		n += ch.Count()
+	}
+	return n
+}
+
+// Find returns the context whose Spec is the given query block.
+func (c *Context) Find(spec *sqlparser.QuerySpec) *Context {
+	if c.Spec == spec {
+		return c
+	}
+	for _, ch := range c.Children {
+		if got := ch.Find(spec); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Depth returns the context's nesting depth (marker root = 0).
+func (c *Context) Depth() int {
+	d := 0
+	for p := c.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Tree renders the context tree in the style of the paper's Figure 4 —
+// one line per context with id, nesting, and captured semantic flags —
+// for EXPLAIN-style inspection.
+func (c *Context) Tree() string {
+	var b strings.Builder
+	c.writeTree(&b, 0)
+	return b.String()
+}
+
+func (c *Context) writeTree(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if c.Spec == nil {
+		fmt.Fprintf(b, "CTX%d (marker)\n", c.ID)
+	} else {
+		flags := ""
+		if c.HasAggregates {
+			flags += " aggregates"
+		}
+		if c.SubqueryCount > 0 {
+			flags += fmt.Sprintf(" subqueries=%d", c.SubqueryCount)
+		}
+		fmt.Fprintf(b, "CTX%d: %s%s\n", c.ID, summarizeSpec(c.Spec), flags)
+	}
+	for _, ch := range c.Children {
+		ch.writeTree(b, depth+1)
+	}
+}
+
+// summarizeSpec gives a one-line sketch of a query block.
+func summarizeSpec(spec *sqlparser.QuerySpec) string {
+	var tables []string
+	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
+		switch r := r.(type) {
+		case *sqlparser.TableName:
+			tables = append(tables, r.Name)
+		case *sqlparser.DerivedTable:
+			tables = append(tables, r.Alias+"(subquery)")
+		}
+	})
+	from := strings.Join(tables, ", ")
+	if from == "" {
+		from = "<no tables>"
+	}
+	parts := []string{fmt.Sprintf("SELECT %d item(s) FROM %s", len(spec.Items), from)}
+	if spec.Where != nil {
+		parts = append(parts, "WHERE …")
+	}
+	if len(spec.GroupBy) > 0 {
+		parts = append(parts, fmt.Sprintf("GROUP BY %d key(s)", len(spec.GroupBy)))
+	}
+	if spec.Having != nil {
+		parts = append(parts, "HAVING …")
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,257 @@
+package translator
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// typedExpr is a translated argument: the XQuery expression plus its
+// inferred type.
+type typedExpr struct {
+	E xquery.Expr
+	T typeInfo
+}
+
+// funcSpec describes one entry of the preconfigured SQL→XQuery function map
+// (§3.5 iii): argument arity, the translation, and the result type rule.
+type funcSpec struct {
+	minArgs int
+	maxArgs int // -1 unbounded
+	gen     func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error)
+}
+
+// atomized wraps a column path in fn:data so string/number functions see
+// atomic values rather than element nodes.
+func atomized(a typedExpr) xquery.Expr {
+	if p, ok := a.E.(*xquery.Path); ok {
+		return xquery.Call("fn:data", p)
+	}
+	if p, ok := a.E.(*xquery.RelPath); ok {
+		return xquery.Call("fn:data", p)
+	}
+	return a.E
+}
+
+// stringArg renders an argument as xs:string input.
+func stringArg(a typedExpr) xquery.Expr {
+	e := atomized(a)
+	if a.T.X == xdm.TypeString {
+		return e
+	}
+	return xquery.Call("fn:string", e)
+}
+
+// simpleMap builds a funcSpec that maps 1:1 onto an XQuery function with
+// atomized arguments and a fixed result type.
+func simpleMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		out := make([]xquery.Expr, len(args))
+		for i, a := range args {
+			out[i] = atomized(a)
+		}
+		res := result
+		for _, a := range args {
+			res.Nullable = res.Nullable || a.T.Nullable
+		}
+		return xquery.Call(xqName, out...), res, nil
+	}
+}
+
+// stringMap is simpleMap with arguments coerced to strings.
+func stringMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		out := make([]xquery.Expr, len(args))
+		for i, a := range args {
+			out[i] = stringArg(a)
+		}
+		res := result
+		for _, a := range args {
+			res.Nullable = res.Nullable || a.T.Nullable
+		}
+		return xquery.Call(xqName, out...), res, nil
+	}
+}
+
+// numericMap preserves the numeric type of the first argument.
+func numericMap(xqName string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		out := make([]xquery.Expr, len(args))
+		for i, a := range args {
+			out[i] = atomized(a)
+		}
+		res := args[0].T
+		if numericRank(res.SQL) < 0 {
+			res = tDouble
+			res.Nullable = args[0].T.Nullable
+		}
+		return xquery.Call(xqName, out...), res, nil
+	}
+}
+
+// scalarFuncs is the preconfigured SQL→XQuery function map. EXTRACT fields
+// arrive as EXTRACT_<FIELD> from the parser's special-form handling.
+var scalarFuncs = map[string]funcSpec{
+	"UPPER":            {1, 1, stringMap("fn:upper-case", tVarchar)},
+	"LOWER":            {1, 1, stringMap("fn:lower-case", tVarchar)},
+	"CONCAT":           {2, -1, stringMap("fn:concat", tVarchar)},
+	"LENGTH":           {1, 1, stringMap("fn:string-length", tInteger)},
+	"CHAR_LENGTH":      {1, 1, stringMap("fn:string-length", tInteger)},
+	"CHARACTER_LENGTH": {1, 1, stringMap("fn:string-length", tInteger)},
+	"SUBSTRING": {2, 3, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		out := []xquery.Expr{stringArg(args[0])}
+		for _, a := range args[1:] {
+			out = append(out, atomized(a))
+		}
+		res := tVarchar
+		res.Nullable = args[0].T.Nullable
+		return xquery.Call("fn:substring", out...), res, nil
+	}},
+	"POSITION": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := tInteger
+		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
+		return xquery.Call("fn-bea:position", stringArg(args[0]), stringArg(args[1])), res, nil
+	}},
+	"LOCATE": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := tInteger
+		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
+		return xquery.Call("fn-bea:position", stringArg(args[0]), stringArg(args[1])), res, nil
+	}},
+	"LEFT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := tVarchar
+		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
+		return xquery.Call("fn:substring", stringArg(args[0]), xquery.Num("1"), atomized(args[1])), res, nil
+	}},
+	"RIGHT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		// RIGHT(s, n) → substring(s, string-length(s) - n + 1); a start
+		// at or below zero yields the whole string, matching SQL when n
+		// exceeds the length.
+		res := tVarchar
+		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
+		str := stringArg(args[0])
+		start := &xquery.Binary{
+			Op: "+",
+			Left: &xquery.Binary{
+				Op:    "-",
+				Left:  xquery.Call("fn:string-length", str),
+				Right: atomized(args[1]),
+			},
+			Right: xquery.Num("1"),
+		}
+		return xquery.Call("fn:substring", str, start), res, nil
+	}},
+	"TRIM":  {1, 2, trimMap("fn-bea:trim")},
+	"LTRIM": {1, 2, trimMap("fn-bea:trim-left")},
+	"RTRIM": {1, 2, trimMap("fn-bea:trim-right")},
+	"REPEAT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := tVarchar
+		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
+		return xquery.Call("fn-bea:repeat", stringArg(args[0]), atomized(args[1])), res, nil
+	}},
+
+	"ABS":     {1, 1, numericMap("fn:abs")},
+	"FLOOR":   {1, 1, numericMap("fn:floor")},
+	"CEILING": {1, 1, numericMap("fn:ceiling")},
+	"CEIL":    {1, 1, numericMap("fn:ceiling")},
+	"ROUND":   {1, 1, numericMap("fn:round")},
+	"MOD": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := promoteNumeric(args[0].T, args[1].T)
+		return &xquery.Binary{Op: "mod", Left: atomized(args[0]), Right: atomized(args[1])}, res, nil
+	}},
+
+	"COALESCE": {1, -1, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		// COALESCE(a, b, c) → fn-bea:if-empty(a, fn-bea:if-empty(b, c)).
+		expr := atomized(args[len(args)-1])
+		for i := len(args) - 2; i >= 0; i-- {
+			expr = xquery.Call("fn-bea:if-empty", atomized(args[i]), expr)
+		}
+		res := args[0].T
+		res.Nullable = true
+		for _, a := range args {
+			if !a.T.Nullable {
+				res.Nullable = false // a non-nullable arm guarantees a value
+			}
+		}
+		return expr, res, nil
+	}},
+	"NULLIF": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		res := args[0].T
+		res.Nullable = true
+		return &xquery.If{
+			Cond: &xquery.Binary{Op: "=", Left: atomized(args[0]), Right: atomized(args[1])},
+			Then: &xquery.EmptySeq{},
+			Else: atomized(args[0]),
+		}, res, nil
+	}},
+
+	"CURRENT_DATE":      {0, 0, simpleMap("fn:current-date", typeInfo{SQL: catalog.SQLDate, X: xdm.TypeDate})},
+	"CURRENT_TIME":      {0, 0, simpleMap("fn:current-time", typeInfo{SQL: catalog.SQLTime, X: xdm.TypeTime})},
+	"CURRENT_TIMESTAMP": {0, 0, simpleMap("fn:current-dateTime", typeInfo{SQL: catalog.SQLTimestamp, X: xdm.TypeDateTime})},
+
+	"EXTRACT_YEAR":   {1, 1, extractMap("year")},
+	"EXTRACT_MONTH":  {1, 1, extractMap("month")},
+	"EXTRACT_DAY":    {1, 1, extractMap("day")},
+	"EXTRACT_HOUR":   {1, 1, extractMap("hours")},
+	"EXTRACT_MINUTE": {1, 1, extractMap("minutes")},
+	"EXTRACT_SECOND": {1, 1, extractMap("seconds")},
+}
+
+func trimMap(xqName string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		out := []xquery.Expr{stringArg(args[0])}
+		if len(args) == 2 {
+			out = append(out, stringArg(args[1]))
+		}
+		res := tVarchar
+		res.Nullable = args[0].T.Nullable
+		return xquery.Call(xqName, out...), res, nil
+	}
+}
+
+// extractMap picks the fn:*-from-* accessor by the argument's type.
+func extractMap(part string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+		var name string
+		switch args[0].T.X {
+		case xdm.TypeTime:
+			name = "fn:" + part + "-from-time"
+		case xdm.TypeDateTime:
+			name = "fn:" + part + "-from-dateTime"
+		default:
+			name = "fn:" + part + "-from-date"
+		}
+		res := tInteger
+		res.Nullable = args[0].T.Nullable
+		return xquery.Call(name, atomized(args[0])), res, nil
+	}
+}
+
+// aggSpec maps a SQL aggregate to its XQuery rendering over a partition
+// value sequence (fn-bea:sql-* variants implement SQL's NULL-on-empty).
+type aggSpec struct {
+	fn     string // applied over the (atomized) value sequence
+	result func(arg typeInfo) typeInfo
+}
+
+var aggFuncs = map[string]aggSpec{
+	"COUNT": {fn: "fn:count", result: func(typeInfo) typeInfo { return tInteger }},
+	"SUM": {fn: "fn-bea:sql-sum", result: func(a typeInfo) typeInfo {
+		r := a
+		if numericRank(r.SQL) < 0 {
+			r = tDouble
+		}
+		r.Nullable = true
+		return r
+	}},
+	"AVG": {fn: "fn-bea:sql-avg", result: func(a typeInfo) typeInfo {
+		r := tDecimal
+		if a.SQL == catalog.SQLDouble {
+			r = tDouble
+		}
+		r.Nullable = true
+		return r
+	}},
+	"MIN": {fn: "fn-bea:sql-min", result: func(a typeInfo) typeInfo { a.Nullable = true; return a }},
+	"MAX": {fn: "fn-bea:sql-max", result: func(a typeInfo) typeInfo { a.Nullable = true; return a }},
+}

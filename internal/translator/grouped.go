@@ -1,0 +1,243 @@
+package translator
+
+import (
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/xquery"
+)
+
+// aggEnv is the translation environment of a grouped query's SELECT,
+// HAVING and ORDER BY: column references must resolve to grouping keys,
+// and aggregate calls render over the partition variable (the paper's
+// Example 12 uses BEA's group-by extension exactly this way).
+type aggEnv struct {
+	partitionVar string
+	keys         []groupKeyInfo
+	// rowScope builds a scope over the materialized input rows bound to
+	// the given row variable — used to translate aggregate arguments
+	// per-partition-member.
+	rowScope func(rowVar string) *qscope
+	// dummyScope resolves references purely for accessor matching.
+	dummyScope *qscope
+}
+
+// groupKeyInfo records one GROUP BY key: its canonical SQL text, the
+// materialized-row accessor when the key is a plain column, the XQuery
+// variable bound to the key value, and its type.
+type groupKeyInfo struct {
+	text     string
+	accessor string
+	varName  string
+	t        typeInfo
+}
+
+// genGroupedSpec is the grouped path: materialize the FROM/WHERE input as
+// RECORD rows behind a let ($inter in Example 12), group with the BEA
+// extension, then project keys and partition aggregates.
+func (g *generator) genGroupedSpec(spec *sqlparser.QuerySpec, fr *fromResult, where xquery.Expr, orderBy []sqlparser.OrderItem, ctxID int) (xquery.Expr, []outCol, error) {
+	// Materialize the input rows with every visible column.
+	interItems := g.expandWildcard(fr.scope)
+	if len(interItems) == 0 {
+		return nil, nil, semErr(spec.Pos, "grouped query over a FROM clause with no columns")
+	}
+	innerClauses := append([]xquery.Clause{}, fr.clauses...)
+	if where != nil {
+		innerClauses = append(innerClauses, &xquery.Where{Cond: where})
+	}
+	inner := &xquery.FLWOR{Clauses: innerClauses, Return: recordCtor(interItems)}
+
+	interVar := g.names.tempVar(ctxID, zoneGroupBy)
+	rowVar := g.names.rowVar(ctxID, zoneGroupBy)
+	partVar := g.names.partitionVar(ctxID)
+
+	// Scope factory over the materialized rows.
+	rowScope := func(v string) *qscope {
+		sc := &qscope{parent: fr.scope.parent}
+		byOwner := map[string]*binding{}
+		for i, b := range fr.scope.bindings {
+			if b.aliasOnly {
+				continue
+			}
+			nb := &binding{Name: b.Name, RowVar: v}
+			byOwner[ownerKey(b, i)] = nb
+			sc.add(nb)
+		}
+		// Attach columns using the materialized element names.
+		idx := 0
+		for i, b := range fr.scope.bindings {
+			if b.aliasOnly {
+				continue
+			}
+			nb := byOwner[ownerKey(b, i)]
+			for _, c := range b.Cols {
+				nc := c
+				nc.Accessor = interItems[idx].ElementName
+				idx++
+				nb.Cols = append(nb.Cols, nc)
+			}
+		}
+		return sc
+	}
+
+	env := &aggEnv{
+		partitionVar: partVar,
+		rowScope:     rowScope,
+		dummyScope:   rowScope("__dummy__"),
+	}
+
+	// Translate GROUP BY keys over the materialized rows.
+	groupScope := rowScope(rowVar)
+	var keys []xquery.GroupKey
+	for _, keyExpr := range spec.GroupBy {
+		if sqlparser.ContainsAggregate(keyExpr) {
+			return nil, nil, semErr(keyExpr.Position(), "aggregate functions are not allowed in GROUP BY")
+		}
+		xe, ti, err := g.genExpr(keyExpr, groupScope, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		varName := g.names.rowVar(ctxID, zoneGroupBy)
+		info := groupKeyInfo{
+			text:    strings.ToUpper(keyExpr.SQL()),
+			varName: varName,
+			t:       ti,
+		}
+		if ref, ok := keyExpr.(*sqlparser.ColumnRef); ok {
+			if r, err := env.dummyScope.resolve(ref); err == nil {
+				info.accessor = r.Col.Accessor
+			}
+		}
+		env.keys = append(env.keys, info)
+		keys = append(keys, xquery.GroupKey{Expr: atomized(typedExpr{E: xe, T: ti}), Var: varName})
+	}
+
+	// Assemble the outer FLWOR clauses.
+	clauses := []xquery.Clause{&xquery.Let{Var: interVar, Expr: recordsetCtor(inner)}}
+	if len(keys) > 0 {
+		clauses = append(clauses,
+			&xquery.For{Var: rowVar, In: xquery.ChildPath(interVar, "RECORD")},
+			&xquery.GroupBy{InVar: rowVar, PartitionVar: partVar, Keys: keys},
+		)
+	} else {
+		// Implicit single group: the whole input is one partition and the
+		// query returns exactly one row, even over empty input (SQL's
+		// COUNT(*) = 0 case).
+		clauses = append(clauses, &xquery.Let{Var: partVar, Expr: xquery.ChildPath(interVar, "RECORD")})
+	}
+
+	items, cols, err := g.genSelectItems(spec, fr.scope, env)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if spec.Having != nil {
+		cond, _, err := g.genExpr(spec.Having, fr.scope, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		clauses = append(clauses, &xquery.Where{Cond: cond})
+	}
+	if len(orderBy) > 0 {
+		specs, err := g.orderSpecs(orderBy, items, fr.scope, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		clauses = append(clauses, &xquery.OrderByClause{Specs: specs})
+	}
+
+	rows := xquery.Expr(&xquery.FLWOR{Clauses: clauses, Return: recordCtor(items)})
+	if spec.Distinct {
+		rows = xquery.Call("fn-bea:distinct-rows", rows)
+	}
+	return rows, cols, nil
+}
+
+// ownerKey distinguishes equally named (or unnamed) bindings when mapping
+// the original scope onto the materialized-row scope.
+func ownerKey(b *binding, i int) string {
+	return b.Name + "#" + string(rune('0'+i%10)) + string(rune('0'+i/10))
+}
+
+// resolveGroupedColumn maps a column reference in a grouped context onto
+// its GROUP BY key, enforcing the SQL-92 rule the paper's §3.4.3 example
+// describes (SELECT EMPNO … GROUP BY EMPNAME is semantically invalid).
+func (g *generator) resolveGroupedColumn(ref *sqlparser.ColumnRef, env *aggEnv) (xquery.Expr, typeInfo, error) {
+	canon := strings.ToUpper(ref.SQL())
+	for _, k := range env.keys {
+		if k.text == canon {
+			return xquery.VarRef(k.varName), k.t, nil
+		}
+	}
+	// Accessor-level match: GROUP BY CUSTOMERS.CUSTOMERID vs SELECT
+	// CUSTOMERID (or vice versa).
+	if r, err := env.dummyScope.resolve(ref); err == nil {
+		for _, k := range env.keys {
+			if k.accessor != "" && k.accessor == r.Col.Accessor {
+				return xquery.VarRef(k.varName), k.t, nil
+			}
+		}
+	}
+	return nil, typeInfo{}, semErr(ref.Pos,
+		"column %s must appear in the GROUP BY clause or be used in an aggregate function", ref.SQL())
+}
+
+// genAggregate renders an aggregate call over the partition variable.
+func (g *generator) genAggregate(call *sqlparser.FuncCall, env *aggEnv, ctxID int) (xquery.Expr, typeInfo, error) {
+	spec := aggFuncs[call.Name]
+	if call.Star {
+		// COUNT(*) counts partition members.
+		return xquery.Call("fn:count", xquery.VarRef(env.partitionVar)), tInteger, nil
+	}
+	if len(call.Args) != 1 {
+		return nil, typeInfo{}, semErr(call.Pos, "%s takes exactly one argument", call.Name)
+	}
+	arg := call.Args[0]
+	if sqlparser.ContainsAggregate(arg) {
+		return nil, typeInfo{}, semErr(call.Pos, "aggregate functions cannot be nested")
+	}
+
+	var values xquery.Expr
+	var argT typeInfo
+	if ref, ok := arg.(*sqlparser.ColumnRef); ok {
+		// Simple column: $part/ACC skips NULL rows naturally.
+		partScope := env.rowScope(env.partitionVar)
+		r, err := partScope.resolve(ref)
+		if err != nil {
+			return nil, typeInfo{}, err
+		}
+		values = xquery.Call("fn:data", r.Expr)
+		argT = typeInfo{SQL: r.Col.SQL, X: r.Col.Type, Nullable: r.Col.Nullable,
+			Precision: r.Col.Precision, Scale: r.Col.Scale}
+	} else {
+		// Computed argument: evaluate per partition member.
+		itemVar := g.names.rowVar(ctxID, zoneGroupBy)
+		itemScope := env.rowScope(itemVar)
+		xe, ti, err := g.genExpr(arg, itemScope, nil)
+		if err != nil {
+			return nil, typeInfo{}, err
+		}
+		values = &xquery.FLWOR{
+			Clauses: []xquery.Clause{&xquery.For{Var: itemVar, In: xquery.VarRef(env.partitionVar)}},
+			Return:  atomized(typedExpr{E: xe, T: ti}),
+		}
+		argT = ti
+	}
+	if call.Distinct {
+		values = xquery.Call("fn:distinct-values", values)
+	}
+	return xquery.Call(spec.fn, values), spec.result(argT), nil
+}
+
+// matchKeyText resolves an expression against the GROUP BY keys by
+// canonical SQL text, returning the key variable when the whole expression
+// is itself a grouping key.
+func (env *aggEnv) matchKeyText(e sqlparser.Expr) (xquery.Expr, typeInfo, bool) {
+	canon := strings.ToUpper(e.SQL())
+	for _, k := range env.keys {
+		if k.text == canon {
+			return xquery.VarRef(k.varName), k.t, true
+		}
+	}
+	return nil, typeInfo{}, false
+}

@@ -1,0 +1,370 @@
+package translator
+
+import (
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/xquery"
+)
+
+// addOuterJoin renders LEFT/RIGHT/FULL OUTER JOIN with the paper's
+// Example 10 pattern: the preserved side drives a for loop, the
+// null-extended side becomes an XPath filter over its rows using the ON
+// condition (with the null-extended side's columns referenced relatively),
+// and an if (fn:empty(...)) then/else produces the padded or joined rows.
+// The whole join materializes into a let-bound RECORDSET whose RECORD rows
+// carry qualified column elements (CUSTOMERS.CUSTOMERID, PAYMENTS.CUSTID).
+func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID int) error {
+	leftClauses, leftRows, leftBs, err := g.refRows(j.Left, fr.scope.parent, ctxID)
+	if err != nil {
+		return err
+	}
+	rightClauses, rightRows, rightBs, err := g.refRows(j.Right, fr.scope.parent, ctxID)
+	if err != nil {
+		return err
+	}
+
+	// Identify the preserved side (always emitted) and the null-extended
+	// side (padded with NULLs when unmatched).
+	preservedRows, nullRows := leftRows, rightRows
+	preservedBs, nullBs := leftBs, rightBs
+	if j.Type == sqlparser.JoinRightOuter {
+		preservedRows, nullRows = rightRows, leftRows
+		preservedBs, nullBs = rightBs, leftBs
+	}
+
+	pv := g.names.rowVar(ctxID, zoneFrom) // preserved-side row variable
+	nv := g.names.rowVar(ctxID, zoneFrom) // null-side row variable (match branch)
+	tv := g.names.tempVar(ctxID, zoneFrom)
+
+	// ON condition for filtering null-side rows: preserved side bound to
+	// $pv, null side context-relative (the paper's
+	// [($var1FR2/CUSTOMERID = CUSTID)] shape).
+	filterScope := &qscope{parent: fr.scope.parent}
+	for _, b := range preservedBs {
+		filterScope.add(b.withRowVar(pv))
+	}
+	for _, b := range nullBs {
+		filterScope.add(b.asRelative())
+	}
+	cond, err := g.outerJoinCondition(j, filterScope, preservedBs, nullBs, pv)
+	if err != nil {
+		return err
+	}
+
+	// Output record construction, columns in the SQL's left-then-right
+	// order regardless of which side is preserved.
+	matchRecord := g.joinRecord(leftBs, rightBs, map[*binding]string{}, pv, nv, preservedBs)
+	padRecord := g.joinRecordPreservedOnly(leftBs, rightBs, preservedBs, pv)
+
+	loj := &xquery.FLWOR{
+		Clauses: []xquery.Clause{
+			&xquery.For{Var: pv, In: preservedRows},
+			&xquery.Let{Var: tv, Expr: &xquery.Filter{Base: nullRows, Predicates: []xquery.Expr{cond}}},
+		},
+		Return: &xquery.If{
+			Cond: xquery.Call("fn:empty", xquery.VarRef(tv)),
+			Then: padRecord,
+			Else: &xquery.FLWOR{
+				Clauses: []xquery.Clause{&xquery.For{Var: nv, In: xquery.VarRef(tv)}},
+				Return:  matchRecord,
+			},
+		},
+	}
+
+	rows := xquery.Expr(loj)
+	if j.Type == sqlparser.JoinFullOuter {
+		// FULL OUTER adds the anti-joined rows of the other side: rows of
+		// the null-extended side with no preserved-side match.
+		av := g.names.rowVar(ctxID, zoneFrom)
+		ltv := g.names.tempVar(ctxID, zoneFrom)
+		antiScope := &qscope{parent: fr.scope.parent}
+		for _, b := range preservedBs {
+			antiScope.add(b.asRelative())
+		}
+		for _, b := range nullBs {
+			antiScope.add(b.withRowVar(av))
+		}
+		antiCond, err := g.outerJoinCondition(j, antiScope, nullBs, preservedBs, av)
+		if err != nil {
+			return err
+		}
+		anti := &xquery.FLWOR{
+			Clauses: []xquery.Clause{
+				&xquery.For{Var: av, In: nullRows},
+				&xquery.Let{Var: ltv, Expr: &xquery.Filter{Base: preservedRows, Predicates: []xquery.Expr{antiCond}}},
+				&xquery.Where{Cond: xquery.Call("fn:empty", xquery.VarRef(ltv))},
+			},
+			Return: g.joinRecordPreservedOnly(leftBs, rightBs, nullBs, av),
+		}
+		rows = &xquery.Seq{Items: []xquery.Expr{loj, anti}}
+	}
+
+	outTemp := g.names.tempVar(ctxID, zoneFrom)
+	outVar := g.names.rowVar(ctxID, zoneFrom)
+	fr.clauses = append(fr.clauses, leftClauses...)
+	fr.clauses = append(fr.clauses, rightClauses...)
+	fr.clauses = append(fr.clauses,
+		&xquery.Let{Var: outTemp, Expr: recordsetCtor(rows)},
+		&xquery.For{Var: outVar, In: xquery.ChildPath(outTemp, "RECORD")},
+	)
+
+	// Bindings over the materialized join rows. Null-extended columns are
+	// nullable (both sides for FULL OUTER).
+	before := len(fr.scope.bindings)
+	for _, b := range leftBs {
+		nullable := j.Type == sqlparser.JoinRightOuter || j.Type == sqlparser.JoinFullOuter
+		fr.scope.add(joinOutputBinding(b, outVar, nullable))
+	}
+	for _, b := range rightBs {
+		nullable := j.Type == sqlparser.JoinLeftOuter || j.Type == sqlparser.JoinFullOuter
+		fr.scope.add(joinOutputBinding(b, outVar, nullable))
+	}
+	if j.Alias != "" {
+		g.aliasJoinBindings(fr, before, j.Alias)
+	}
+	return nil
+}
+
+// outerJoinCondition translates the join condition in the given scope,
+// handling ON, USING and NATURAL forms. The left/right split for
+// USING/NATURAL is done against the two binding sets, whichever access
+// mode they carry in the scope.
+func (g *generator) outerJoinCondition(j *sqlparser.JoinExpr, sc *qscope, sideA, sideB []*binding, rowVarA string) (xquery.Expr, error) {
+	switch {
+	case j.Cond != nil:
+		cond, _, err := g.genExpr(j.Cond, sc, nil)
+		return cond, err
+	case len(j.Using) > 0 || j.Natural:
+		cols := j.Using
+		aScope := &qscope{bindings: sc.bindings[:len(sideA)]}
+		bScope := &qscope{bindings: sc.bindings[len(sideA):]}
+		if j.Natural {
+			cols = commonColumns(aScope, bScope)
+			if len(cols) == 0 {
+				return nil, semErr(j.Pos, "NATURAL JOIN has no common columns")
+			}
+		}
+		return g.equiCondition(j, cols, aScope, bScope)
+	default:
+		return nil, semErr(j.Pos, "outer join requires a condition")
+	}
+}
+
+// qualifiedName is the output element name for a join record column.
+func qualifiedName(b *binding, c colInfo) string {
+	if b.Name == "" {
+		return c.Name
+	}
+	return b.Name + "." + c.Name
+}
+
+// joinRecord builds the matched-row RECORD: all left then right columns,
+// each taken from its side's row variable.
+func (g *generator) joinRecord(leftBs, rightBs []*binding, _ map[*binding]string, pv, nv string, preservedBs []*binding) *xquery.ElementCtor {
+	preserved := map[*binding]bool{}
+	for _, b := range preservedBs {
+		preserved[b] = true
+	}
+	rec := &xquery.ElementCtor{Name: "RECORD"}
+	emit := func(b *binding, v string) {
+		bound := b.withRowVar(v)
+		for _, c := range b.Cols {
+			rec.Content = append(rec.Content,
+				condElem(qualifiedName(b, c), xquery.Call("fn:data", bound.access(c)), c.Nullable))
+		}
+	}
+	for _, b := range leftBs {
+		if b.aliasOnly {
+			continue
+		}
+		if preserved[b] {
+			emit(b, pv)
+		} else {
+			emit(b, nv)
+		}
+	}
+	for _, b := range rightBs {
+		if b.aliasOnly {
+			continue
+		}
+		if preserved[b] {
+			emit(b, pv)
+		} else {
+			emit(b, nv)
+		}
+	}
+	return rec
+}
+
+// joinRecordPreservedOnly builds the unmatched-row RECORD: only the
+// emitted side's columns appear; the other side's elements are absent,
+// which is how SQL NULL travels in the row encoding.
+func (g *generator) joinRecordPreservedOnly(leftBs, rightBs []*binding, emitBs []*binding, v string) *xquery.ElementCtor {
+	emitSet := map[*binding]bool{}
+	for _, b := range emitBs {
+		emitSet[b] = true
+	}
+	rec := &xquery.ElementCtor{Name: "RECORD"}
+	for _, b := range append(append([]*binding{}, leftBs...), rightBs...) {
+		if !emitSet[b] || b.aliasOnly {
+			continue
+		}
+		bound := b.withRowVar(v)
+		for _, c := range b.Cols {
+			rec.Content = append(rec.Content,
+				condElem(qualifiedName(b, c), xquery.Call("fn:data", bound.access(c)), c.Nullable))
+		}
+	}
+	return rec
+}
+
+// joinOutputBinding exposes one original range variable over the
+// materialized join rows.
+func joinOutputBinding(b *binding, outVar string, forceNullable bool) *binding {
+	out := &binding{Name: b.Name, RowVar: outVar}
+	for _, c := range b.Cols {
+		nc := c
+		if !b.aliasOnly {
+			nc.Accessor = qualifiedName(b, c)
+		}
+		if forceNullable {
+			nc.Nullable = true
+		}
+		out.Cols = append(out.Cols, nc)
+	}
+	return out
+}
+
+// refRows renders a table reference as a filterable rows expression:
+// tables are bare function calls, derived tables and nested joins
+// materialize behind a let. It returns the clauses to prepend, the rows
+// expression, and the (unbound) bindings describing the row layout.
+func (g *generator) refRows(ref sqlparser.TableRef, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
+	switch ref := ref.(type) {
+	case *sqlparser.TableName:
+		meta, err := g.lookupTable(ref)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		f := meta.Function
+		prefix := g.prefixFor(f)
+		cols := make([]colInfo, len(f.Columns))
+		for i, c := range f.Columns {
+			cols[i] = colInfo{
+				Name:      strings.ToUpper(c.Name),
+				SQL:       c.Type,
+				Type:      c.Type.Atomic(),
+				Nullable:  c.Nullable,
+				Precision: c.Precision,
+				Scale:     c.Scale,
+				Accessor:  c.Name,
+			}
+		}
+		b := &binding{Name: strings.ToUpper(ref.RangeVar()), Cols: cols}
+		return nil, xquery.Call(prefix + ":" + f.Name), []*binding{b}, nil
+
+	case *sqlparser.DerivedTable:
+		rows, cols, err := g.genSelectStmt(ref.Query, parent)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		tempVar := g.names.tempVar(ctxID, zoneFrom)
+		b := &binding{Name: strings.ToUpper(ref.Alias)}
+		for i, c := range cols {
+			name := c.Label
+			if len(ref.ColumnAliases) > 0 {
+				if len(ref.ColumnAliases) != len(cols) {
+					return nil, nil, nil, semErr(ref.Pos, "derived column list has %d names for %d columns", len(ref.ColumnAliases), len(cols))
+				}
+				name = strings.ToUpper(ref.ColumnAliases[i])
+			}
+			b.Cols = append(b.Cols, colInfo{
+				Name:     strings.ToUpper(name),
+				SQL:      c.SQL,
+				Type:     c.Type,
+				Nullable: c.Nullable,
+				Accessor: c.ElementName,
+			})
+		}
+		clauses := []xquery.Clause{&xquery.Let{Var: tempVar, Expr: recordsetCtor(rows)}}
+		return clauses, xquery.ChildPath(tempVar, "RECORD"), []*binding{b}, nil
+
+	case *sqlparser.JoinExpr:
+		return g.nestedJoinRows(ref, parent, ctxID)
+
+	default:
+		return nil, nil, nil, semErr(ref.Position(), "unsupported table reference %T", ref)
+	}
+}
+
+// nestedJoinRows materializes a join that appears as the operand of
+// another join: the join is generated into its own single-item FROM
+// pipeline, wrapped in a RECORDSET let, and exposed as qualified RECORD
+// rows.
+func (g *generator) nestedJoinRows(j *sqlparser.JoinExpr, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
+	inner := &fromResult{scope: &qscope{parent: parent}}
+	if err := g.addJoin(j, inner, ctxID); err != nil {
+		return nil, nil, nil, err
+	}
+	// Build the materialization FLWOR: the join's own clauses, its
+	// conjuncts as a where, and a RECORD of every visible column.
+	clauses := inner.clauses
+	if cond := andAll(inner.conjuncts); cond != nil {
+		clauses = append(clauses, &xquery.Where{Cond: cond})
+	}
+	rec := &xquery.ElementCtor{Name: "RECORD"}
+	var outBs []*binding
+	for _, b := range inner.scope.bindings {
+		if b.delegate != nil {
+			continue // alias-merged view; physical columns come from the originals
+		}
+		ob := &binding{Name: b.Name}
+		for _, c := range b.Cols {
+			outName := qualifiedName(b, c)
+			rec.Content = append(rec.Content,
+				condElem(outName, xquery.Call("fn:data", b.access(c)), c.Nullable))
+			nc := c
+			nc.Accessor = outName
+			ob.Cols = append(ob.Cols, nc)
+		}
+		outBs = append(outBs, ob)
+	}
+	// An aliased nested join exposes itself under the alias with bare
+	// column names.
+	if j.Alias != "" {
+		merged := &binding{Name: strings.ToUpper(j.Alias)}
+		counts := map[string]int{}
+		for _, b := range outBs {
+			for _, c := range b.Cols {
+				counts[c.Name]++
+			}
+		}
+		for _, b := range outBs {
+			for _, c := range b.Cols {
+				if counts[c.Name] == 1 {
+					merged.Cols = append(merged.Cols, c)
+				}
+			}
+		}
+		merged.aliasOnly = true
+		outBs = append(outBs, merged)
+	}
+	flwor := &xquery.FLWOR{Clauses: clauses, Return: rec}
+	tempVar := g.names.tempVar(ctxID, zoneFrom)
+	lets := []xquery.Clause{&xquery.Let{Var: tempVar, Expr: recordsetCtor(flwor)}}
+	return lets, xquery.ChildPath(tempVar, "RECORD"), outBs, nil
+}
+
+// andAll folds conjuncts with and.
+func andAll(conjuncts []xquery.Expr) xquery.Expr {
+	var out xquery.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &xquery.Binary{Op: "and", Left: out, Right: c}
+		}
+	}
+	return out
+}

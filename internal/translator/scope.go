@@ -1,0 +1,230 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// colInfo is one column visible through a range binding, with the
+// information stage two needs for validation and typing and the accessor
+// stage three needs for XPath generation (§3.5 items (ii), (iv), (v)).
+type colInfo struct {
+	Name     string // column name, uppercase
+	SQL      catalog.SQLType
+	Type     xdm.AtomicType
+	Nullable bool
+	// Precision and Scale carry DECIMAL(p,s)/VARCHAR(n) facets through to
+	// result metadata; zero when unspecified or computed.
+	Precision int
+	Scale     int
+	// Accessor is the child element name holding this column's value in
+	// the bound row element ($rowVar/Accessor). For base tables this is
+	// the column name; for materialized rows it may be qualified
+	// ("CUSTOMERS.CUSTOMERID").
+	Accessor string
+}
+
+// binding is one range variable of a query scope: a name (range variable),
+// the columns it exposes, and the XQuery row variable its rows are bound
+// to. A binding resolves a column reference to an XPath, which is exactly
+// the paper's "references to columns in a table become XPaths" (§3.5 iv).
+type binding struct {
+	// Name is the SQL range variable (alias or table name), uppercase;
+	// empty for bindings only reachable via unqualified references.
+	Name   string
+	Cols   []colInfo
+	RowVar string
+	// delegate routes column access through another binding; used by
+	// aliased parenthesized joins ("(A JOIN B …) AS P"), whose merged
+	// binding exposes bare column names but whose values still live in
+	// the underlying table bindings' row variables.
+	delegate map[string]*binding
+	// relative makes access produce context-relative paths (CUSTID
+	// instead of $v/CUSTID) — how the ON condition's null-extended side is
+	// referenced inside the paper's XPath filter (Example 10).
+	relative bool
+	// aliasOnly marks a name-overlay binding (an aliased join's merged
+	// view): it participates in resolution but not in record emission,
+	// since its columns physically belong to other bindings.
+	aliasOnly bool
+}
+
+// withRowVar clones the binding bound to a concrete row variable.
+func (b *binding) withRowVar(v string) *binding {
+	cp := *b
+	cp.RowVar = v
+	cp.relative = false
+	return &cp
+}
+
+// asRelative clones the binding with context-relative access.
+func (b *binding) asRelative() *binding {
+	cp := *b
+	cp.relative = true
+	return &cp
+}
+
+func (b *binding) column(name string) (colInfo, bool) {
+	for _, c := range b.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return colInfo{}, false
+}
+
+// access builds the XPath for a column through this binding.
+func (b *binding) access(c colInfo) xquery.Expr {
+	if b.delegate != nil {
+		if ob, ok := b.delegate[c.Name]; ok && ob != b {
+			return ob.access(c)
+		}
+	}
+	if b.relative {
+		return &xquery.RelPath{Steps: []xquery.PathStep{{Name: c.Accessor}}}
+	}
+	return xquery.ChildPath(b.RowVar, c.Accessor)
+}
+
+// resolved is the result of resolving a column reference: the access
+// expression plus the column's metadata.
+type resolved struct {
+	Expr xquery.Expr
+	Col  colInfo
+}
+
+// qscope is the name-resolution scope of one query block. Parent chains
+// implement correlated subqueries: an unresolved name escalates outward,
+// per SQL-92 scoping.
+type qscope struct {
+	parent   *qscope
+	bindings []*binding
+}
+
+func (s *qscope) add(b *binding) { s.bindings = append(s.bindings, b) }
+
+// resolve resolves a (possibly qualified) column reference per SQL-92
+// rules: qualified references must name a visible range variable;
+// unqualified references must be unambiguous at their innermost resolving
+// scope.
+func (s *qscope) resolve(ref *sqlparser.ColumnRef) (resolved, error) {
+	for scope := s; scope != nil; scope = scope.parent {
+		if ref.Qualifier != "" {
+			for _, b := range scope.bindings {
+				if strings.EqualFold(b.Name, ref.Qualifier) {
+					c, ok := b.column(ref.Column)
+					if !ok {
+						return resolved{}, semErr(ref.Pos, "column %s does not exist in %s", ref.Column, ref.Qualifier)
+					}
+					return resolved{Expr: b.access(c), Col: c}, nil
+				}
+			}
+			continue // qualifier may name an outer range variable
+		}
+		var hits []resolved
+		var owners []string
+		seen := map[*binding]bool{}
+		for _, b := range scope.bindings {
+			if c, ok := b.column(ref.Column); ok {
+				// An aliased join's merged binding delegates to the
+				// physical binding; when both are visible, the column is
+				// one column, not an ambiguity.
+				owner := b
+				if b.delegate != nil {
+					if ob, ok := b.delegate[c.Name]; ok {
+						owner = ob
+					}
+				}
+				if seen[owner] {
+					continue
+				}
+				seen[owner] = true
+				hits = append(hits, resolved{Expr: b.access(c), Col: c})
+				name := b.Name
+				if name == "" {
+					name = "<unnamed>"
+				}
+				owners = append(owners, name)
+			}
+		}
+		switch len(hits) {
+		case 1:
+			return hits[0], nil
+		case 0:
+			continue
+		default:
+			return resolved{}, semErr(ref.Pos, "column reference %s is ambiguous (found in %s)",
+				ref.Column, strings.Join(owners, ", "))
+		}
+	}
+	if ref.Qualifier != "" {
+		return resolved{}, semErr(ref.Pos, "unknown table or alias %s", ref.Qualifier)
+	}
+	return resolved{}, semErr(ref.Pos, "unknown column %s", ref.Column)
+}
+
+// allColumns lists every (binding, column) pair of the innermost scope in
+// declaration order — wildcard expansion order.
+func (s *qscope) allColumns() []struct {
+	B *binding
+	C colInfo
+} {
+	var out []struct {
+		B *binding
+		C colInfo
+	}
+	for _, b := range s.bindings {
+		for _, c := range b.Cols {
+			out = append(out, struct {
+				B *binding
+				C colInfo
+			}{b, c})
+		}
+	}
+	return out
+}
+
+// bindingByName finds a range variable in the innermost scope.
+func (s *qscope) bindingByName(name string) (*binding, bool) {
+	for _, b := range s.bindings {
+		if strings.EqualFold(b.Name, name) {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// nameGen produces the paper's variable naming scheme (§3.5 iv):
+// var{contextID}{zone}{n} for row variables and tempvar{contextID}{zone}{n}
+// for materialized intermediates, where the zone is a window on the SQL
+// query (FR = FROM, GB = GROUP BY, …).
+type nameGen struct {
+	n int
+}
+
+// Zones (query windows) used in generated variable names.
+const (
+	zoneFrom    = "FR"
+	zoneGroupBy = "GB"
+	zoneWhere   = "WH"
+)
+
+func (g *nameGen) rowVar(ctxID int, zone string) string {
+	g.n++
+	return fmt.Sprintf("var%d%s%d", ctxID, zone, g.n)
+}
+
+func (g *nameGen) tempVar(ctxID int, zone string) string {
+	g.n++
+	return fmt.Sprintf("tempvar%d%s%d", ctxID, zone, g.n)
+}
+
+func (g *nameGen) partitionVar(ctxID int) string {
+	g.n++
+	return fmt.Sprintf("var%dPartition%d", ctxID, g.n)
+}

@@ -1,0 +1,98 @@
+package translator
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// typeInfo is the inferred datatype of a SQL expression (§3.5 v): the SQL
+// type surfaced through result metadata, the corresponding XQuery atomic
+// type, and nullability.
+type typeInfo struct {
+	SQL      catalog.SQLType
+	X        xdm.AtomicType
+	Nullable bool
+	// Precision and Scale surface column facets (DECIMAL(p,s),
+	// VARCHAR(n)) in result metadata; zero for computed expressions.
+	Precision int
+	Scale     int
+}
+
+func typeOfSQL(t catalog.SQLType, nullable bool) typeInfo {
+	return typeInfo{SQL: t, X: t.Atomic(), Nullable: nullable}
+}
+
+var (
+	tInteger = typeInfo{SQL: catalog.SQLInteger, X: xdm.TypeInteger}
+	tDecimal = typeInfo{SQL: catalog.SQLDecimal, X: xdm.TypeDecimal}
+	tDouble  = typeInfo{SQL: catalog.SQLDouble, X: xdm.TypeDouble}
+	tVarchar = typeInfo{SQL: catalog.SQLVarchar, X: xdm.TypeString}
+	tBoolean = typeInfo{SQL: catalog.SQLBoolean, X: xdm.TypeBoolean}
+	tUnknown = typeInfo{SQL: catalog.SQLUnknown, X: xdm.TypeUntyped, Nullable: true}
+)
+
+// numericRank orders numeric SQL types for promotion: INTEGER < DECIMAL <
+// DOUBLE (the SQL-92 rules of promotion and casting the paper applies
+// leaf-to-root over the expression tree).
+func numericRank(t catalog.SQLType) int {
+	switch t {
+	case catalog.SQLSmallint:
+		return 0
+	case catalog.SQLInteger:
+		return 1
+	case catalog.SQLDecimal:
+		return 2
+	case catalog.SQLDouble:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// promoteNumeric combines two operand types under arithmetic.
+func promoteNumeric(a, b typeInfo) typeInfo {
+	ra, rb := numericRank(a.SQL), numericRank(b.SQL)
+	winner := a
+	if rb > ra {
+		winner = b
+	}
+	if ra < 0 || rb < 0 {
+		winner = tUnknown
+	}
+	winner.Nullable = a.Nullable || b.Nullable
+	return winner
+}
+
+// xsName maps an xdm atomic type to the xs: constructor used in generated
+// casts.
+func xsName(t xdm.AtomicType) string { return t.String() }
+
+// castTo wraps an expression in an xs: constructor cast when the target
+// type is concrete, mirroring the paper's generated casts
+// (xs:integer(10) in Example 8).
+func castTo(e xquery.Expr, target xdm.AtomicType) xquery.Expr {
+	if target == xdm.TypeUntyped {
+		return e
+	}
+	// Avoid redundant double casts of the same target type.
+	if c, ok := e.(*xquery.Cast); ok && c.Type == xsName(target) {
+		return e
+	}
+	return &xquery.Cast{Type: xsName(target), Operand: e}
+}
+
+// typeFromTypeName maps a parsed SQL type (CAST target) to typeInfo,
+// carrying declared precision and scale into result metadata.
+func typeFromTypeName(tn sqlparser.TypeName) typeInfo {
+	st := catalog.SQLTypeFromName(tn.Name)
+	ti := typeInfo{SQL: st, X: st.Atomic(), Nullable: true}
+	if tn.Precision > 0 {
+		ti.Precision = tn.Precision
+	}
+	if tn.Scale > 0 {
+		ti.Scale = tn.Scale
+	}
+	return ti
+}

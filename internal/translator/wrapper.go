@@ -1,0 +1,60 @@
+package translator
+
+import (
+	"repro/internal/xquery"
+)
+
+// NullToken is the marker emitted for SQL NULL values in the text-encoded
+// result format. Because real values pass through fn-bea:xml-escape (which
+// rewrites '&' to '&amp;'), the raw token "&null;" can never be produced by
+// data, making NULL distinguishable from the empty string. The paper's
+// wrapper used plain "" for absent values; this marker is the one liberty
+// taken, recorded in DESIGN.md, so that JDBC's wasNull contract works.
+const NullToken = "&null;"
+
+// wrapTextMode wraps the RECORDSET-building query in the §4 result-handling
+// query: a fn:string-join over rows rendered as delimiter-separated text.
+// Each row contributes the row delimiter, then its column values separated
+// by the column delimiter, every value passing through
+// fn-bea:serialize-atomic → fn-bea:xml-escape → fn-bea:if-empty exactly as
+// the paper's generated wrapper does:
+//
+//	fn:string-join(
+//	  let $actualQuery := <RECORDSET>{…}</RECORDSET>
+//	  for $tokenQuery in $actualQuery/RECORD
+//	  return (">", fn-bea:if-empty(fn-bea:xml-escape(
+//	          fn-bea:serialize-atomic(fn:data($tokenQuery/COL))), "&null;"),
+//	          "<", …)
+//	, "")
+func wrapTextMode(body *xquery.ElementCtor, cols []ResultColumn) xquery.Expr {
+	const actualVar = "actualQuery"
+	const tokenVar = "tokenQuery"
+
+	var tokens []xquery.Expr
+	for i, col := range cols {
+		delim := ColumnDelimiter
+		if i == 0 {
+			delim = RowDelimiter
+		}
+		tokens = append(tokens, xquery.Str(delim), textValue(tokenVar, col))
+	}
+
+	rowsToText := &xquery.FLWOR{
+		Clauses: []xquery.Clause{
+			&xquery.Let{Var: actualVar, Expr: body},
+			&xquery.For{Var: tokenVar, In: xquery.ChildPath(actualVar, "RECORD")},
+		},
+		Return: &xquery.Seq{Items: tokens},
+	}
+
+	return xquery.Call("fn:string-join", rowsToText, xquery.Str(""))
+}
+
+// textValue renders one column's serialize/escape/default pipeline.
+func textValue(rowVar string, col ResultColumn) xquery.Expr {
+	return xquery.Call("fn-bea:if-empty",
+		xquery.Call("fn-bea:xml-escape",
+			xquery.Call("fn-bea:serialize-atomic",
+				xquery.Call("fn:data", xquery.ChildPath(rowVar, col.ElementName)))),
+		xquery.Str(NullToken))
+}

@@ -1,0 +1,170 @@
+package xdm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: integer values survive a round trip through their lexical form.
+func TestQuickIntegerLexicalRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		v := Integer(n)
+		back, err := ParseAtomic(v.Lexical(), TypeInteger)
+		return err == nil && back.(Integer) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: finite doubles survive a lexical round trip.
+func TestQuickDoubleLexicalRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		v := Double(x)
+		back, err := ParseAtomic(v.Lexical(), TypeDouble)
+		return err == nil && float64(back.(Double)) == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EscapeText output never contains raw markup characters, and
+// unescaping the three entities recovers the input.
+func TestQuickEscapeTextRoundTrip(t *testing.T) {
+	unescape := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&amp;", "&")
+	f := func(s string) bool {
+		esc := EscapeText(s)
+		if strings.ContainsAny(esc, "<>") {
+			return false
+		}
+		return unescape.Replace(esc) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OrderAtomic over integers is a total order consistent with Go's.
+func TestQuickOrderAtomicConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp, err := OrderAtomic(Integer(a), Integer(b))
+		if err != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Antisymmetry over strings.
+	g := func(a, b string) bool {
+		c1, err1 := OrderAtomic(String(a), String(b))
+		c2, err2 := OrderAtomic(String(b), String(a))
+		return err1 == nil && err2 == nil && sign(c1) == -sign(c2)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Property: comparison after promotion agrees between Integer and Decimal
+// representations of the same value.
+func TestQuickPromotionAgreement(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		eqII, err1 := CompareAtomic(Integer(a), Integer(b), OpEq)
+		eqID, err2 := CompareAtomic(Integer(a), Decimal(float64(b)), OpEq)
+		eqDI, err3 := CompareAtomic(Decimal(float64(a)), Integer(b), OpEq)
+		return err1 == nil && err2 == nil && err3 == nil && eqII == eqID && eqID == eqDI
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Marshal/Parse round-trips flat row elements built from
+// arbitrary text values (the result-handling XML path's core invariant).
+func TestQuickXMLRoundTrip(t *testing.T) {
+	f := func(v1, v2 string) bool {
+		if !validXMLText(v1) || !validXMLText(v2) {
+			return true // skip values XML cannot carry (control chars)
+		}
+		row := NewElement("RECORD")
+		row.AddChild(NewTextElement("A", v1))
+		row.AddChild(NewTextElement("B", v2))
+		doc, err := ParseString(Marshal(row))
+		if err != nil {
+			return false
+		}
+		root := doc.Root()
+		a := root.FirstChildElement("A")
+		b := root.FirstChildElement("B")
+		gotA, gotB := "", ""
+		if a != nil {
+			gotA = a.StringValue()
+		}
+		if b != nil {
+			gotB = b.StringValue()
+		}
+		// Empty text never creates a text node, so "" round-trips to "".
+		return gotA == v1 && gotB == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validXMLText reports whether every rune is a legal XML 1.0 character
+// (encoding/xml rejects most control characters).
+func validXMLText(s string) bool {
+	for _, r := range s {
+		if r == 0x9 || r == 0xA || r == 0xD {
+			continue
+		}
+		if r < 0x20 || (r >= 0xD800 && r <= 0xDFFF) || r == 0xFFFE || r == 0xFFFF {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: SortKey distinguishes any two rows that differ in some
+// column's presence or value.
+func TestQuickSortKeyDiscriminates(t *testing.T) {
+	f := func(v1, v2 string, present bool) bool {
+		r1 := NewElement("R")
+		r1.AddChild(NewTextElement("A", v1))
+		r2 := NewElement("R")
+		if present {
+			r2.AddChild(NewTextElement("A", v2))
+		}
+		same := present && v1 == v2
+		return (SortKey(r1) == SortKey(r2)) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

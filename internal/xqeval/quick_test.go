@@ -1,0 +1,78 @@
+package xqeval
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: likeMatch agrees with a regexp-based reference implementation
+// over the {a, b, %, _} alphabet (no escapes).
+func TestQuickLikeMatchesReference(t *testing.T) {
+	alphabet := []byte{'a', 'b', '%', '_'}
+	f := func(sSeed, pSeed []byte) bool {
+		s := fromAlphabet(sSeed, []byte{'a', 'b'})
+		p := fromAlphabet(pSeed, alphabet)
+		got, err := likeMatch(s, p, "")
+		if err != nil {
+			return false
+		}
+		return got == referenceLike(s, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with an escape character, escaped wildcards match literally.
+func TestQuickLikeEscapeLiteral(t *testing.T) {
+	f := func(seed []byte) bool {
+		s := fromAlphabet(seed, []byte{'a', '%', '_'})
+		// Build a pattern that escapes every wildcard in s: it must match
+		// exactly s and nothing with substitutions.
+		var p strings.Builder
+		for i := 0; i < len(s); i++ {
+			if s[i] == '%' || s[i] == '_' {
+				p.WriteByte('!')
+			}
+			p.WriteByte(s[i])
+		}
+		got, err := likeMatch(s, p.String(), "!")
+		return err == nil && got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromAlphabet(seed []byte, alphabet []byte) string {
+	var b strings.Builder
+	for _, x := range seed {
+		b.WriteByte(alphabet[int(x)%len(alphabet)])
+	}
+	// Bound the size: the backtracking matcher is exponential in
+	// pathological %-runs, which real SQL patterns do not exhibit.
+	s := b.String()
+	if len(s) > 12 {
+		s = s[:12]
+	}
+	return s
+}
+
+func referenceLike(s, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("^")
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			re.WriteString("(?s).*")
+		case '_':
+			re.WriteString("(?s).")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	re.WriteString("$")
+	return regexp.MustCompile(re.String()).MatchString(s)
+}

@@ -1,0 +1,233 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parser half of this package reads the XQuery dialect the translator
+// writes (and that the paper's DSP engine accepts): prologs of schema
+// imports, FLWOR expressions with the BEA group-by extension, direct
+// element constructors with enclosed expressions, path and filter
+// expressions, and the fn:/fn-bea:/xs: function namespaces. With it, the
+// engine can compile and execute XQuery text, not just ASTs — the shape a
+// standalone DSP server has.
+
+// tokKind classifies XQuery tokens.
+type tokKind int
+
+const (
+	tokEOF      tokKind = iota
+	tokName             // NCName or prefixed QName (fn:data, ns0:CUSTOMERS)
+	tokVar              // $name
+	tokString           // "..." or '...'
+	tokNumber           // 42, 5.6, 1e3
+	tokSymbol           // punctuation and operators
+	tokTagOpen          // <NAME of a direct constructor start tag
+	tokTagClose         // </NAME of an end tag
+)
+
+type xtoken struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// ParseError is a syntax error in XQuery text.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+func lexErr(pos int, format string, args ...any) error {
+	return &ParseError{Offset: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// xlexer tokenizes XQuery source. Element-content lexing is handled by the
+// parser directly (it needs mode switching), so the lexer exposes both a
+// token stream and raw-offset access.
+type xlexer struct {
+	src string
+	off int
+}
+
+func isNameStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isNameChar(b byte) bool {
+	return isNameStart(b) || (b >= '0' && b <= '9') || b == '-' || b == '.'
+}
+
+func (lx *xlexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		b := lx.src[lx.off]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			lx.off++
+		case b == '(' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ':':
+			start := lx.off
+			lx.off += 2
+			depth := 1
+			for lx.off < len(lx.src) && depth > 0 {
+				if strings.HasPrefix(lx.src[lx.off:], "(:") {
+					depth++
+					lx.off += 2
+				} else if strings.HasPrefix(lx.src[lx.off:], ":)") {
+					depth--
+					lx.off += 2
+				} else {
+					lx.off++
+				}
+			}
+			if depth > 0 {
+				return lexErr(start, "unterminated comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-char symbols, longest first.
+var xquerySymbols = []string{":=", "!=", "<=", ">=", "//", "<", ">", "=",
+	"(", ")", "[", "]", "{", "}", ",", ";", "/", "+", "-", "*", "."}
+
+// next returns the next token in expression mode. inTag requests tag-mode
+// handling of '<' (the parser sets the distinction itself by peeking).
+func (lx *xlexer) next() (xtoken, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return xtoken{}, err
+	}
+	if lx.off >= len(lx.src) {
+		return xtoken{kind: tokEOF, pos: lx.off}, nil
+	}
+	start := lx.off
+	b := lx.src[lx.off]
+
+	switch {
+	case b == '$':
+		lx.off++
+		if lx.off >= len(lx.src) || !isNameStart(lx.src[lx.off]) {
+			return xtoken{}, lexErr(start, "expected variable name after $")
+		}
+		nameStart := lx.off
+		for lx.off < len(lx.src) && isNameChar(lx.src[lx.off]) {
+			lx.off++
+		}
+		return xtoken{kind: tokVar, text: lx.src[nameStart:lx.off], pos: start}, nil
+
+	case isNameStart(b):
+		for lx.off < len(lx.src) && isNameChar(lx.src[lx.off]) {
+			lx.off++
+		}
+		name := lx.src[start:lx.off]
+		// A prefixed QName: prefix:local. Careful not to eat `:=`.
+		if lx.off < len(lx.src) && lx.src[lx.off] == ':' &&
+			lx.off+1 < len(lx.src) && isNameStart(lx.src[lx.off+1]) {
+			lx.off++
+			localStart := lx.off
+			for lx.off < len(lx.src) && isNameChar(lx.src[lx.off]) {
+				lx.off++
+			}
+			name = name + ":" + lx.src[localStart:lx.off]
+		}
+		return xtoken{kind: tokName, text: name, pos: start}, nil
+
+	case b >= '0' && b <= '9':
+		return lx.lexNumber(start)
+
+	case b == '"' || b == '\'':
+		return lx.lexString(start, b)
+
+	case b == '<':
+		// Distinguish tags from comparison: a tag start is '<' or '</'
+		// immediately followed by a name character.
+		if lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/' {
+			if lx.off+2 < len(lx.src) && isNameStart(lx.src[lx.off+2]) {
+				lx.off += 2
+				nameStart := lx.off
+				for lx.off < len(lx.src) && (isNameChar(lx.src[lx.off]) || lx.src[lx.off] == ':') {
+					lx.off++
+				}
+				return xtoken{kind: tokTagClose, text: lx.src[nameStart:lx.off], pos: start}, nil
+			}
+		}
+		if lx.off+1 < len(lx.src) && isNameStart(lx.src[lx.off+1]) {
+			lx.off++
+			nameStart := lx.off
+			for lx.off < len(lx.src) && (isNameChar(lx.src[lx.off]) || lx.src[lx.off] == ':') {
+				lx.off++
+			}
+			return xtoken{kind: tokTagOpen, text: lx.src[nameStart:lx.off], pos: start}, nil
+		}
+		// fall through to symbols (comparison operators)
+	}
+
+	for _, sym := range xquerySymbols {
+		if strings.HasPrefix(lx.src[lx.off:], sym) {
+			lx.off += len(sym)
+			return xtoken{kind: tokSymbol, text: sym, pos: start}, nil
+		}
+	}
+	return xtoken{}, lexErr(start, "unexpected character %q", rune(b))
+}
+
+func (lx *xlexer) lexNumber(start int) (xtoken, error) {
+	sawDot, sawExp := false, false
+	for lx.off < len(lx.src) {
+		b := lx.src[lx.off]
+		switch {
+		case b >= '0' && b <= '9':
+			lx.off++
+		case b == '.' && !sawDot && !sawExp:
+			sawDot = true
+			lx.off++
+		case (b == 'e' || b == 'E') && !sawExp:
+			sawExp = true
+			lx.off++
+			if lx.off < len(lx.src) && (lx.src[lx.off] == '+' || lx.src[lx.off] == '-') {
+				lx.off++
+			}
+		default:
+			return xtoken{kind: tokNumber, text: lx.src[start:lx.off], pos: start}, nil
+		}
+	}
+	return xtoken{kind: tokNumber, text: lx.src[start:lx.off], pos: start}, nil
+}
+
+func (lx *xlexer) lexString(start int, quote byte) (xtoken, error) {
+	lx.off++ // opening quote
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if lx.off+1 < len(lx.src) && lx.src[lx.off+1] == quote {
+				b.WriteByte(quote)
+				lx.off += 2
+				continue
+			}
+			lx.off++
+			return xtoken{kind: tokString, text: unescapeEntities(b.String()), pos: start}, nil
+		}
+		b.WriteByte(c)
+		lx.off++
+	}
+	return xtoken{}, lexErr(start, "unterminated string literal")
+}
+
+var entityUnescaper = strings.NewReplacer(
+	"&lt;", "<", "&gt;", ">", "&amp;", "&", "&quot;", `"`, "&apos;", "'")
+
+func unescapeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityUnescaper.Replace(s)
+}

@@ -1,0 +1,855 @@
+package xquery
+
+import (
+	"strings"
+)
+
+// Parse reads XQuery source in the dialect this package serializes — the
+// dialect the translator generates and the engine executes — and returns
+// the query AST. Together with Serialize it gives the engine a textual
+// front door: compile-and-execute, the way the paper's DSP server consumes
+// the driver's output.
+func Parse(src string) (*Query, error) {
+	p := &xparser{lx: &xlexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for p.isName("import") {
+		imp, err := p.parseSchemaImport()
+		if err != nil {
+			return nil, err
+		}
+		q.Prolog.SchemaImports = append(q.Prolog.SchemaImports, imp)
+	}
+	body, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, lexErr(p.tok.pos, "unexpected %q after end of query", p.tok.text)
+	}
+	q.Body = body
+	return q, nil
+}
+
+// ParseExpr parses a single expression (no prolog).
+func ParseExpr(src string) (Expr, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Body, nil
+}
+
+type xparser struct {
+	lx  *xlexer
+	tok xtoken
+}
+
+func (p *xparser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *xparser) isName(name string) bool {
+	return p.tok.kind == tokName && p.tok.text == name
+}
+
+func (p *xparser) isSymbol(sym string) bool {
+	return p.tok.kind == tokSymbol && p.tok.text == sym
+}
+
+func (p *xparser) acceptName(name string) (bool, error) {
+	if p.isName(name) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *xparser) expectName(name string) error {
+	if !p.isName(name) {
+		return lexErr(p.tok.pos, "expected %q, found %q", name, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *xparser) expectSymbol(sym string) error {
+	if !p.isSymbol(sym) {
+		return lexErr(p.tok.pos, "expected %q, found %q", sym, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *xparser) expectVar() (string, error) {
+	if p.tok.kind != tokVar {
+		return "", lexErr(p.tok.pos, "expected variable, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *xparser) expectString() (string, error) {
+	if p.tok.kind != tokString {
+		return "", lexErr(p.tok.pos, "expected string literal, found %q", p.tok.text)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+// parseSchemaImport reads: import schema namespace ns = "uri" at "loc";
+func (p *xparser) parseSchemaImport() (SchemaImport, error) {
+	if err := p.expectName("import"); err != nil {
+		return SchemaImport{}, err
+	}
+	if err := p.expectName("schema"); err != nil {
+		return SchemaImport{}, err
+	}
+	if err := p.expectName("namespace"); err != nil {
+		return SchemaImport{}, err
+	}
+	if p.tok.kind != tokName {
+		return SchemaImport{}, lexErr(p.tok.pos, "expected namespace prefix, found %q", p.tok.text)
+	}
+	prefix := p.tok.text
+	if err := p.advance(); err != nil {
+		return SchemaImport{}, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return SchemaImport{}, err
+	}
+	uri, err := p.expectString()
+	if err != nil {
+		return SchemaImport{}, err
+	}
+	if err := p.expectName("at"); err != nil {
+		return SchemaImport{}, err
+	}
+	loc, err := p.expectString()
+	if err != nil {
+		return SchemaImport{}, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return SchemaImport{}, err
+	}
+	return SchemaImport{Prefix: prefix, Namespace: uri, Location: loc}, nil
+}
+
+// parseExprSingle parses one ExprSingle: FLWOR, if, quantified, or an
+// operator expression. Keywords are not reserved in XQuery: "for", "let",
+// "some" and "every" begin their special forms only when a variable
+// follows, and "if" only when a parenthesis follows; otherwise they are
+// ordinary path steps.
+func (p *xparser) parseExprSingle() (Expr, error) {
+	switch {
+	case (p.isName("for") || p.isName("let")) && p.nextIsVar():
+		return p.parseFLWOR()
+	case p.isName("if") && p.nextIsSymbol("("):
+		return p.parseIf()
+	case (p.isName("some") || p.isName("every")) && p.nextIsVar():
+		return p.parseQuantified()
+	default:
+		return p.parseOr()
+	}
+}
+
+// nextIsVar peeks one token ahead without consuming input.
+func (p *xparser) nextIsVar() bool {
+	save := p.lx.off
+	t, err := p.lx.next()
+	p.lx.off = save
+	return err == nil && t.kind == tokVar
+}
+
+// nextIsSymbol peeks one token ahead for a symbol.
+func (p *xparser) nextIsSymbol(sym string) bool {
+	save := p.lx.off
+	t, err := p.lx.next()
+	p.lx.off = save
+	return err == nil && t.kind == tokSymbol && t.text == sym
+}
+
+func (p *xparser) parseFLWOR() (Expr, error) {
+	f := &FLWOR{}
+	for {
+		switch {
+		case p.isName("for"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.expectVar()
+				if err != nil {
+					return nil, err
+				}
+				clause := &For{Var: v}
+				if ok, err := p.acceptName("at"); err != nil {
+					return nil, err
+				} else if ok {
+					at, err := p.expectVar()
+					if err != nil {
+						return nil, err
+					}
+					clause.At = at
+				}
+				if err := p.expectName("in"); err != nil {
+					return nil, err
+				}
+				in, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				clause.In = in
+				f.Clauses = append(f.Clauses, clause)
+				if !p.isSymbol(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case p.isName("let"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.expectVar()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(":="); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, &Let{Var: v, Expr: e})
+				if !p.isSymbol(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case p.isName("where"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, &Where{Cond: cond})
+		case p.isName("group"):
+			clause, err := p.parseGroupBy()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, clause)
+		case p.isName("order"):
+			clause, err := p.parseOrderBy()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, clause)
+		case p.isName("return"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			ret, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.Return = ret
+			return f, nil
+		default:
+			return nil, lexErr(p.tok.pos, "expected FLWOR clause or return, found %q", p.tok.text)
+		}
+	}
+}
+
+// parseGroupBy reads the BEA extension:
+// group $in as $partition by expr as $k (, expr as $k)*
+func (p *xparser) parseGroupBy() (Clause, error) {
+	if err := p.expectName("group"); err != nil {
+		return nil, err
+	}
+	inVar, err := p.expectVar()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("as"); err != nil {
+		return nil, err
+	}
+	partVar, err := p.expectVar()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("by"); err != nil {
+		return nil, err
+	}
+	g := &GroupBy{InVar: inVar, PartitionVar: partVar}
+	for {
+		key, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectName("as"); err != nil {
+			return nil, err
+		}
+		kv, err := p.expectVar()
+		if err != nil {
+			return nil, err
+		}
+		g.Keys = append(g.Keys, GroupKey{Expr: key, Var: kv})
+		if !p.isSymbol(",") {
+			return g, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *xparser) parseOrderBy() (Clause, error) {
+	if err := p.expectName("order"); err != nil {
+		return nil, err
+	}
+	if err := p.expectName("by"); err != nil {
+		return nil, err
+	}
+	o := &OrderByClause{}
+	for {
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		spec := OrderSpec{Expr: e}
+		if ok, err := p.acceptName("descending"); err != nil {
+			return nil, err
+		} else if ok {
+			spec.Descending = true
+		} else if ok, err := p.acceptName("ascending"); err != nil {
+			return nil, err
+		} else if ok {
+			// default
+		}
+		if ok, err := p.acceptName("empty"); err != nil {
+			return nil, err
+		} else if ok {
+			switch {
+			case p.isName("greatest"):
+				spec.EmptyGreatest = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			case p.isName("least"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, lexErr(p.tok.pos, "expected greatest or least after empty")
+			}
+		}
+		o.Specs = append(o.Specs, spec)
+		if !p.isSymbol(",") {
+			return o, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *xparser) parseIf() (Expr, error) {
+	if err := p.expectName("if"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectName("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &If{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *xparser) parseQuantified() (Expr, error) {
+	every := p.isName("every")
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	v, err := p.expectVar()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("in"); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("satisfies"); err != nil {
+		return nil, err
+	}
+	sat, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &Quantified{Every: every, Var: v, In: in, Satisfies: sat}, nil
+}
+
+// parseExpr parses a comma sequence (inside parentheses and enclosed
+// expressions).
+func (p *xparser) parseExpr() (Expr, error) {
+	first, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isSymbol(",") {
+		return first, nil
+	}
+	seq := &Seq{Items: []Expr{first}}
+	for p.isSymbol(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		seq.Items = append(seq.Items, next)
+	}
+	return seq, nil
+}
+
+func (p *xparser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *xparser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+var xqValueComps = map[string]bool{"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true}
+
+func (p *xparser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.tok.kind == tokSymbol:
+		switch p.tok.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			op = p.tok.text
+		}
+	case p.tok.kind == tokName && xqValueComps[p.tok.text]:
+		op = p.tok.text
+	}
+	if op == "" {
+		return left, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *xparser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("+") || p.isSymbol("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *xparser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("*") || p.isName("div") || p.isName("mod") || p.isName("idiv") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *xparser) parseUnary() (Expr, error) {
+	if p.isSymbol("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", Operand: operand}, nil
+	}
+	return p.parsePath()
+}
+
+// parsePath parses a primary followed by predicates and child steps.
+func (p *xparser) parsePath() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Predicates directly on the primary → Filter.
+	if p.isSymbol("[") {
+		filter := &Filter{Base: base}
+		for p.isSymbol("[") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			filter.Predicates = append(filter.Predicates, pred)
+		}
+		base = filter
+	}
+	if !p.isSymbol("/") {
+		return base, nil
+	}
+	var steps []PathStep
+	for p.isSymbol("/") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, step)
+	}
+	// A bare-name primary extends into a relative path.
+	if rel, ok := base.(*RelPath); ok {
+		rel.Steps = append(rel.Steps, steps...)
+		return rel, nil
+	}
+	return &Path{Base: base, Steps: steps}, nil
+}
+
+func (p *xparser) parseStep() (PathStep, error) {
+	var name string
+	switch {
+	case p.tok.kind == tokName:
+		name = p.tok.text
+	case p.isSymbol("*"):
+		name = "*"
+	default:
+		return PathStep{}, lexErr(p.tok.pos, "expected path step, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return PathStep{}, err
+	}
+	step := PathStep{Name: name}
+	for p.isSymbol("[") {
+		if err := p.advance(); err != nil {
+			return PathStep{}, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return PathStep{}, err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return PathStep{}, err
+		}
+		step.Predicates = append(step.Predicates, pred)
+	}
+	return step, nil
+}
+
+func (p *xparser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StringLit{Value: s}, nil
+
+	case tokNumber:
+		n := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberLit{Text: n}, nil
+
+	case tokVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Var{Name: v}, nil
+
+	case tokTagOpen:
+		return p.parseElementCtor()
+
+	case tokSymbol:
+		switch p.tok.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isSymbol(")") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return &EmptySeq{}, nil
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case ".":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &ContextItem{}, nil
+		}
+
+	case tokName:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isSymbol("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if !p.isSymbol(")") {
+				for {
+					arg, err := p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, arg)
+					if !p.isSymbol(",") {
+						break
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			// xs:* constructor functions parse as casts, matching the
+			// translator's output shape.
+			if strings.HasPrefix(name, "xs:") && len(args) == 1 {
+				return &Cast{Type: name, Operand: args[0]}, nil
+			}
+			return &FuncCall{Name: name, Args: args}, nil
+		}
+		// A bare name is a relative child step.
+		return &RelPath{Steps: []PathStep{{Name: name}}}, nil
+	}
+	return nil, lexErr(p.tok.pos, "expected expression, found %q", p.tok.text)
+}
+
+// parseElementCtor parses a direct element constructor in expression
+// position: the raw form plus a token advance so expression parsing
+// resumes after the end tag.
+func (p *xparser) parseElementCtor() (Expr, error) {
+	ctor, err := p.parseElementCtorRaw()
+	if err != nil {
+		return nil, err
+	}
+	return ctor, p.advance()
+}
+
+// parseElementCtorRaw parses a direct element constructor. The current
+// token is the tag-open holding the element name; content is scanned in
+// raw mode. On return the lexer sits just past the end tag and the current
+// token is stale (callers in raw-content mode keep scanning; expression
+// callers advance).
+func (p *xparser) parseElementCtorRaw() (*ElementCtor, error) {
+	name := p.tok.text
+	// Raw-scan from the lexer's current offset.
+	lx := p.lx
+	// Skip whitespace to the tag end.
+	for lx.off < len(lx.src) && (lx.src[lx.off] == ' ' || lx.src[lx.off] == '\t' || lx.src[lx.off] == '\n' || lx.src[lx.off] == '\r') {
+		lx.off++
+	}
+	if strings.HasPrefix(lx.src[lx.off:], "/>") {
+		lx.off += 2
+		return &ElementCtor{Name: name}, nil
+	}
+	if lx.off >= len(lx.src) || lx.src[lx.off] != '>' {
+		return nil, lexErr(lx.off, "expected '>' or '/>' in start tag <%s", name)
+	}
+	lx.off++
+
+	ctor := &ElementCtor{Name: name}
+	var text strings.Builder
+	flushText := func() {
+		if text.Len() == 0 {
+			return
+		}
+		raw := text.String()
+		text.Reset()
+		// Boundary-space policy "strip": whitespace-only runs between
+		// constructors vanish (this is what lets the pretty-printed
+		// layout round-trip).
+		if strings.TrimSpace(raw) == "" {
+			return
+		}
+		// Braces were unescaped during the scan; entities remain.
+		ctor.Content = append(ctor.Content, &TextContent{Text: unescapeEntities(raw)})
+	}
+
+	for {
+		if lx.off >= len(lx.src) {
+			return nil, lexErr(lx.off, "unterminated element constructor <%s>", name)
+		}
+		switch {
+		case strings.HasPrefix(lx.src[lx.off:], "{{"):
+			text.WriteByte('{')
+			lx.off += 2
+		case strings.HasPrefix(lx.src[lx.off:], "}}"):
+			text.WriteByte('}')
+			lx.off += 2
+		case lx.src[lx.off] == '{':
+			flushText()
+			lx.off++
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			// The current token must be the closing brace; the raw scan
+			// resumes from the lexer offset.
+			if !p.isSymbol("}") {
+				return nil, lexErr(p.tok.pos, "expected '}' in element content, found %q", p.tok.text)
+			}
+			ctor.Content = append(ctor.Content, &Enclosed{Expr: inner})
+		case strings.HasPrefix(lx.src[lx.off:], "</"):
+			flushText()
+			lx.off += 2
+			end := lx.off
+			for end < len(lx.src) && (isNameChar(lx.src[end]) || lx.src[end] == ':') {
+				end++
+			}
+			closeName := lx.src[lx.off:end]
+			if closeName != name {
+				return nil, lexErr(lx.off, "end tag </%s> does not match <%s>", closeName, name)
+			}
+			lx.off = end
+			for lx.off < len(lx.src) && (lx.src[lx.off] == ' ' || lx.src[lx.off] == '\t' || lx.src[lx.off] == '\n') {
+				lx.off++
+			}
+			if lx.off >= len(lx.src) || lx.src[lx.off] != '>' {
+				return nil, lexErr(lx.off, "malformed end tag </%s", closeName)
+			}
+			lx.off++
+			return ctor, nil
+		case lx.src[lx.off] == '<':
+			flushText()
+			if err := p.advance(); err != nil { // produces tokTagOpen
+				return nil, err
+			}
+			if p.tok.kind != tokTagOpen {
+				return nil, lexErr(p.tok.pos, "expected nested element in content of <%s>", name)
+			}
+			child, err := p.parseElementCtorRaw()
+			if err != nil {
+				return nil, err
+			}
+			ctor.Content = append(ctor.Content, child)
+			continue
+		default:
+			text.WriteByte(lx.src[lx.off])
+			lx.off++
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package xquery
+
+import (
+	"testing"
+)
+
+func parseExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseLiteralsAndVars(t *testing.T) {
+	if e := parseExpr(t, `"hello"`); e.(*StringLit).Value != "hello" {
+		t.Fatalf("got %#v", e)
+	}
+	if e := parseExpr(t, `"it""s"`); e.(*StringLit).Value != `it"s` {
+		t.Fatalf("got %#v", e)
+	}
+	if e := parseExpr(t, `"a &amp; b"`); e.(*StringLit).Value != "a & b" {
+		t.Fatalf("entity in literal: %#v", e)
+	}
+	if e := parseExpr(t, "42"); e.(*NumberLit).Text != "42" {
+		t.Fatalf("got %#v", e)
+	}
+	if e := parseExpr(t, "2.5"); e.(*NumberLit).Text != "2.5" {
+		t.Fatalf("got %#v", e)
+	}
+	if e := parseExpr(t, "$var1FR0"); e.(*Var).Name != "var1FR0" {
+		t.Fatalf("got %#v", e)
+	}
+	if _, ok := parseExpr(t, "()").(*EmptySeq); !ok {
+		t.Fatal("() should be EmptySeq")
+	}
+	if _, ok := parseExpr(t, ".").(*ContextItem); !ok {
+		t.Fatal(". should be ContextItem")
+	}
+}
+
+func TestParseFunctionCallsAndCasts(t *testing.T) {
+	e := parseExpr(t, "fn:data($c/CUSTOMERID)")
+	f := e.(*FuncCall)
+	if f.Name != "fn:data" || len(f.Args) != 1 {
+		t.Fatalf("got %#v", f)
+	}
+	p := f.Args[0].(*Path)
+	if p.Base.(*Var).Name != "c" || p.Steps[0].Name != "CUSTOMERID" {
+		t.Fatalf("path = %#v", p)
+	}
+	// xs:* constructor → Cast.
+	c := parseExpr(t, "xs:integer(10)").(*Cast)
+	if c.Type != "xs:integer" || c.Operand.(*NumberLit).Text != "10" {
+		t.Fatalf("cast = %#v", c)
+	}
+	// fn-bea: names.
+	b := parseExpr(t, `fn-bea:if-empty($x, "d")`).(*FuncCall)
+	if b.Name != "fn-bea:if-empty" || len(b.Args) != 2 {
+		t.Fatalf("got %#v", b)
+	}
+}
+
+func TestParsePathsAndFilters(t *testing.T) {
+	// Relative path from a bare name.
+	r := parseExpr(t, "CUSTID").(*RelPath)
+	if r.Steps[0].Name != "CUSTID" {
+		t.Fatalf("got %#v", r)
+	}
+	r = parseExpr(t, "A/B/C").(*RelPath)
+	if len(r.Steps) != 3 || r.Steps[2].Name != "C" {
+		t.Fatalf("got %#v", r)
+	}
+	// Filter with predicate over a function call.
+	f := parseExpr(t, "ns1:PAYMENTS()[($v/CUSTOMERID = CUSTID)]").(*Filter)
+	if f.Base.(*FuncCall).Name != "ns1:PAYMENTS" || len(f.Predicates) != 1 {
+		t.Fatalf("got %#v", f)
+	}
+	// Wildcard step.
+	p := parseExpr(t, "$x/*").(*Path)
+	if p.Steps[0].Name != "*" {
+		t.Fatalf("got %#v", p)
+	}
+	// Step predicates.
+	p = parseExpr(t, "$x/RECORD[2]").(*Path)
+	if len(p.Steps[0].Predicates) != 1 {
+		t.Fatalf("got %#v", p)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	// or < and < comparison < additive < multiplicative
+	e := parseExpr(t, "$a + $b * 2 = 7 and $c or $d")
+	or := e.(*Binary)
+	if or.Op != "or" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	and := or.Left.(*Binary)
+	if and.Op != "and" {
+		t.Fatalf("left = %s", and.Op)
+	}
+	cmp := and.Left.(*Binary)
+	if cmp.Op != "=" {
+		t.Fatalf("cmp = %s", cmp.Op)
+	}
+	add := cmp.Left.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("add = %s", add.Op)
+	}
+	mul := add.Right.(*Binary)
+	if mul.Op != "*" {
+		t.Fatalf("mul = %s", mul.Op)
+	}
+}
+
+func TestParseValueComparisons(t *testing.T) {
+	e := parseExpr(t, `$c/CUSTOMERNAME eq "Sue"`).(*Binary)
+	if e.Op != "eq" {
+		t.Fatalf("op = %s", e.Op)
+	}
+	e = parseExpr(t, "1 lt 2").(*Binary)
+	if e.Op != "lt" {
+		t.Fatalf("op = %s", e.Op)
+	}
+}
+
+func TestParseFLWOR(t *testing.T) {
+	src := `for $c in ns0:CUSTOMERS()
+		let $t := ns1:PAYMENTS()[($c/CUSTOMERID = CUSTID)]
+		where fn:exists($t)
+		order by $c/CUSTOMERNAME descending empty greatest, $c/CUSTOMERID
+		return $c`
+	f := parseExpr(t, src).(*FLWOR)
+	if len(f.Clauses) != 4 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	if f.Clauses[0].(*For).Var != "c" {
+		t.Fatal("for var")
+	}
+	if f.Clauses[1].(*Let).Var != "t" {
+		t.Fatal("let var")
+	}
+	ob := f.Clauses[3].(*OrderByClause)
+	if len(ob.Specs) != 2 || !ob.Specs[0].Descending || !ob.Specs[0].EmptyGreatest || ob.Specs[1].Descending {
+		t.Fatalf("order specs = %+v", ob.Specs)
+	}
+	if f.Return.(*Var).Name != "c" {
+		t.Fatal("return")
+	}
+}
+
+func TestParseGroupByExtension(t *testing.T) {
+	src := `for $r in $inter/RECORD
+		group $r as $part by $r/CUSTID as $k1, $r/CITY as $k2
+		return $k1`
+	f := parseExpr(t, src).(*FLWOR)
+	g := f.Clauses[1].(*GroupBy)
+	if g.InVar != "r" || g.PartitionVar != "part" || len(g.Keys) != 2 {
+		t.Fatalf("group = %+v", g)
+	}
+	if g.Keys[1].Var != "k2" {
+		t.Fatalf("key 2 = %+v", g.Keys[1])
+	}
+}
+
+func TestParseIfQuantified(t *testing.T) {
+	e := parseExpr(t, "if (fn:empty($t)) then () else $t").(*If)
+	if _, ok := e.Then.(*EmptySeq); !ok {
+		t.Fatalf("then = %#v", e.Then)
+	}
+	q := parseExpr(t, "every $x in $vals satisfies ($y > $x)").(*Quantified)
+	if !q.Every || q.Var != "x" {
+		t.Fatalf("quantified = %+v", q)
+	}
+}
+
+func TestParseElementConstructors(t *testing.T) {
+	e := parseExpr(t, "<RECORD><ID>{fn:data($c/CUSTOMERID)}</ID></RECORD>").(*ElementCtor)
+	if e.Name != "RECORD" || len(e.Content) != 1 {
+		t.Fatalf("ctor = %+v", e)
+	}
+	id := e.Content[0].(*ElementCtor)
+	if id.Name != "ID" || len(id.Content) != 1 {
+		t.Fatalf("id = %+v", id)
+	}
+	if _, ok := id.Content[0].(*Enclosed); !ok {
+		t.Fatalf("content = %#v", id.Content[0])
+	}
+	// Empty element.
+	if el := parseExpr(t, "<NIL/>").(*ElementCtor); el.Name != "NIL" || len(el.Content) != 0 {
+		t.Fatalf("empty = %+v", el)
+	}
+	// Dotted names (the paper's qualified output elements).
+	el := parseExpr(t, "<CUSTOMERS.CUSTOMERID>{1}</CUSTOMERS.CUSTOMERID>").(*ElementCtor)
+	if el.Name != "CUSTOMERS.CUSTOMERID" {
+		t.Fatalf("name = %q", el.Name)
+	}
+	// Literal text with escaped braces and entities.
+	el = parseExpr(t, "<T>a{{b}}&lt;c</T>").(*ElementCtor)
+	txt := el.Content[0].(*TextContent)
+	if txt.Text != "a{b}<c" {
+		t.Fatalf("text = %q", txt.Text)
+	}
+}
+
+func TestParseWhitespaceOnlyContentStripped(t *testing.T) {
+	e := parseExpr(t, "<RECORDSET>\n  {\n    1\n  }\n</RECORDSET>").(*ElementCtor)
+	if len(e.Content) != 1 {
+		t.Fatalf("content = %d items: %+v", len(e.Content), e.Content)
+	}
+}
+
+func TestParsePrologAndQuery(t *testing.T) {
+	src := `import schema namespace ns0 =
+  "ld:TestDataServices/CUSTOMERS" at
+  "ld:TestDataServices/schemas/CUSTOMERS.xsd";
+
+<RECORDSET>{for $c in ns0:CUSTOMERS() return $c}</RECORDSET>`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Prolog.SchemaImports) != 1 {
+		t.Fatalf("imports = %+v", q.Prolog.SchemaImports)
+	}
+	imp := q.Prolog.SchemaImports[0]
+	if imp.Prefix != "ns0" || imp.Namespace != "ld:TestDataServices/CUSTOMERS" {
+		t.Fatalf("import = %+v", imp)
+	}
+	if _, ok := q.Body.(*ElementCtor); !ok {
+		t.Fatalf("body = %T", q.Body)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := parseExpr(t, "(: outer (: nested :) comment :) 42")
+	if e.(*NumberLit).Text != "42" {
+		t.Fatalf("got %#v", e)
+	}
+	if _, err := ParseExpr("(: unterminated"); err == nil {
+		t.Fatal("unterminated comment should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"for $x",
+		"for $x in $y",         // missing return
+		"let $x = 1 return $x", // = instead of :=
+		"if ($x) then 1",       // missing else
+		"<A><B></A>",           // mismatched tags
+		"<A>{1</A>",            // unclosed brace
+		`"unterminated`,
+		"$",
+		"fn:data(1",
+		"1 +",
+		"order by",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+// TestParseSerializeFixedPoint: serializing a parsed expression and
+// re-parsing yields an identical serialization. This is the key
+// serializer/parser coherence property.
+func TestParseSerializeFixedPoint(t *testing.T) {
+	srcs := []string{
+		`fn:data($c/CUSTOMERID)`,
+		`ns1:PAYMENTS()[($v/CUSTOMERID = CUSTID)]`,
+		`for $c in ns0:CUSTOMERS() where ($c/CUSTOMERNAME eq "Sue") return <RECORD><ID>{fn:data($c/CUSTOMERID)}</ID></RECORD>`,
+		`if (fn:empty($t)) then () else (1, 2, "three")`,
+		`some $x in $vals satisfies ($x > xs:integer(10))`,
+		`for $r in $i/RECORD group $r as $p by $r/K as $k order by $k descending return fn:count($p)`,
+		`fn:string-join((">", fn-bea:if-empty(fn-bea:xml-escape("x"), "&null;")), "")`,
+		`-($a + 3) * 2`,
+	}
+	for _, src := range srcs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := String(e1)
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s1, src, err)
+		}
+		s2 := String(e2)
+		if s1 != s2 {
+			t.Fatalf("not a fixed point:\n1: %s\n2: %s", s1, s2)
+		}
+	}
+}
+
+func TestParseTagVsComparison(t *testing.T) {
+	// '<' followed by space is a comparison, followed by a name is a tag.
+	e := parseExpr(t, "$a < $b").(*Binary)
+	if e.Op != "<" {
+		t.Fatalf("op = %s", e.Op)
+	}
+	if _, ok := parseExpr(t, "<A/>").(*ElementCtor); !ok {
+		t.Fatal("tag not recognized")
+	}
+	lt := parseExpr(t, "($a <$b)").(*Binary) // '<$' is comparison, not a tag
+	if lt.Op != "<" {
+		t.Fatalf("op = %s", lt.Op)
+	}
+}
+
+func TestParseNestedElementsWithSiblingText(t *testing.T) {
+	e := parseExpr(t, "<R>before<A>x</A>after</R>").(*ElementCtor)
+	if len(e.Content) != 3 {
+		t.Fatalf("content = %d", len(e.Content))
+	}
+	if e.Content[0].(*TextContent).Text != "before" ||
+		e.Content[1].(*ElementCtor).Name != "A" ||
+		e.Content[2].(*TextContent).Text != "after" {
+		t.Fatalf("content = %#v", e.Content)
+	}
+}

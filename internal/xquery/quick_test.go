@@ -1,0 +1,79 @@
+package xquery
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the XQuery parser terminates without panicking on arbitrary
+// input.
+func TestQuickXQueryParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fragment soup assembled from dialect pieces never panics, and
+// whatever parses re-serializes to a fixed point.
+func TestQuickXQueryFragmentSoup(t *testing.T) {
+	fragments := []string{
+		"for", "let", "where", "order by", "group", "return", "in", "as", "by",
+		"$x", "$y", "$part", ":=", "if", "then", "else", "some", "every",
+		"satisfies", "and", "or", "div", "mod", "eq", "ne", "descending",
+		"fn:data", "fn:count", "ns0:CUSTOMERS", "xs:integer", "fn-bea:if-empty",
+		"(", ")", "[", "]", "{", "}", ",", "/", "+", "-", "*", "=", "<", ">",
+		`"str"`, "42", "2.5", ".", "<A>", "</A>", "<A/>", "CUSTID", "RECORD",
+	}
+	parsed := 0
+	f := func(seed []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		src := ""
+		for _, b := range seed {
+			src += fragments[int(b)%len(fragments)] + " "
+		}
+		q, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		parsed++
+		s1 := (&Query{Prolog: q.Prolog, Body: q.Body}).Serialize()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Logf("re-parse failed for %q → %q: %v", src, s1, err)
+			return false
+		}
+		s2 := (&Query{Prolog: q2.Prolog, Body: q2.Body}).Serialize()
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string literals round-trip through quoting and parsing.
+func TestQuickStringLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		e, err := ParseExpr(String(Str(s)))
+		if err != nil {
+			return false
+		}
+		lit, ok := e.(*StringLit)
+		return ok && lit.Value == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

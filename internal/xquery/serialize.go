@@ -1,0 +1,338 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Serialize renders the query as XQuery source in the paper's layout:
+// schema imports first, then the body with FLWOR clauses on separate lines
+// and nested constructors indented.
+func (q *Query) Serialize() string {
+	var w writer
+	for _, imp := range q.Prolog.SchemaImports {
+		w.linef("import schema namespace %s =", imp.Prefix)
+		w.indent++
+		w.linef("%q at", imp.Namespace)
+		w.linef("%q;", imp.Location)
+		w.indent--
+	}
+	if len(q.Prolog.SchemaImports) > 0 {
+		w.blank()
+	}
+	writeExpr(&w, q.Body)
+	w.flushLine()
+	return w.b.String()
+}
+
+// String renders a single expression (used in tests and error messages).
+func String(e Expr) string {
+	var w writer
+	writeExpr(&w, e)
+	w.flushLine()
+	return strings.TrimRight(w.b.String(), "\n")
+}
+
+// writer accumulates pretty-printed output with indentation.
+type writer struct {
+	b      strings.Builder
+	indent int
+	line   strings.Builder
+}
+
+func (w *writer) emit(s string) {
+	if w.line.Len() == 0 && s != "" {
+		for i := 0; i < w.indent; i++ {
+			w.line.WriteString("  ")
+		}
+	}
+	w.line.WriteString(s)
+}
+
+func (w *writer) emitf(format string, args ...any) {
+	w.emit(fmt.Sprintf(format, args...))
+}
+
+func (w *writer) flushLine() {
+	if w.line.Len() > 0 {
+		w.b.WriteString(w.line.String())
+		w.b.WriteByte('\n')
+		w.line.Reset()
+	}
+}
+
+func (w *writer) linef(format string, args ...any) {
+	w.emitf(format, args...)
+	w.flushLine()
+}
+
+func (w *writer) blank() {
+	w.flushLine()
+	w.b.WriteByte('\n')
+}
+
+func writeExpr(w *writer, e Expr) {
+	switch e := e.(type) {
+	case *StringLit:
+		w.emit(quoteString(e.Value))
+	case *NumberLit:
+		w.emit(e.Text)
+	case *EmptySeq:
+		w.emit("()")
+	case *Var:
+		w.emit("$" + e.Name)
+	case *ContextItem:
+		w.emit(".")
+	case *RelPath:
+		writeSteps(w, e.Steps, false)
+	case *FuncCall:
+		w.emit(e.Name + "(")
+		for i, a := range e.Args {
+			if i > 0 {
+				w.emit(", ")
+			}
+			writeExpr(w, a)
+		}
+		w.emit(")")
+	case *Path:
+		writeBase(w, e.Base)
+		writeSteps(w, e.Steps, true)
+	case *Filter:
+		writeBase(w, e.Base)
+		for _, p := range e.Predicates {
+			w.emit("[")
+			writeExpr(w, p)
+			w.emit("]")
+		}
+	case *Binary:
+		w.emit("(")
+		writeExpr(w, e.Left)
+		w.emit(" " + e.Op + " ")
+		writeExpr(w, e.Right)
+		w.emit(")")
+	case *Unary:
+		w.emit(e.Op)
+		writeExpr(w, e.Operand)
+	case *If:
+		w.emit("if (")
+		writeExpr(w, e.Cond)
+		w.emit(") then")
+		w.flushLine()
+		w.indent++
+		writeExpr(w, e.Then)
+		w.flushLine()
+		w.indent--
+		w.linef("else")
+		w.indent++
+		writeExpr(w, e.Else)
+		w.flushLine()
+		w.indent--
+	case *Cast:
+		w.emit(e.Type + "(")
+		writeExpr(w, e.Operand)
+		w.emit(")")
+	case *Seq:
+		w.emit("(")
+		for i, it := range e.Items {
+			if i > 0 {
+				w.emit(", ")
+			}
+			writeExpr(w, it)
+		}
+		w.emit(")")
+	case *Quantified:
+		if e.Every {
+			w.emit("every ")
+		} else {
+			w.emit("some ")
+		}
+		w.emit("$" + e.Var + " in ")
+		writeExpr(w, e.In)
+		w.emit(" satisfies ")
+		writeExpr(w, e.Satisfies)
+	case *FLWOR:
+		writeFLWOR(w, e)
+	case *ElementCtor:
+		writeElement(w, e)
+	default:
+		w.emitf("(: unknown expression %T :)", e)
+	}
+}
+
+// writeBase renders the base of a path or filter, parenthesizing
+// expression forms the XQuery grammar does not allow bare in that position
+// (FLWOR, conditionals, constructors, unary minus).
+func writeBase(w *writer, e Expr) {
+	switch e.(type) {
+	case *FLWOR, *If, *Quantified, *ElementCtor, *Unary:
+		w.emit("(")
+		writeExpr(w, e)
+		w.emit(")")
+	default:
+		writeExpr(w, e)
+	}
+}
+
+func writeSteps(w *writer, steps []PathStep, leadingSlash bool) {
+	for i, s := range steps {
+		if leadingSlash || i > 0 {
+			w.emit("/")
+		}
+		w.emit(s.Name)
+		for _, p := range s.Predicates {
+			w.emit("[")
+			writeExpr(w, p)
+			w.emit("]")
+		}
+	}
+}
+
+func writeFLWOR(w *writer, f *FLWOR) {
+	w.flushLine()
+	for _, c := range f.Clauses {
+		switch c := c.(type) {
+		case *For:
+			w.emit("for $" + c.Var)
+			if c.At != "" {
+				w.emit(" at $" + c.At)
+			}
+			w.emit(" in ")
+			writeExpr(w, c.In)
+			w.flushLine()
+		case *Let:
+			w.emit("let $" + c.Var + " := ")
+			writeExpr(w, c.Expr)
+			w.flushLine()
+		case *Where:
+			w.emit("where ")
+			writeExpr(w, c.Cond)
+			w.flushLine()
+		case *GroupBy:
+			w.emitf("group $%s as $%s by ", c.InVar, c.PartitionVar)
+			for i, k := range c.Keys {
+				if i > 0 {
+					w.emit(", ")
+				}
+				writeExpr(w, k.Expr)
+				w.emit(" as $" + k.Var)
+			}
+			w.flushLine()
+		case *OrderByClause:
+			w.emit("order by ")
+			for i, s := range c.Specs {
+				if i > 0 {
+					w.emit(", ")
+				}
+				writeExpr(w, s.Expr)
+				if s.Descending {
+					w.emit(" descending")
+				}
+				if s.EmptyGreatest {
+					w.emit(" empty greatest")
+				}
+			}
+			w.flushLine()
+		}
+	}
+	w.linef("return")
+	w.indent++
+	writeExpr(w, f.Return)
+	w.flushLine()
+	w.indent--
+}
+
+func writeElement(w *writer, e *ElementCtor) {
+	// Single enclosed expression or single text renders inline:
+	// <ID>{fn:data($v/CUSTOMERID)}</ID>
+	if len(e.Content) == 1 {
+		switch c := e.Content[0].(type) {
+		case *Enclosed:
+			if inlineable(c.Expr) {
+				w.emit("<" + e.Name + ">{")
+				writeExpr(w, c.Expr)
+				w.emit("}</" + e.Name + ">")
+				w.flushLine()
+				return
+			}
+		case *TextContent:
+			w.emit("<" + e.Name + ">" + escapeText(c.Text) + "</" + e.Name + ">")
+			w.flushLine()
+			return
+		}
+	}
+	if len(e.Content) == 0 {
+		w.emit("<" + e.Name + "/>")
+		w.flushLine()
+		return
+	}
+	w.linef("<%s>", e.Name)
+	w.indent++
+	for _, c := range e.Content {
+		switch c := c.(type) {
+		case *TextContent:
+			w.linef("%s", escapeText(c.Text))
+		case *ElementCtor:
+			writeElement(w, c)
+		case *Enclosed:
+			w.linef("{")
+			w.indent++
+			writeExpr(w, c.Expr)
+			w.flushLine()
+			w.indent--
+			w.linef("}")
+		}
+	}
+	w.indent--
+	w.linef("</%s>", e.Name)
+}
+
+// inlineable reports whether an enclosed expression is compact enough to
+// render on one line inside its element.
+func inlineable(e Expr) bool {
+	switch e := e.(type) {
+	case *FLWOR, *If, *ElementCtor:
+		return false
+	case *Seq:
+		for _, it := range e.Items {
+			if !inlineable(it) {
+				return false
+			}
+		}
+		return true
+	case *FuncCall:
+		for _, a := range e.Args {
+			if !inlineable(a) {
+				return false
+			}
+		}
+		return true
+	case *Binary:
+		return inlineable(e.Left) && inlineable(e.Right)
+	case *Filter:
+		if !inlineable(e.Base) {
+			return false
+		}
+		for _, p := range e.Predicates {
+			if !inlineable(p) {
+				return false
+			}
+		}
+		return true
+	case *Cast:
+		return inlineable(e.Operand)
+	default:
+		return true
+	}
+}
+
+func quoteString(s string) string {
+	// XQuery recognizes predefined entity references inside string
+	// literals, so a literal ampersand must be written as &amp;; the
+	// quote character is escaped by doubling.
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func escapeText(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "{", "{{", "}", "}}").Replace(s)
+}

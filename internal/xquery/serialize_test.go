@@ -1,0 +1,256 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeSimpleFLWOR(t *testing.T) {
+	// The paper's Example 6 shape: SELECT CUSTOMERID ID FROM CUSTOMERS.
+	q := &Query{
+		Prolog: Prolog{SchemaImports: []SchemaImport{{
+			Prefix:    "ns0",
+			Namespace: "ld:TestDataServices/CUSTOMERS",
+			Location:  "ld:TestDataServices/schemas/CUSTOMERS.xsd",
+		}}},
+		Body: &ElementCtor{Name: "RECORDSET", Content: []ElemContent{
+			&Enclosed{Expr: &FLWOR{
+				Clauses: []Clause{
+					&For{Var: "var1FR0", In: Call("ns0:CUSTOMERS")},
+				},
+				Return: &ElementCtor{Name: "RECORD", Content: []ElemContent{
+					TextElem("ID", Call("fn:data", ChildPath("var1FR0", "CUSTOMERID"))),
+				}},
+			}},
+		}},
+	}
+	out := q.Serialize()
+	for _, want := range []string{
+		"import schema namespace ns0 =",
+		`"ld:TestDataServices/CUSTOMERS" at`,
+		`"ld:TestDataServices/schemas/CUSTOMERS.xsd";`,
+		"<RECORDSET>",
+		"for $var1FR0 in ns0:CUSTOMERS()",
+		"return",
+		"<RECORD>",
+		"<ID>{fn:data($var1FR0/CUSTOMERID)}</ID>",
+		"</RECORD>",
+		"</RECORDSET>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serialized query missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSerializeLetWhereOrder(t *testing.T) {
+	f := &FLWOR{
+		Clauses: []Clause{
+			&Let{Var: "tmp", Expr: Call("ns0:T")},
+			&For{Var: "x", In: ChildPath("tmp", "RECORD")},
+			&Where{Cond: &Binary{Op: ">", Left: ChildPath("x", "ID"), Right: &Cast{Type: "xs:integer", Operand: Num("10")}}},
+			&OrderByClause{Specs: []OrderSpec{
+				{Expr: ChildPath("x", "NAME")},
+				{Expr: ChildPath("x", "ID"), Descending: true},
+			}},
+		},
+		Return: VarRef("x"),
+	}
+	out := String(f)
+	for _, want := range []string{
+		"let $tmp := ns0:T()",
+		"for $x in $tmp/RECORD",
+		"where ($x/ID > xs:integer(10))",
+		"order by $x/NAME, $x/ID descending",
+		"return",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSerializeGroupBy(t *testing.T) {
+	f := &FLWOR{
+		Clauses: []Clause{
+			&For{Var: "r", In: ChildPath("inter", "RECORD")},
+			&GroupBy{InVar: "r", PartitionVar: "var1Partition1", Keys: []GroupKey{
+				{Expr: ChildPath("r", "CUSTOMERID"), Var: "var1GB4"},
+				{Expr: ChildPath("r", "CUSTOMERNAME"), Var: "var1GB5"},
+			}},
+		},
+		Return: VarRef("var1GB4"),
+	}
+	out := String(f)
+	want := "group $r as $var1Partition1 by $r/CUSTOMERID as $var1GB4, $r/CUSTOMERNAME as $var1GB5"
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing %q in:\n%s", want, out)
+	}
+}
+
+func TestSerializeIfThenElse(t *testing.T) {
+	e := &If{
+		Cond: Call("fn:empty", VarRef("t")),
+		Then: &ElementCtor{Name: "A"},
+		Else: &ElementCtor{Name: "B"},
+	}
+	out := String(e)
+	for _, want := range []string{"if (fn:empty($t)) then", "<A/>", "else", "<B/>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSerializeFilterPredicate(t *testing.T) {
+	// The paper's outer-join filter: ns1:PAYMENTS()[($v/CUSTOMERID = CUSTID)]
+	e := &Filter{
+		Base: Call("ns1:PAYMENTS"),
+		Predicates: []Expr{&Binary{
+			Op:    "=",
+			Left:  ChildPath("var1FR2", "CUSTOMERID"),
+			Right: &RelPath{Steps: []PathStep{{Name: "CUSTID"}}},
+		}},
+	}
+	got := String(e)
+	want := "ns1:PAYMENTS()[($var1FR2/CUSTOMERID = CUSTID)]"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestSerializeQuantified(t *testing.T) {
+	e := &Quantified{
+		Var:       "x",
+		In:        Call("ns0:T"),
+		Satisfies: &Binary{Op: "=", Left: &RelPath{Steps: []PathStep{{Name: "A"}}}, Right: Num("1")},
+	}
+	if got := String(e); got != "some $x in ns0:T() satisfies (A = 1)" {
+		t.Fatalf("got %q", got)
+	}
+	e.Every = true
+	if got := String(e); !strings.HasPrefix(got, "every ") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeStringEscaping(t *testing.T) {
+	// XQuery string literals double quotes and escape ampersands
+	// (entity references are recognized inside literals); '<' is legal.
+	if got := String(Str(`say "hi" & <bye>`)); got != `"say ""hi"" &amp; <bye>"` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeTextContentEscaping(t *testing.T) {
+	e := &ElementCtor{Name: "T", Content: []ElemContent{&TextContent{Text: "a{b}<c>"}}}
+	got := String(e)
+	if got != "<T>a{{b}}&lt;c&gt;</T>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeSeqAndEmpty(t *testing.T) {
+	if got := String(&Seq{Items: []Expr{Num("1"), Str("x")}}); got != `(1, "x")` {
+		t.Fatalf("got %q", got)
+	}
+	if got := String(&EmptySeq{}); got != "()" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeUnaryAndContext(t *testing.T) {
+	if got := String(&Unary{Op: "-", Operand: Num("5")}); got != "-5" {
+		t.Fatalf("got %q", got)
+	}
+	if got := String(&ContextItem{}); got != "." {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeForAt(t *testing.T) {
+	f := &FLWOR{
+		Clauses: []Clause{&For{Var: "x", At: "i", In: Call("ns0:T")}},
+		Return:  VarRef("i"),
+	}
+	if !strings.Contains(String(f), "for $x at $i in ns0:T()") {
+		t.Fatalf("got:\n%s", String(f))
+	}
+}
+
+func TestWalkExprsVisitsEverything(t *testing.T) {
+	f := &FLWOR{
+		Clauses: []Clause{
+			&For{Var: "x", In: Call("ns0:T")},
+			&Let{Var: "y", Expr: &Filter{Base: Call("ns1:U"), Predicates: []Expr{&Binary{Op: "=", Left: &RelPath{Steps: []PathStep{{Name: "K"}}}, Right: Num("1")}}}},
+			&Where{Cond: &Binary{Op: "and", Left: Call("fn:exists", VarRef("y")), Right: Call("fn:not", Call("fn:empty", VarRef("x")))}},
+			&GroupBy{InVar: "x", PartitionVar: "p", Keys: []GroupKey{{Expr: ChildPath("x", "G"), Var: "g"}}},
+			&OrderByClause{Specs: []OrderSpec{{Expr: ChildPath("x", "O")}}},
+		},
+		Return: &ElementCtor{Name: "R", Content: []ElemContent{
+			&Enclosed{Expr: &If{Cond: Call("fn:empty", VarRef("p")), Then: &EmptySeq{}, Else: &Cast{Type: "xs:string", Operand: VarRef("g")}}},
+			&ElementCtor{Name: "S", Content: []ElemContent{&Enclosed{Expr: &Quantified{Var: "q", In: VarRef("p"), Satisfies: &Unary{Op: "-", Operand: Num("1")}}}}},
+		}},
+	}
+	calls := map[string]int{}
+	WalkExprs(f, func(e Expr) bool {
+		calls[strings.TrimPrefix(strings.TrimPrefix(typeName(e), "*xquery."), "xquery.")]++
+		return true
+	})
+	for _, typ := range []string{"FLWOR", "FuncCall", "Filter", "Binary", "RelPath", "NumberLit", "Var", "GroupBy...no"} {
+		_ = typ
+	}
+	expectAtLeast := map[string]int{
+		"FuncCall": 5, "Var": 5, "Binary": 2, "Filter": 1, "If": 1,
+		"Cast": 1, "Quantified": 1, "ElementCtor": 2, "EmptySeq": 1, "Unary": 1,
+	}
+	for typ, n := range expectAtLeast {
+		if calls[typ] < n {
+			t.Fatalf("WalkExprs visited %s %d times, want >= %d (all: %v)", typ, calls[typ], n, calls)
+		}
+	}
+}
+
+func typeName(e Expr) string {
+	switch e.(type) {
+	case *FLWOR:
+		return "FLWOR"
+	case *FuncCall:
+		return "FuncCall"
+	case *Var:
+		return "Var"
+	case *Binary:
+		return "Binary"
+	case *Filter:
+		return "Filter"
+	case *If:
+		return "If"
+	case *Cast:
+		return "Cast"
+	case *Quantified:
+		return "Quantified"
+	case *ElementCtor:
+		return "ElementCtor"
+	case *EmptySeq:
+		return "EmptySeq"
+	case *Unary:
+		return "Unary"
+	default:
+		return "other"
+	}
+}
+
+func TestFuncName(t *testing.T) {
+	p, l := FuncName("fn:data")
+	if p != "fn" || l != "data" {
+		t.Fatalf("got %q %q", p, l)
+	}
+	p, l = FuncName("fn-bea:if-empty")
+	if p != "fn-bea" || l != "if-empty" {
+		t.Fatalf("got %q %q", p, l)
+	}
+	p, l = FuncName("local")
+	if p != "" || l != "local" {
+		t.Fatalf("got %q %q", p, l)
+	}
+}
