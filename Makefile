@@ -1,0 +1,30 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race fuzz bench clean
+
+ci: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz smoke: run each native fuzz target briefly. Corpus crashers found
+# by longer runs land in testdata/fuzz/ and replay as regular tests.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=$(FUZZTIME) ./internal/sqlparser/
+	$(GO) test -run='^$$' -fuzz=FuzzTranslate -fuzztime=$(FUZZTIME) ./internal/translator/
+
+bench:
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json
+
+clean:
+	$(GO) clean -testcache

@@ -31,11 +31,13 @@ package aqualogic
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/demo"
 	"repro/internal/driver"
+	"repro/internal/obsv"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
@@ -69,6 +71,18 @@ type (
 	Element = xdm.Element
 	// Sequence is an XQuery value sequence.
 	Sequence = xdm.Sequence
+	// Trace is a per-query stage trace (lex → … → evaluate) recorded by
+	// the observability layer.
+	Trace = obsv.Trace
+	// StageEvent is one completed stage record; install a hook on a Trace
+	// to stream them.
+	StageEvent = obsv.StageEvent
+	// PipelineStats is a snapshot of pipeline metrics (counters plus
+	// per-stage timing aggregates).
+	PipelineStats = obsv.Snapshot
+	// ConnStats is the per-connection snapshot the driver exposes through
+	// database/sql's Conn.Raw (see driver.StatsReporter).
+	ConnStats = driver.ConnStats
 )
 
 // SQL column types for building catalogs.
@@ -113,7 +127,8 @@ type Platform struct {
 	// metadata API on every uncached lookup.
 	MetadataLatency time.Duration
 
-	cache *catalog.Cache
+	cacheMu sync.Mutex
+	cache   *catalog.Cache
 }
 
 // New creates a platform over application metadata and an engine.
@@ -130,8 +145,11 @@ func Demo() *Platform {
 }
 
 // metaSource builds the metadata stack: application (→ simulated remote)
-// → client-side cache.
+// → client-side cache. Lazy construction is guarded so concurrent callers
+// (parallel Translate/Query, RegisterDriver) share one cache.
 func (p *Platform) metaSource() catalog.Source {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
 	if p.cache == nil {
 		var src catalog.Source = p.App
 		if p.MetadataLatency > 0 {
@@ -219,12 +237,39 @@ func (p *Platform) RegisterDriver(name string) {
 	})
 }
 
+// metaCache returns the platform's cache if it has been built yet.
+func (p *Platform) metaCache() *catalog.Cache {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return p.cache
+}
+
 // MetadataStats reports the metadata cache's hit/miss counters.
 func (p *Platform) MetadataStats() catalog.CacheStats {
-	if p.cache == nil {
-		return catalog.CacheStats{}
+	if c := p.metaCache(); c != nil {
+		return c.Stats()
 	}
-	return p.cache.Stats()
+	return catalog.CacheStats{}
+}
+
+// Explain runs a traced translation: the returned Trace holds one stage
+// record per pipeline stage (lex, parse, semantic-validate, restructure,
+// generate, serialize) with wall time, sizes, and stage detail — the
+// programmatic form of the driver's EXPLAIN statement.
+func (p *Platform) Explain(sql string, mode ResultMode) (*Translation, *Trace, error) {
+	tr := obsv.NewTrace(sql)
+	tr.Hook = obsv.Global.ObserveStage
+	res, err := p.Translator(mode).TranslateTraced(sql, tr)
+	return res, tr, err
+}
+
+// Stats snapshots the process-wide pipeline metrics (queries translated
+// and executed, cache hits/misses, rows materialized, evaluator steps,
+// per-stage timing aggregates). Per-connection figures are available via
+// the driver's Stats() (see driver.StatsReporter); the platform's own
+// metadata-cache counters via MetadataStats.
+func Stats() PipelineStats {
+	return obsv.Global.Snapshot()
 }
 
 // ToAtomic converts a Go value to an XQuery atomic value, accepting the
@@ -309,8 +354,8 @@ func (p *Platform) DefineView(path, name, sql string) error {
 	fn := catalog.NewRelationalImport(path, name, cols)
 	p.App.AddDSFile(&DSFile{Path: path, Name: name, Functions: []*Function{fn}})
 	// The metadata cache may hold a negative entry for the new name.
-	if p.cache != nil {
-		p.cache.Invalidate()
+	if c := p.metaCache(); c != nil {
+		c.Invalidate()
 	}
 
 	query := res.Query

@@ -3,9 +3,11 @@
 // to pointing a JDBC console at the paper's system.
 //
 // Supported statements: SQL-92 SELECT (translated to XQuery and executed),
-// SHOW CATALOGS/SCHEMAS/TABLES/PROCEDURES, SHOW COLUMNS FROM <t>,
-// CALL <proc>(args), plus the shell commands \x (print the XQuery a SELECT
-// translates to) and \q (quit).
+// EXPLAIN <select> (stage-by-stage translation trace, cache effect, query
+// contexts, and the generated XQuery), SHOW CATALOGS/SCHEMAS/TABLES/
+// PROCEDURES, SHOW COLUMNS FROM <t>, CALL <proc>(args), plus the shell
+// commands \x (print the XQuery a SELECT translates to), \c (query
+// contexts), \s (pipeline metrics snapshot), and \q (quit).
 package main
 
 import (
@@ -30,8 +32,9 @@ func main() {
 	defer db.Close()
 
 	fmt.Println("aqlshell — SQL over the AquaLogic-style demo deployment")
-	fmt.Println(`type SQL (SELECT/SHOW/CALL), "\x SELECT ..." to see the XQuery,`)
-	fmt.Println(`"\c SELECT ..." to see the query contexts (Figure 4), "\q" to quit`)
+	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
+	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
+	fmt.Println(`contexts (Figure 4), "\s" for pipeline metrics, "\q" to quit`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -54,6 +57,10 @@ func main() {
 				continue
 			}
 			fmt.Println(xq)
+		case line == `\s`:
+			aqualogic.Stats().Render(os.Stdout)
+			cache := p.MetadataStats()
+			fmt.Printf("platform metadata cache: hits=%d misses=%d\n", cache.Hits, cache.Misses)
 		case strings.HasPrefix(line, `\c `):
 			res, err := p.Translate(strings.TrimPrefix(line, `\c `), aqualogic.ModeXML)
 			if err != nil {

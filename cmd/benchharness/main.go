@@ -1,11 +1,17 @@
 // Command benchharness regenerates every experiment table recorded in
 // EXPERIMENTS.md: the §4 result-handling sweep (P1), translation latency
-// per query class (P2), and the metadata cache study (P3). The same code
-// paths back the testing.B benchmarks in bench_test.go; this binary prints
-// the paper-style rows directly.
+// per query class (P2), the metadata cache study (P3), and the per-stage
+// pipeline breakdown recorded through the observability layer (P4). The
+// same code paths back the testing.B benchmarks in bench_test.go; this
+// binary prints the paper-style rows directly.
+//
+// With -stagejson, the P4 per-stage timings are additionally written as
+// machine-readable JSON (conventionally BENCH_stages.json), so later perf
+// work can diff stage-level numbers instead of only end-to-end latency.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,8 +19,19 @@ import (
 )
 
 func main() {
+	stageJSON := flag.String("stagejson", "", "also write the per-stage breakdown as JSON to this path (e.g. BENCH_stages.json)")
+	stageIters := flag.Int("stageiters", 50, "iterations per workload class for the stage breakdown JSON")
+	flag.Parse()
+
 	if err := bench.Report(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
+	}
+	if *stageJSON != "" {
+		if err := bench.WriteStageJSON(*stageJSON, *stageIters); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote per-stage timings to %s\n", *stageJSON)
 	}
 }

@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	sql2xq [-mode xml|text] [-columns] "SELECT * FROM CUSTOMERS"
+//	sql2xq [-mode xml|text] [-columns] [-explain] "SELECT * FROM CUSTOMERS"
 //	echo "SELECT ..." | sql2xq
+//
+// -explain prints the stage-by-stage translation trace (wall time, sizes,
+// stage detail) and the catalog cache effect before the generated query.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 func main() {
 	mode := flag.String("mode", "xml", "result handling mode: xml (RECORDSET output) or text (§4 delimiter-separated wrapper)")
 	columns := flag.Bool("columns", false, "also print the computed result schema")
+	explain := flag.Bool("explain", false, "print the stage trace (lex/parse/…/serialize timings and detail) before the query")
 	flag.Parse()
 
 	var sql string
@@ -47,9 +51,26 @@ func main() {
 	}
 
 	p := aqualogic.Demo()
-	res, err := p.Translate(sql, resultMode)
-	if err != nil {
-		fatal(err)
+	var res *aqualogic.Translation
+	var err error
+	if *explain {
+		var trace *aqualogic.Trace
+		res, trace, err = p.Explain(sql, resultMode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("-- stage trace:")
+		trace.Render(os.Stdout, true)
+		cache := p.MetadataStats()
+		fmt.Printf("-- catalog cache: hits=%d misses=%d\n", cache.Hits, cache.Misses)
+		fmt.Println("-- query contexts (stage one):")
+		fmt.Print(res.Contexts.Tree())
+		fmt.Println("-- generated XQuery (stage three):")
+	} else {
+		res, err = p.Translate(sql, resultMode)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(res.XQuery())
 	if *columns {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,11 +22,13 @@ import (
 	"strings"
 
 	"repro/internal/demo"
+	"repro/internal/obsv"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
 
 func main() {
+	stats := flag.Bool("stats", false, "print evaluation stats (wall time, evaluator steps, result size) to stderr")
 	flag.Parse()
 	var src string
 	if flag.NArg() > 0 {
@@ -58,9 +61,16 @@ func main() {
 	if err := engine.Check(q, nil); err != nil {
 		fatal(err)
 	}
-	out, err := engine.Eval(q)
+	tr := obsv.NewTrace(src)
+	out, err := engine.EvalWithTrace(context.Background(), q, nil, tr)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats {
+		if ev, ok := tr.Stage(obsv.StageEvaluate); ok {
+			fmt.Fprintf(os.Stderr, "evaluate: %s, steps=%d, items=%d\n",
+				ev.Duration, ev.DetailValue("steps"), ev.OutSize)
+		}
 	}
 	for _, it := range out {
 		switch v := it.(type) {

@@ -17,7 +17,11 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportMetadataCache(w)
+	if err := ReportMetadataCache(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ReportStageBreakdown(w)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStageBreakdown(t *testing.T) {
+	points, err := RunStageBreakdown(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(TranslationWorkload) {
+		t.Fatalf("%d points for %d classes", len(points), len(TranslationWorkload))
+	}
+	for _, p := range points {
+		for _, stage := range []string{"lex", "parse", "semantic-validate", "restructure", "generate", "serialize", "evaluate"} {
+			if _, ok := p.StageNanos[stage]; !ok {
+				t.Errorf("class %s missing stage %q: %v", p.Name, stage, p.StageNanos)
+			}
+		}
+		if p.TotalNanos() <= 0 {
+			t.Errorf("class %s has no recorded time", p.Name)
+		}
+		if p.Detail["contexts"] == 0 {
+			t.Errorf("class %s detail missing contexts: %v", p.Name, p.Detail)
+		}
+	}
+}
+
+func TestWriteStageJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_stages.json")
+	if err := WriteStageJSON(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc StageReport
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Iters != 1 || len(doc.Classes) != len(TranslationWorkload) {
+		t.Fatalf("report = %+v", doc)
+	}
+	for _, c := range doc.Classes {
+		if c.StageNanos["restructure"] <= 0 {
+			t.Errorf("class %s: restructure time missing after JSON round trip", c.Name)
+		}
+	}
+}

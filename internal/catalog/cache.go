@@ -3,6 +3,8 @@ package catalog
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // Remote wraps a Source and injects a fixed latency per call, simulating
@@ -80,16 +82,19 @@ func NewCache(src Source) *Cache {
 	return &Cache{Inner: src, entries: make(map[TableRef]cacheEntry)}
 }
 
-// Lookup implements Source, consulting the cache first.
+// Lookup implements Source, consulting the cache first. Hits and misses
+// are counted both per cache (Stats) and process-wide (obsv.Global).
 func (c *Cache) Lookup(ref TableRef) (*TableMeta, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[ref]; ok {
 		c.stats.Hits++
 		c.mu.Unlock()
+		obsv.Global.CacheHits.Inc()
 		return e.meta, e.err
 	}
 	c.stats.Misses++
 	c.mu.Unlock()
+	obsv.Global.CacheMisses.Inc()
 
 	meta, err := c.Inner.Lookup(ref)
 

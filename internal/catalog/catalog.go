@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/xdm"
 )
@@ -230,14 +231,30 @@ func (d *DSFile) Function(name string) (*Function, bool) {
 	return nil, false
 }
 
-// Application is an AquaLogic DSP application: the SQL catalog.
+// Application is an AquaLogic DSP application: the SQL catalog. Deployed
+// applications change at runtime (DefineView adds virtual .ds files while
+// connections keep querying), so the file list is guarded.
 type Application struct {
-	Name    string
-	DSFiles []*DSFile
+	Name string
+
+	mu      sync.RWMutex
+	DSFiles []*DSFile // guarded by mu; mutate via AddDSFile, read via dsFiles
 }
 
 // AddDSFile appends a data service file to the application.
-func (a *Application) AddDSFile(d *DSFile) { a.DSFiles = append(a.DSFiles, d) }
+func (a *Application) AddDSFile(d *DSFile) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.DSFiles = append(a.DSFiles, d)
+}
+
+// dsFiles snapshots the file list for lock-free iteration (DSFile
+// contents are immutable after registration; only the list grows).
+func (a *Application) dsFiles() []*DSFile {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.DSFiles
+}
 
 // TableRef identifies a table (data service function) by the SQL names the
 // driver exposes. Schema and Catalog may be empty for unqualified
@@ -308,7 +325,7 @@ func (a *Application) Lookup(ref TableRef) (*TableMeta, error) {
 		return nil, &NotFoundError{Ref: ref}
 	}
 	var matches []*TableMeta
-	for _, ds := range a.DSFiles {
+	for _, ds := range a.dsFiles() {
 		if ref.Schema != "" && !schemaMatches(ref.Schema, ds) {
 			continue
 		}
@@ -345,7 +362,7 @@ func schemaMatches(ref string, ds *DSFile) bool {
 // Tables implements Source.
 func (a *Application) Tables() ([]*TableMeta, error) {
 	var out []*TableMeta
-	for _, ds := range a.DSFiles {
+	for _, ds := range a.dsFiles() {
 		for _, f := range ds.Functions {
 			if f.IsTable() {
 				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})
@@ -364,7 +381,7 @@ func (a *Application) Tables() ([]*TableMeta, error) {
 // Procedures implements Source.
 func (a *Application) Procedures() ([]*TableMeta, error) {
 	var out []*TableMeta
-	for _, ds := range a.DSFiles {
+	for _, ds := range a.dsFiles() {
 		for _, f := range ds.Functions {
 			if !f.IsTable() {
 				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})

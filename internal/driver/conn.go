@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obsv"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
@@ -17,12 +18,13 @@ import (
 
 // conn is one connection: a translator with its own metadata cache (the
 // paper's per-connection fetch-and-cache behavior) plus the execution
-// engine.
+// engine and the per-connection metrics behind Stats().
 type conn struct {
 	srv        *Server
 	engine     *xqeval.Engine
 	translator *translator.Translator
 	cache      *catalog.Cache
+	obs        *obsv.Metrics
 	closed     bool
 }
 
@@ -35,7 +37,7 @@ func newConn(srv *Server, mode string) *conn {
 	} else {
 		tr.Options.Mode = translator.ModeText
 	}
-	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache}
+	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache, obs: &obsv.Metrics{}}
 }
 
 // Prepare implements driver.Conn: statements translate once here and
@@ -56,10 +58,14 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	case strings.HasPrefix(upper, "CREATE VIEW "):
 		return newCreateViewStmt(c, trimmed)
 	}
-	res, err := c.translator.Translate(query)
+	tr := obsv.NewTrace(query)
+	tr.Hook = c.observeStage
+	res, err := c.translator.TranslateTraced(query, tr)
 	if err != nil {
+		c.obs.TranslateErrors.Inc()
 		return nil, err
 	}
+	c.obs.QueriesTranslated.Inc()
 	return &stmt{conn: c, res: res}, nil
 }
 
@@ -116,31 +122,41 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (driver.Ro
 		}
 		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
 	}
-	out, err := s.conn.engine.EvalWithContext(ctx, s.res.Query, ext)
+	tr := obsv.NewTrace(s.res.XQuery())
+	tr.Hook = s.conn.observeStage
+	out, err := s.conn.engine.EvalWithTrace(ctx, s.res.Query, ext, tr)
 	if err != nil {
 		return nil, err
 	}
+	s.conn.obs.QueriesExecuted.Inc()
 	cols := make([]resultset.Column, len(s.res.Columns))
 	for i, c := range s.res.Columns {
 		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
 			Type: c.Type, Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
 	}
+	sp := tr.StartStage(obsv.StageDecode)
 	var rows *resultset.Rows
 	if s.res.Mode == translator.ModeText {
 		it, err := out.Singleton()
 		if err != nil {
 			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)
 		}
-		rows, err = resultset.FromText(xdm.StringValue(it), cols)
+		payload := xdm.StringValue(it)
+		sp.SetInput(len(payload))
+		rows, err = resultset.FromText(payload, cols)
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		sp.SetInput(len(out))
 		rows, err = resultset.FromXML(out, cols)
 		if err != nil {
 			return nil, err
 		}
 	}
+	sp.SetOutput(rows.Len())
+	sp.End()
+	s.conn.obs.RowsMaterialized.Add(int64(rows.Len()))
 	return &driverRows{rows: rows}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obsv"
 )
 
 // showStmt answers the metadata-browsing statements reporting tools issue
@@ -161,20 +162,32 @@ func (r *staticRows) Next(dest []driver.Value) error {
 	return nil
 }
 
-// newExplainStmt translates the statement and returns its query-context
-// tree (the paper's Figure 4 view) followed by the generated XQuery, one
-// line per row — the developer-facing EXPLAIN surface.
+// newExplainStmt runs a traced translation and returns the stage-by-stage
+// trace (wall time, sizes, stage detail), the catalog-cache effect, the
+// query-context tree (the paper's Figure 4 view), and the generated
+// XQuery, one line per row — the developer-facing EXPLAIN surface.
 func newExplainStmt(c *conn, sql string) (driver.Stmt, error) {
-	res, err := c.translator.Translate(sql)
+	before := c.cache.Stats()
+	tr := obsv.NewTrace(sql)
+	tr.Hook = c.observeStage
+	res, err := c.translator.TranslateTraced(sql, tr)
 	if err != nil {
+		c.obs.TranslateErrors.Inc()
 		return nil, err
 	}
+	c.obs.QueriesTranslated.Inc()
+	after := c.cache.Stats()
+
 	out := &staticRows{cols: []string{"PLAN"}}
 	addLines := func(s string) {
 		for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
 			out.rows = append(out.rows, []driver.Value{line})
 		}
 	}
+	addLines("-- stage trace:")
+	addLines(tr.RenderString(true))
+	addLines(fmt.Sprintf("-- catalog cache: hits=%d misses=%d (connection totals: hits=%d misses=%d)",
+		after.Hits-before.Hits, after.Misses-before.Misses, after.Hits, after.Misses))
 	addLines("-- query contexts (stage one):")
 	addLines(res.Contexts.Tree())
 	addLines("-- generated XQuery (stage three):")

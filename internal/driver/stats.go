@@ -1,0 +1,44 @@
+package driver
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/obsv"
+)
+
+// ConnStats is a point-in-time observability snapshot of one connection:
+// the pipeline counters and per-stage timing histograms accumulated by
+// every statement prepared and executed on it, plus its metadata-cache
+// counters (§3.5). Process-wide totals live in obsv.Global.
+type ConnStats struct {
+	Pipeline obsv.Snapshot
+	Cache    catalog.CacheStats
+}
+
+// StatsReporter is implemented by this driver's connections, so embedders
+// can scrape per-connection metrics through database/sql:
+//
+//	conn, _ := db.Conn(ctx)
+//	conn.Raw(func(dc any) error {
+//	    stats := dc.(driver.StatsReporter).Stats()
+//	    …
+//	    return nil
+//	})
+type StatsReporter interface {
+	Stats() ConnStats
+}
+
+// Stats implements StatsReporter.
+func (c *conn) Stats() ConnStats {
+	return ConnStats{Pipeline: c.obs.Snapshot(), Cache: c.cache.Stats()}
+}
+
+// observeStage folds a completed stage event into the connection's and
+// the process-wide stage histograms — the hook every statement's trace
+// carries.
+func (c *conn) observeStage(ev obsv.StageEvent) {
+	c.obs.ObserveStage(ev)
+	if ev.Stage == obsv.StageEvaluate {
+		c.obs.EvalSteps.Add(ev.DetailValue("steps"))
+	}
+	obsv.Global.ObserveStage(ev)
+}

@@ -1,0 +1,226 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations in [2^i µs, 2^(i+1) µs), bucket 0 holds < 2 µs, and
+// the last bucket holds everything from ~2.1 s up.
+const histBuckets = 22
+
+// Histogram is a lock-free duration histogram with power-of-two
+// microsecond buckets — coarse, but enough to find a hot path's shape
+// without a metrics dependency.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNano.Add(d.Nanoseconds())
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // 1µs → 1, 2-3µs → 2, …
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the last
+// bucket is unbounded and reports a negative duration).
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNano int64
+	Buckets [histBuckets]int64
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNano / s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1)
+// from the bucket boundaries. The rank rounds up, so small counts behave
+// sensibly (p99 of 3 observations is the maximum, not the 2nd-smallest).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= target {
+			if b := BucketBound(i); b >= 0 {
+				return b
+			}
+			break
+		}
+	}
+	// Landed in the unbounded bucket: the mean is the best cheap bound.
+	return time.Duration(s.SumNano / s.Count)
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNano = h.sumNano.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Metrics aggregates pipeline activity. The zero value is ready to use;
+// every field updates atomically, so one Metrics may be shared by any
+// number of goroutines. The process-wide instance is Global; the driver
+// additionally keeps one per connection for its Stats() surface.
+type Metrics struct {
+	// QueriesTranslated counts completed translations;
+	// TranslateErrors counts translations rejected at any stage.
+	QueriesTranslated Counter
+	TranslateErrors   Counter
+	// QueriesExecuted counts engine evaluations of translated queries.
+	QueriesExecuted Counter
+	// CacheHits/CacheMisses count metadata-cache lookups (§3.5).
+	CacheHits   Counter
+	CacheMisses Counter
+	// RowsMaterialized counts result-set rows decoded (§4, both paths).
+	RowsMaterialized Counter
+	// EvalSteps counts evaluator expression steps (the engine's unit of
+	// work).
+	EvalSteps Counter
+
+	stageTime [NumStages]Histogram
+}
+
+// Global is the process-wide metrics instance the pipeline reports into.
+var Global = &Metrics{}
+
+// ObserveStage folds one completed stage event into the per-stage
+// histograms (usable directly as a Trace hook).
+func (m *Metrics) ObserveStage(ev StageEvent) {
+	if ev.Stage < 0 || ev.Stage >= NumStages {
+		return
+	}
+	m.stageTime[ev.Stage].Observe(ev.Duration)
+}
+
+// StageTime returns the histogram for one stage.
+func (m *Metrics) StageTime(s Stage) *Histogram { return &m.stageTime[s] }
+
+// StageSnapshot is the exported view of one stage's aggregate timing.
+type StageSnapshot struct {
+	Stage   string
+	Count   int64
+	TotalNS int64
+	MeanNS  int64
+	P99NS   int64
+}
+
+// Snapshot is a point-in-time copy of a Metrics — the scrape surface for
+// embedders (plain values, no atomics).
+type Snapshot struct {
+	QueriesTranslated int64
+	TranslateErrors   int64
+	QueriesExecuted   int64
+	CacheHits         int64
+	CacheMisses       int64
+	RowsMaterialized  int64
+	EvalSteps         int64
+	Stages            []StageSnapshot // pipeline order; stages never seen are omitted
+}
+
+// Snapshot captures the current values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		QueriesTranslated: m.QueriesTranslated.Load(),
+		TranslateErrors:   m.TranslateErrors.Load(),
+		QueriesExecuted:   m.QueriesExecuted.Load(),
+		CacheHits:         m.CacheHits.Load(),
+		CacheMisses:       m.CacheMisses.Load(),
+		RowsMaterialized:  m.RowsMaterialized.Load(),
+		EvalSteps:         m.EvalSteps.Load(),
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		hs := m.stageTime[st].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		s.Stages = append(s.Stages, StageSnapshot{
+			Stage:   st.String(),
+			Count:   hs.Count,
+			TotalNS: hs.SumNano,
+			MeanNS:  hs.Mean().Nanoseconds(),
+			P99NS:   hs.Quantile(0.99).Nanoseconds(),
+		})
+	}
+	return s
+}
+
+// Render writes the snapshot as the aligned text block `\s` in aqlshell
+// prints.
+func (s Snapshot) Render(w io.Writer) {
+	fmt.Fprintf(w, "queries translated: %d (errors: %d), executed: %d\n",
+		s.QueriesTranslated, s.TranslateErrors, s.QueriesExecuted)
+	fmt.Fprintf(w, "metadata cache: hits=%d misses=%d\n", s.CacheHits, s.CacheMisses)
+	fmt.Fprintf(w, "rows materialized: %d, evaluator steps: %d\n",
+		s.RowsMaterialized, s.EvalSteps)
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(w, "%-18s %-8s %-12s %-12s %s\n", "stage", "count", "total", "mean", "p99<=")
+		for _, st := range s.Stages {
+			fmt.Fprintf(w, "%-18s %-8d %-12s %-12s %s\n", st.Stage, st.Count,
+				time.Duration(st.TotalNS).Round(time.Microsecond),
+				time.Duration(st.MeanNS).Round(time.Microsecond),
+				time.Duration(st.P99NS).Round(time.Microsecond))
+		}
+	}
+}

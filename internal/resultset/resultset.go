@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obsv"
 	"repro/internal/xdm"
 )
 
@@ -220,6 +221,7 @@ func FromXML(result xdm.Sequence, cols []Column) (*Rows, error) {
 		}
 		rows.data = append(rows.data, row)
 	}
+	obsv.Global.RowsMaterialized.Add(int64(len(rows.data)))
 	return rows, nil
 }
 
@@ -263,6 +265,7 @@ func FromText(payload string, cols []Column) (*Rows, error) {
 		}
 		rows.data = append(rows.data, row)
 	}
+	obsv.Global.RowsMaterialized.Add(int64(len(rows.data)))
 	return rows, nil
 }
 

@@ -1,0 +1,55 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSelect checks the contract the driver relies on: whatever
+// bytes a client sends as SQL, the parser returns (*SelectStmt, error) —
+// it never panics and never loops. When a statement parses, re-rendering
+// and re-parsing it must succeed too (the parser's own output is valid
+// input).
+func FuzzParseSelect(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM CUSTOMERS",
+		"SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS",
+		"SELECT C.*, P.PAYMENT FROM CUSTOMERS C, PAYMENTS P WHERE C.CUSTOMERID = P.CUSTID",
+		"SELECT CUSTOMERS.CUSTOMERNAME FROM CUSTOMERS INNER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID",
+		"SELECT A.CUSTOMERNAME FROM CUSTOMERS A LEFT OUTER JOIN PAYMENTS B ON A.CUSTOMERID = B.CUSTID",
+		"SELECT DISTINCT CITY FROM CUSTOMERS ORDER BY CITY DESC",
+		"SELECT CUSTOMERID FROM CUSTOMERS UNION ALL SELECT CUSTID FROM PAYMENTS",
+		"SELECT CUSTOMERID FROM CUSTOMERS EXCEPT SELECT CUSTID FROM PAYMENTS",
+		"SELECT CITY, COUNT(*), MAX(CUSTOMERID) FROM CUSTOMERS GROUP BY CITY HAVING COUNT(*) > 1",
+		"SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME LIKE 'A%' AND CUSTOMERID BETWEEN 5 AND 10",
+		"SELECT CUSTOMERID FROM CUSTOMERS WHERE CITY IS NOT NULL",
+		"SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ? AND CITY = ?",
+		"SELECT UPPER(CUSTOMERNAME), SUBSTRING(CUSTOMERNAME FROM 1 FOR 3) FROM CUSTOMERS",
+		"SELECT CAST(CUSTOMERID AS VARCHAR(10)) FROM CUSTOMERS",
+		"SELECT INFO.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10",
+		"SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID IN (SELECT CUSTID FROM PAYMENTS WHERE PAYMENT > 100)",
+		"SELECT EXTRACT(YEAR FROM SIGNUPDATE) FROM CUSTOMERS",
+		"SELECT * FROM CUSTOMERS WHERE (CUSTOMERID, CITY) = (1, 'Oslo')",
+		"select count(*) from payments where paydate >= DATE '2005-01-01'",
+		"SELECT -1.5e10, 'it''s', \"quoted id\" FROM CUSTOMERS",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("non-nil stmt alongside error %v", err)
+			}
+			return
+		}
+		rendered := stmt.SQL()
+		if strings.TrimSpace(rendered) == "" {
+			t.Fatalf("parsed statement renders empty (input %q)", sql)
+		}
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, sql, err)
+		}
+	})
+}

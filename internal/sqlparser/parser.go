@@ -11,6 +11,16 @@ func Parse(src string) (*SelectStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ParseTokens(toks)
+}
+
+// ParseTokens parses an already-lexed token stream (as produced by Lex).
+// Splitting the two phases lets callers observe lexing and parsing as
+// separate pipeline stages without scanning the source twice.
+func ParseTokens(toks []Token) (*SelectStmt, error) {
+	if len(toks) == 0 || toks[len(toks)-1].Type != TokEOF {
+		return nil, errAt(Pos{Line: 1, Col: 1}, "token stream does not end in EOF")
+	}
 	p := &parser{toks: toks}
 	stmt, err := p.parseSelectStmt()
 	if err != nil {

@@ -1,0 +1,95 @@
+package translator_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/translator"
+)
+
+// funcSweepCases gives every entry of the preconfigured function map
+// (§3.5 iii) one SQL statement that is both translated and executed
+// against the fixture engine. The sweep below walks the live maps, so
+// adding a function without a case here fails the test — and a case
+// whose function was removed from the map fails too.
+var funcSweepCases = map[string]string{
+	// string functions
+	"UPPER":            "SELECT UPPER(CUSTOMERNAME) FROM CUSTOMERS",
+	"LOWER":            "SELECT LOWER(CUSTOMERNAME) FROM CUSTOMERS",
+	"CONCAT":           "SELECT CONCAT(CUSTOMERNAME, '!') FROM CUSTOMERS",
+	"LENGTH":           "SELECT LENGTH(CUSTOMERNAME) FROM CUSTOMERS",
+	"CHAR_LENGTH":      "SELECT CHAR_LENGTH(CUSTOMERNAME) FROM CUSTOMERS",
+	"CHARACTER_LENGTH": "SELECT CHARACTER_LENGTH(CUSTOMERNAME) FROM CUSTOMERS",
+	"SUBSTRING":        "SELECT SUBSTRING(CUSTOMERNAME FROM 1 FOR 2) FROM CUSTOMERS",
+	"POSITION":         "SELECT POSITION('o' IN CUSTOMERNAME) FROM CUSTOMERS",
+	"LOCATE":           "SELECT LOCATE('o', CUSTOMERNAME) FROM CUSTOMERS",
+	"LEFT":             "SELECT LEFT(CUSTOMERNAME, 2) FROM CUSTOMERS",
+	"RIGHT":            "SELECT RIGHT(CUSTOMERNAME, 2) FROM CUSTOMERS",
+	"TRIM":             "SELECT TRIM(BOTH 'x' FROM CUSTOMERNAME) FROM CUSTOMERS",
+	"LTRIM":            "SELECT LTRIM(CUSTOMERNAME) FROM CUSTOMERS",
+	"RTRIM":            "SELECT RTRIM(CUSTOMERNAME) FROM CUSTOMERS",
+	"REPEAT":           "SELECT REPEAT(CUSTOMERNAME, 2) FROM CUSTOMERS",
+
+	// numeric functions
+	"ABS":     "SELECT ABS(PAYMENT) FROM PAYMENTS",
+	"FLOOR":   "SELECT FLOOR(PAYMENT) FROM PAYMENTS",
+	"CEILING": "SELECT CEILING(PAYMENT) FROM PAYMENTS",
+	"CEIL":    "SELECT CEIL(PAYMENT) FROM PAYMENTS",
+	"ROUND":   "SELECT ROUND(PAYMENT) FROM PAYMENTS",
+	"MOD":     "SELECT MOD(CUSTOMERID, 2) FROM CUSTOMERS",
+
+	// NULL handling
+	"COALESCE": "SELECT COALESCE(CITY, 'unknown') FROM CUSTOMERS",
+	"NULLIF":   "SELECT NULLIF(CITY, 'Springfield') FROM CUSTOMERS",
+
+	// datetime functions (the niladic ones take no parentheses)
+	"CURRENT_DATE":      "SELECT CURRENT_DATE FROM CUSTOMERS",
+	"CURRENT_TIME":      "SELECT CURRENT_TIME FROM CUSTOMERS",
+	"CURRENT_TIMESTAMP": "SELECT CURRENT_TIMESTAMP FROM CUSTOMERS",
+	"EXTRACT_YEAR":      "SELECT EXTRACT(YEAR FROM SIGNUPDATE) FROM CUSTOMERS WHERE SIGNUPDATE IS NOT NULL",
+	"EXTRACT_MONTH":     "SELECT EXTRACT(MONTH FROM SIGNUPDATE) FROM CUSTOMERS WHERE SIGNUPDATE IS NOT NULL",
+	"EXTRACT_DAY":       "SELECT EXTRACT(DAY FROM SIGNUPDATE) FROM CUSTOMERS WHERE SIGNUPDATE IS NOT NULL",
+	"EXTRACT_HOUR":      "SELECT EXTRACT(HOUR FROM CURRENT_TIMESTAMP) FROM CUSTOMERS",
+	"EXTRACT_MINUTE":    "SELECT EXTRACT(MINUTE FROM CURRENT_TIMESTAMP) FROM CUSTOMERS",
+	"EXTRACT_SECOND":    "SELECT EXTRACT(SECOND FROM CURRENT_TIME) FROM CUSTOMERS",
+}
+
+var aggSweepCases = map[string]string{
+	"COUNT": "SELECT COUNT(*), COUNT(CITY), COUNT(DISTINCT CITY) FROM CUSTOMERS",
+	"SUM":   "SELECT SUM(PAYMENT) FROM PAYMENTS",
+	"AVG":   "SELECT AVG(PAYMENT) FROM PAYMENTS",
+	"MIN":   "SELECT MIN(PAYMENT), MIN(CUSTOMERNAME) FROM PAYMENTS, CUSTOMERS",
+	"MAX":   "SELECT MAX(PAYMENT), MAX(SIGNUPDATE) FROM PAYMENTS, CUSTOMERS",
+}
+
+// TestFuncMapSweep executes one statement per function map entry end to
+// end: translate, evaluate on the fixture engine, decode. A function
+// whose translation references an XQuery function the engine does not
+// implement fails here with the engine's unknown-function error.
+func TestFuncMapSweep(t *testing.T) {
+	sweep := func(t *testing.T, mapNames []string, cases map[string]string) {
+		sort.Strings(mapNames)
+		inMap := map[string]bool{}
+		for _, name := range mapNames {
+			inMap[name] = true
+			sql, ok := cases[name]
+			if !ok {
+				t.Errorf("function map entry %s has no sweep case — add one", name)
+				continue
+			}
+			t.Run(name, func(t *testing.T) {
+				rows := run(t, sql)
+				if rows.Len() == 0 {
+					t.Fatalf("%q returned no rows", sql)
+				}
+			})
+		}
+		for name := range cases {
+			if !inMap[name] {
+				t.Errorf("sweep case %s has no function map entry — stale case?", name)
+			}
+		}
+	}
+	t.Run("scalar", func(t *testing.T) { sweep(t, translator.ScalarFuncNames(), funcSweepCases) })
+	t.Run("aggregate", func(t *testing.T) { sweep(t, translator.AggFuncNames(), aggSweepCases) })
+}

@@ -23,6 +23,18 @@ type generator struct {
 	imports    []xquery.SchemaImport
 
 	pTypes map[int]catalog.SQLType
+
+	// stat counts stage-two work for the restructure trace span.
+	stat genStats
+}
+
+// genStats is the generator's stage-detail record: how much semantic work
+// stage two performed (reported as restructure detail in traces).
+type genStats struct {
+	// tables counts base-table resolutions against the catalog.
+	tables int64
+	// wildcards counts `*` and `T.*` projection expansions (Figure 6).
+	wildcards int64
 }
 
 func newGenerator(meta catalog.Source, opts Options, contexts *Context) *generator {
@@ -146,6 +158,7 @@ func (g *generator) addBaseTable(t *sqlparser.TableName, fr *fromResult, ctxID i
 	if err != nil {
 		return err
 	}
+	g.stat.tables++
 	f := meta.Function
 	prefix := g.prefixFor(f)
 	rowVar := g.names.rowVar(ctxID, zoneFrom)

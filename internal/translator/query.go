@@ -317,6 +317,7 @@ func (g *generator) genSelectItems(spec *sqlparser.QuerySpec, sc *qscope, agg *a
 			if agg != nil {
 				return nil, nil, semErr(item.Pos, "SELECT * is not allowed with GROUP BY or aggregates")
 			}
+			g.stat.wildcards++
 			items = append(items, g.expandWildcard(sc)...)
 		case item.Wildcard:
 			if agg != nil {
@@ -326,6 +327,7 @@ func (g *generator) genSelectItems(spec *sqlparser.QuerySpec, sc *qscope, agg *a
 			if !ok {
 				return nil, nil, semErr(item.Pos, "unknown table or alias %s", item.Qualifier)
 			}
+			g.stat.wildcards++
 			items = append(items, expandBinding(b, len(sc.bindings) > 1)...)
 		default:
 			xe, ti, err := g.genExpr(item.Expr, sc, agg)
@@ -389,7 +391,7 @@ func expandBinding(b *binding, qualify bool) []selItem {
 			name = b.Name + "." + c.Name
 		}
 		items = append(items, selItem{
-			ElementName: name,
+			ElementName: xmlElementName(name),
 			Label:       c.Name,
 			Expr:        xquery.Call("fn:data", b.access(c)),
 			T: typeInfo{SQL: c.SQL, X: c.Type, Nullable: c.Nullable,
@@ -406,18 +408,49 @@ func expandBinding(b *binding, qualify bool) []selItem {
 // other expressions get generated EXPR<n> names.
 func outputNames(item sqlparser.SelectItem, exprCount *int) (elemName, label string) {
 	if item.Alias != "" {
-		return strings.ToUpper(item.Alias), strings.ToUpper(item.Alias)
+		up := strings.ToUpper(item.Alias)
+		return xmlElementName(up), up
 	}
 	if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok {
 		elem := ref.Column
 		if ref.Qualifier != "" {
 			elem = ref.Qualifier + "." + ref.Column
 		}
-		return elem, ref.Column
+		return xmlElementName(elem), ref.Column
 	}
 	*exprCount++
 	name := fmt.Sprintf("EXPR%d", *exprCount)
 	return name, name
+}
+
+// xmlElementName maps a SQL-derived name onto a well-formed XML element
+// name. SQL identifiers admit characters XML names cannot ('#' and '$'
+// are legal identifier characters, and quoted identifiers are arbitrary
+// text); each offending character becomes '_', and a leading character
+// that cannot start an XML name gets an '_' prefix. Only the wire element
+// name is rewritten — the JDBC column label keeps the SQL spelling.
+func xmlElementName(s string) string {
+	nameChar := func(r rune) bool {
+		return r == '_' || r == '.' || r == '-' ||
+			(r >= 'A' && r <= 'Z') || (r >= 'a' && r <= 'z') ||
+			(r >= '0' && r <= '9')
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if nameChar(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "_"
+	}
+	if c := out[0]; c != '_' && !(c >= 'A' && c <= 'Z') && !(c >= 'a' && c <= 'z') {
+		out = "_" + out
+	}
+	return out
 }
 
 // recordCtor builds the RECORD element for the projection. Nullable

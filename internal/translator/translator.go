@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/obsv"
 	"repro/internal/sqlparser"
 	"repro/internal/xquery"
 )
@@ -96,10 +97,20 @@ type Result struct {
 	Contexts *Context
 	// Mode records which result handling the query was generated for.
 	Mode ResultMode
+
+	// xq is the serialized query text, filled during traced translation
+	// (the serialize stage) and never mutated afterwards.
+	xq string
 }
 
-// XQuery serializes the generated query.
-func (r *Result) XQuery() string { return r.Query.Serialize() }
+// XQuery serializes the generated query (returning the text cached by the
+// serialize stage when the translation was traced).
+func (r *Result) XQuery() string {
+	if r.xq != "" {
+		return r.xq
+	}
+	return r.Query.Serialize()
+}
 
 // Translator converts SQL-92 SELECT statements into XQuery. Metadata is
 // fetched through Meta; wrap the source in a catalog.Cache to reproduce the
@@ -132,27 +143,68 @@ func semErr(pos sqlparser.Pos, format string, args ...any) error {
 
 // Translate runs all three stages over a SQL SELECT statement.
 func (t *Translator) Translate(sql string) (*Result, error) {
-	// Stage one: syntactic recognition and context capture.
-	stmt, err := sqlparser.Parse(sql)
+	return t.TranslateTraced(sql, nil)
+}
+
+// TranslateTraced is Translate with stage observation: each pipeline stage
+// (lex, parse, semantic-validate, restructure, generate, serialize) is
+// recorded as a span on tr with wall time, sizes, and stage detail. A nil
+// trace is valid and costs nothing beyond the untraced path.
+func (t *Translator) TranslateTraced(sql string, tr *obsv.Trace) (*Result, error) {
+	// Stage one: syntactic recognition, observed as lex + parse.
+	sp := tr.StartStage(obsv.StageLex)
+	sp.SetInput(len(sql))
+	toks, err := sqlparser.Lex(sql)
 	if err != nil {
+		obsv.Global.TranslateErrors.Inc()
 		return nil, err
 	}
-	return t.TranslateStmt(stmt)
+	sp.SetOutput(len(toks))
+	sp.End()
+
+	sp = tr.StartStage(obsv.StageParse)
+	sp.SetInput(len(toks))
+	stmt, err := sqlparser.ParseTokens(toks)
+	if err != nil {
+		obsv.Global.TranslateErrors.Inc()
+		return nil, err
+	}
+	sp.Add("params", int64(stmt.ParamCount))
+	sp.End()
+
+	return t.translateStmt(stmt, tr)
 }
 
 // TranslateStmt translates an already-parsed statement (used by the driver,
 // which parses once to count parameters and validate early).
 func (t *Translator) TranslateStmt(stmt *sqlparser.SelectStmt) (*Result, error) {
+	return t.translateStmt(stmt, nil)
+}
+
+func (t *Translator) translateStmt(stmt *sqlparser.SelectStmt, tr *obsv.Trace) (*Result, error) {
+	// Stage one's semantic capture: the query-context tree (§3.4.3).
+	sp := tr.StartStage(obsv.StageValidate)
 	contexts := CaptureContexts(stmt)
+	sp.Add("contexts", int64(contexts.Count()))
+	sp.End()
 
 	// Stages two and three share the generation state: stage two resolves
-	// and validates as each RSN is prepared, stage three renders it.
+	// and validates as each RSN is prepared, stage three renders it. The
+	// restructure span covers that combined RSN preparation.
 	g := newGenerator(t.Meta, t.Options, contexts)
+	sp = tr.StartStage(obsv.StageRestructure)
 	rows, cols, err := g.genSelectStmt(stmt, nil)
 	if err != nil {
+		obsv.Global.TranslateErrors.Inc()
 		return nil, err
 	}
+	sp.Add("tables", g.stat.tables)
+	sp.Add("wildcards", g.stat.wildcards)
+	sp.Add("variables", int64(g.names.n))
+	sp.End()
 
+	// Generate: assemble the prolog, result wrapper, and computed schema.
+	sp = tr.StartStage(obsv.StageGenerate)
 	body := recordsetCtor(rows)
 	q := &xquery.Query{Body: body}
 	resultCols := make([]ResultColumn, len(cols))
@@ -170,15 +222,29 @@ func (t *Translator) TranslateStmt(stmt *sqlparser.SelectStmt) (*Result, error) 
 		q.Body = wrapTextMode(body, resultCols)
 	}
 	q.Prolog.SchemaImports = g.schemaImports()
-
-	return &Result{
+	res := &Result{
 		Query:      q,
 		Columns:    resultCols,
 		ParamCount: stmt.ParamCount,
 		ParamTypes: g.paramTypes(stmt.ParamCount),
 		Contexts:   contexts,
 		Mode:       t.Options.Mode,
-	}, nil
+	}
+	sp.Add("columns", int64(len(resultCols)))
+	sp.Add("imports", int64(len(q.Prolog.SchemaImports)))
+	sp.End()
+
+	// Serialize eagerly only when traced, so the span covers the real
+	// rendering cost; the untraced path keeps serializing lazily.
+	if tr != nil {
+		sp = tr.StartStage(obsv.StageSerialize)
+		res.xq = q.Serialize()
+		sp.SetOutput(len(res.xq))
+		sp.End()
+	}
+
+	obsv.Global.QueriesTranslated.Inc()
+	return res, nil
 }
 
 // recordsetCtor wraps a row-sequence expression in the RECORDSET element

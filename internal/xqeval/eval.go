@@ -10,6 +10,7 @@ import (
 
 // evalExpr evaluates any expression to a sequence.
 func evalExpr(e xquery.Expr, env *scope) (xdm.Sequence, error) {
+	env.step()
 	switch e := e.(type) {
 	case *xquery.StringLit:
 		return xdm.SequenceOf(xdm.String(e.Value)), nil

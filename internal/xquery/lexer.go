@@ -142,6 +142,11 @@ func (lx *xlexer) next() (xtoken, error) {
 	case b >= '0' && b <= '9':
 		return lx.lexNumber(start)
 
+	case b == '.' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] >= '0' && lx.src[lx.off+1] <= '9':
+		// Leading-dot decimal literal (".5"): per the XQuery grammar a "."
+		// followed by a digit starts a DecimalLiteral, not a path step.
+		return lx.lexNumber(start)
+
 	case b == '"' || b == '\'':
 		return lx.lexString(start, b)
 

@@ -1,0 +1,84 @@
+package aqualogic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPlatformConcurrentUse exercises the facade from many goroutines:
+// Translate, Query, Explain, MetadataStats and DefineView all share the
+// platform's lazily-built metadata cache, so this pins the guarded
+// initialization path under -race.
+func TestPlatformConcurrentUse(t *testing.T) {
+	p := Demo()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if _, err := p.Translate("SELECT CUSTOMERID FROM CUSTOMERS", ModeXML); err != nil {
+						t.Errorf("translate: %v", err)
+						return
+					}
+				case 1:
+					rows, err := p.Query("SELECT CITY FROM CUSTOMERS WHERE CUSTOMERID < 1010")
+					if err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+					if rows.Len() == 0 {
+						t.Error("query returned no rows")
+						return
+					}
+				case 2:
+					if _, tr, err := p.Explain("SELECT COUNT(*) FROM PAYMENTS", ModeXML); err != nil || tr == nil {
+						t.Errorf("explain: %v", err)
+						return
+					}
+				case 3:
+					_ = p.MetadataStats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := p.MetadataStats()
+	if stats.Hits+stats.Misses == 0 {
+		t.Fatal("no cache traffic recorded")
+	}
+}
+
+// TestPlatformConcurrentViews races DefineView (which invalidates the
+// metadata cache) against queries that repopulate it.
+func TestPlatformConcurrentViews(t *testing.T) {
+	p := Demo()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := fmt.Sprintf("V_%d_%d", g, i)
+				if err := p.DefineView("Views", name, "SELECT CUSTOMERID, CITY FROM CUSTOMERS"); err != nil {
+					t.Errorf("define view: %v", err)
+					return
+				}
+				rows, err := p.Query("SELECT CITY FROM " + name + " WHERE CUSTOMERID = 1000")
+				if err != nil {
+					t.Errorf("query view: %v", err)
+					return
+				}
+				if rows.Len() != 1 {
+					t.Errorf("view %s: %d rows", name, rows.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
