@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz bench clean
+.PHONY: ci vet build test race fuzz bench bench-smoke clean
 
-ci: vet build race fuzz
+ci: vet build race bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +24,12 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTranslate -fuzztime=$(FUZZTIME) ./internal/translator/
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json
+
+# Benchmark smoke: one iteration of every benchmark, so CI catches
+# benchmarks that no longer compile or fail at runtime.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 clean:
 	$(GO) clean -testcache

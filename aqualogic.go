@@ -83,6 +83,9 @@ type (
 	// ConnStats is the per-connection snapshot the driver exposes through
 	// database/sql's Conn.Raw (see driver.StatsReporter).
 	ConnStats = driver.ConnStats
+	// QueryPlan is the evaluator's optimized execution plan for a
+	// translation: hash equi-joins, pushed predicates, hoisted invariants.
+	QueryPlan = xqeval.Plan
 )
 
 // SQL column types for building catalogs.
@@ -261,6 +264,14 @@ func (p *Platform) Explain(sql string, mode ResultMode) (*Translation, *Trace, e
 	tr.Hook = obsv.Global.ObserveStage
 	res, err := p.Translator(mode).TranslateTraced(sql, tr)
 	return res, tr, err
+}
+
+// PlanQuery builds the evaluator's execution plan for a translation — the
+// plan the driver caches per prepared statement. Its Describe method
+// renders the clause pipeline (hash joins, pushed filters, hoisted
+// invariants) that EXPLAIN and sql2xq -explain print.
+func PlanQuery(t *Translation) *QueryPlan {
+	return xqeval.NewPlan(t.Query)
 }
 
 // Stats snapshots the process-wide pipeline metrics (queries translated

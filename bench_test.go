@@ -9,6 +9,7 @@ package aqualogic
 //	    BenchmarkEndToEnd       — full driver path per mode
 //	    BenchmarkJoinShapes     — ablation: generated join patterns
 //	    BenchmarkEngine         — the substrate's own evaluation cost
+//	P6  BenchmarkEvalJoinPlan   — evaluator planner: nested loop vs hash join
 
 import (
 	"fmt"
@@ -182,6 +183,21 @@ func BenchmarkXQueryCompile(b *testing.B) {
 					b.Fatal(err)
 				}
 				if err := engine.Check(parsed, externalNames(res.ParamCount)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalJoinPlan is the P6 experiment at benchmark scale: one
+// translated equi-join executed by the naive nested-loop pipeline and by
+// the planner's hash join over identical synthetic tables.
+func BenchmarkEvalJoinPlan(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunEvalJoin([]int{n}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,7 +7,8 @@
 // contexts, and the generated XQuery), SHOW CATALOGS/SCHEMAS/TABLES/
 // PROCEDURES, SHOW COLUMNS FROM <t>, CALL <proc>(args), plus the shell
 // commands \x (print the XQuery a SELECT translates to), \c (query
-// contexts), \s (pipeline metrics snapshot), and \q (quit).
+// contexts), \p (evaluator query plan), \s (pipeline metrics snapshot),
+// and \q (quit).
 package main
 
 import (
@@ -34,7 +35,8 @@ func main() {
 	fmt.Println("aqlshell — SQL over the AquaLogic-style demo deployment")
 	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
 	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
-	fmt.Println(`contexts (Figure 4), "\s" for pipeline metrics, "\q" to quit`)
+	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan,`)
+	fmt.Println(`"\s" for pipeline metrics, "\q" to quit`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -61,6 +63,15 @@ func main() {
 			aqualogic.Stats().Render(os.Stdout)
 			cache := p.MetadataStats()
 			fmt.Printf("platform metadata cache: hits=%d misses=%d\n", cache.Hits, cache.Misses)
+		case strings.HasPrefix(line, `\p `):
+			res, err := p.Translate(strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, planLine := range aqualogic.PlanQuery(res).Describe() {
+				fmt.Println(planLine)
+			}
 		case strings.HasPrefix(line, `\c `):
 			res, err := p.Translate(strings.TrimPrefix(line, `\c `), aqualogic.ModeXML)
 			if err != nil {

@@ -8,6 +8,9 @@
 // With -stagejson, the P4 per-stage timings are additionally written as
 // machine-readable JSON (conventionally BENCH_stages.json), so later perf
 // work can diff stage-level numbers instead of only end-to-end latency.
+// With -evaljson, the P6 join-cardinality sweep (naive nested loop vs the
+// evaluator's planned hash join) is written the same way (conventionally
+// BENCH_eval.json).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 func main() {
 	stageJSON := flag.String("stagejson", "", "also write the per-stage breakdown as JSON to this path (e.g. BENCH_stages.json)")
 	stageIters := flag.Int("stageiters", 50, "iterations per workload class for the stage breakdown JSON")
+	evalJSON := flag.String("evaljson", "", "also write the P6 join-cardinality sweep as JSON to this path (e.g. BENCH_eval.json)")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -33,5 +37,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote per-stage timings to %s\n", *stageJSON)
+	}
+	if *evalJSON != "" {
+		if err := bench.WriteEvalJoinJSON(*evalJSON, bench.DefaultEvalJoinSizes); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote join-planning sweep to %s\n", *evalJSON)
 	}
 }

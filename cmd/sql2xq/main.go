@@ -73,6 +73,12 @@ func main() {
 		}
 	}
 	fmt.Print(res.XQuery())
+	if *explain {
+		fmt.Println("-- query plan (evaluator):")
+		for _, line := range aqualogic.PlanQuery(res).Describe() {
+			fmt.Println(line)
+		}
+	}
 	if *columns {
 		fmt.Println()
 		fmt.Println("-- result schema:")

@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestRunEvalJoinSmall exercises the P6 sweep at a size small enough for
+// the test suite: the point must verify naive == planned (RunEvalJoin
+// errors on divergence), report the exact join cardinality, and show the
+// planned pipeline no slower than naive.
+func TestRunEvalJoinSmall(t *testing.T) {
+	points, err := RunEvalJoin([]int{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	pt := points[0]
+	if pt.Rows != 60 {
+		t.Fatalf("join rows = %d, want 60 (every payment matches one customer)", pt.Rows)
+	}
+	if pt.NaiveNanos <= 0 || pt.PlannedNanos <= 0 {
+		t.Fatalf("point not timed: %+v", pt)
+	}
+	if pt.Speedup < 1 {
+		t.Fatalf("planned slower than naive at 60x60: %+v", pt)
+	}
+}

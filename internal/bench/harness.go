@@ -21,7 +21,11 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportStageBreakdown(w)
+	if err := ReportStageBreakdown(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ReportEvalJoin(w, DefaultEvalJoinSizes)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -66,7 +66,9 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 		return nil, err
 	}
 	c.obs.QueriesTranslated.Inc()
-	return &stmt{conn: c, res: res}, nil
+	// Plan once alongside translate-once: the plan is immutable, so one
+	// prepared statement can execute it concurrently.
+	return &stmt{conn: c, res: res, plan: xqeval.NewPlan(res.Query)}, nil
 }
 
 // Close implements driver.Conn.
@@ -85,6 +87,7 @@ func (c *conn) Begin() (driver.Tx, error) {
 type stmt struct {
 	conn *conn
 	res  *translator.Result
+	plan *xqeval.Plan
 }
 
 // Close implements driver.Stmt.
@@ -124,7 +127,7 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (driver.Ro
 	}
 	tr := obsv.NewTrace(s.res.XQuery())
 	tr.Hook = s.conn.observeStage
-	out, err := s.conn.engine.EvalWithTrace(ctx, s.res.Query, ext, tr)
+	out, err := s.conn.engine.EvalPlanWithTrace(ctx, s.plan, ext, tr)
 	if err != nil {
 		return nil, err
 	}

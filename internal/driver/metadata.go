@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/obsv"
+	"repro/internal/xqeval"
 )
 
 // showStmt answers the metadata-browsing statements reporting tools issue
@@ -192,6 +193,10 @@ func newExplainStmt(c *conn, sql string) (driver.Stmt, error) {
 	addLines(res.Contexts.Tree())
 	addLines("-- generated XQuery (stage three):")
 	addLines(res.XQuery())
+	addLines("-- query plan (evaluator):")
+	for _, line := range xqeval.NewPlan(res.Query).Describe() {
+		addLines(line)
+	}
 	return &explainStmt{rows: out}, nil
 }
 

@@ -138,6 +138,16 @@ type Metrics struct {
 	// EvalSteps counts evaluator expression steps (the engine's unit of
 	// work).
 	EvalSteps Counter
+	// PlansBuilt counts evaluator query plans constructed; the remaining
+	// Plan* counters aggregate the planner's static decisions across those
+	// plans, and TuplesPruned counts tuples the planned executor skipped
+	// relative to the naive nested-loop pipeline (hash-join misses plus
+	// pushed-predicate rejections).
+	PlansBuilt            Counter
+	PlanHashJoins         Counter
+	PlanPredicatesPushed  Counter
+	PlanInvariantsHoisted Counter
+	TuplesPruned          Counter
 
 	stageTime [NumStages]Histogram
 }
@@ -176,6 +186,11 @@ type Snapshot struct {
 	CacheMisses       int64
 	RowsMaterialized  int64
 	EvalSteps         int64
+	PlansBuilt        int64
+	HashJoins         int64
+	PredicatesPushed  int64
+	InvariantsHoisted int64
+	TuplesPruned      int64
 	Stages            []StageSnapshot // pipeline order; stages never seen are omitted
 }
 
@@ -189,6 +204,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:       m.CacheMisses.Load(),
 		RowsMaterialized:  m.RowsMaterialized.Load(),
 		EvalSteps:         m.EvalSteps.Load(),
+		PlansBuilt:        m.PlansBuilt.Load(),
+		HashJoins:         m.PlanHashJoins.Load(),
+		PredicatesPushed:  m.PlanPredicatesPushed.Load(),
+		InvariantsHoisted: m.PlanInvariantsHoisted.Load(),
+		TuplesPruned:      m.TuplesPruned.Load(),
 	}
 	for st := Stage(0); st < NumStages; st++ {
 		hs := m.stageTime[st].Snapshot()
@@ -214,6 +234,10 @@ func (s Snapshot) Render(w io.Writer) {
 	fmt.Fprintf(w, "metadata cache: hits=%d misses=%d\n", s.CacheHits, s.CacheMisses)
 	fmt.Fprintf(w, "rows materialized: %d, evaluator steps: %d\n",
 		s.RowsMaterialized, s.EvalSteps)
+	if s.PlansBuilt > 0 {
+		fmt.Fprintf(w, "planner: plans=%d hash joins=%d predicates pushed=%d invariants hoisted=%d tuples pruned=%d\n",
+			s.PlansBuilt, s.HashJoins, s.PredicatesPushed, s.InvariantsHoisted, s.TuplesPruned)
+	}
 	if len(s.Stages) > 0 {
 		fmt.Fprintf(w, "%-18s %-8s %-12s %-12s %s\n", "stage", "count", "total", "mean", "p99<=")
 		for _, st := range s.Stages {

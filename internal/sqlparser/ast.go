@@ -186,7 +186,7 @@ func (s SelectItem) SQL() string {
 		return "*"
 	}
 	if s.Alias != "" {
-		return s.Expr.SQL() + " AS " + s.Alias
+		return s.Expr.SQL() + " AS " + quoteIdentIfNeeded(s.Alias)
 	}
 	return s.Expr.SQL()
 }
@@ -237,15 +237,15 @@ func (t *TableName) Position() Pos { return t.Pos }
 func (t *TableName) SQL() string {
 	var parts []string
 	if t.Catalog != "" {
-		parts = append(parts, t.Catalog)
+		parts = append(parts, quoteIdentIfNeeded(t.Catalog))
 	}
 	if t.Schema != "" {
 		parts = append(parts, quoteIdentIfNeeded(t.Schema))
 	}
-	parts = append(parts, t.Name)
+	parts = append(parts, quoteIdentIfNeeded(t.Name))
 	s := strings.Join(parts, ".")
 	if t.Alias != "" {
-		s += " AS " + t.Alias
+		s += " AS " + quoteIdentIfNeeded(t.Alias)
 	}
 	return s
 }
@@ -275,9 +275,13 @@ func (d *DerivedTable) Position() Pos { return d.Pos }
 
 // SQL implements Node.
 func (d *DerivedTable) SQL() string {
-	s := "(" + d.Query.SQL() + ") AS " + d.Alias
+	s := "(" + d.Query.SQL() + ") AS " + quoteIdentIfNeeded(d.Alias)
 	if len(d.ColumnAliases) > 0 {
-		s += " (" + strings.Join(d.ColumnAliases, ", ") + ")"
+		quoted := make([]string, len(d.ColumnAliases))
+		for i, a := range d.ColumnAliases {
+			quoted[i] = quoteIdentIfNeeded(a)
+		}
+		s += " (" + strings.Join(quoted, ", ") + ")"
 	}
 	return s
 }
@@ -346,23 +350,54 @@ func (j *JoinExpr) SQL() string {
 		b.WriteString(j.Cond.SQL())
 	}
 	if len(j.Using) > 0 {
+		quoted := make([]string, len(j.Using))
+		for i, u := range j.Using {
+			quoted[i] = quoteIdentIfNeeded(u)
+		}
 		b.WriteString(" USING (")
-		b.WriteString(strings.Join(j.Using, ", "))
+		b.WriteString(strings.Join(quoted, ", "))
 		b.WriteString(")")
 	}
 	b.WriteString(")")
 	if j.Alias != "" {
 		b.WriteString(" AS ")
-		b.WriteString(j.Alias)
+		b.WriteString(quoteIdentIfNeeded(j.Alias))
 	}
 	return b.String()
 }
 
+// quoteIdentIfNeeded renders an identifier bare only when it would lex
+// back as a single identifier token: names that are empty, digit-leading,
+// reserved words, or carry punctuation (all reachable through delimited
+// identifiers in the source) are re-delimited, so SQL() always re-parses.
 func quoteIdentIfNeeded(s string) string {
-	for i := 0; i < len(s); i++ {
+	if bareIdent(s) && !keywords[strings.ToUpper(s)] {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// bareIdent reports whether s lexes as one plain identifier token. '/' is
+// tolerated mid-name for the schema-path identifiers of the AquaLogic
+// artifact mapping (catalog paths like TestDataServices/schemas).
+func bareIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
 		if !isIdentPart(s[i]) && s[i] != '/' {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+			return false
 		}
 	}
-	return s
+	return true
+}
+
+// funcNameSQL renders a function name: keyword-named built-ins (COUNT,
+// LEFT, …) must stay bare to parse as calls; other names follow
+// identifier quoting.
+func funcNameSQL(s string) string {
+	if keywords[strings.ToUpper(s)] {
+		return s
+	}
+	return quoteIdentIfNeeded(s)
 }

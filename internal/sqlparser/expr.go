@@ -30,11 +30,13 @@ func (c *ColumnRef) Position() Pos { return c.Pos }
 // SQL implements Node.
 func (c *ColumnRef) SQL() string {
 	var parts []string
-	parts = append(parts, c.SchemaParts...)
-	if c.Qualifier != "" {
-		parts = append(parts, c.Qualifier)
+	for _, p := range c.SchemaParts {
+		parts = append(parts, quoteIdentIfNeeded(p))
 	}
-	parts = append(parts, c.Column)
+	if c.Qualifier != "" {
+		parts = append(parts, quoteIdentIfNeeded(c.Qualifier))
+	}
+	parts = append(parts, quoteIdentIfNeeded(c.Column))
 	return strings.Join(parts, ".")
 }
 
@@ -245,7 +247,7 @@ func (f *FuncCall) Position() Pos { return f.Pos }
 // SQL implements Node.
 func (f *FuncCall) SQL() string {
 	if f.Star {
-		return f.Name + "(*)"
+		return funcNameSQL(f.Name) + "(*)"
 	}
 	var args []string
 	for _, a := range f.Args {
@@ -255,7 +257,7 @@ func (f *FuncCall) SQL() string {
 	if f.Distinct {
 		inner = "DISTINCT " + inner
 	}
-	return f.Name + "(" + inner + ")"
+	return funcNameSQL(f.Name) + "(" + inner + ")"
 }
 
 // aggregateNames is the SQL-92 aggregate function set.

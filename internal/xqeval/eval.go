@@ -2,6 +2,7 @@ package xqeval
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/xdm"
@@ -414,7 +415,14 @@ func evalEBV(e xquery.Expr, env *scope) (bool, error) {
 }
 
 // evalFLWOR runs the clause pipeline over a tuple stream of environments.
+// When the active plan covers this FLWOR, the planned streaming executor
+// takes over; otherwise the naive materializing pipeline below runs.
 func evalFLWOR(f *xquery.FLWOR, env *scope) (xdm.Sequence, error) {
+	if env.plan != nil {
+		if fp, ok := env.plan.flwors[f]; ok {
+			return execPlannedFLWOR(fp, env)
+		}
+	}
 	tuples := []*scope{env}
 	for _, clause := range f.Clauses {
 		var err error
@@ -517,13 +525,17 @@ func applyGroupBy(c *xquery.GroupBy, tuples []*scope) ([]*scope, error) {
 			}
 			keyValues[i] = xdm.Atomize(v)
 			// Key for map lookup: type-insensitive lexical form with
-			// NULL (empty) distinguished.
+			// NULL (empty) distinguished. Each item is length-prefixed so
+			// the keys ("AB") and ("A","B") cannot collide.
 			if keyValues[i].Empty() {
 				keyBuilder.WriteString("\x00N")
 			} else {
 				keyBuilder.WriteString("\x00V")
 				for _, item := range keyValues[i] {
-					keyBuilder.WriteString(item.(xdm.Atomic).Lexical())
+					lex := item.(xdm.Atomic).Lexical()
+					keyBuilder.WriteString(strconv.Itoa(len(lex)))
+					keyBuilder.WriteByte('\x00')
+					keyBuilder.WriteString(lex)
 				}
 			}
 		}

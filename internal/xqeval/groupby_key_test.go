@@ -1,0 +1,41 @@
+package xqeval
+
+import (
+	"testing"
+
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// Regression: group-by map keys used to concatenate a multi-item key
+// sequence's lexical forms with no separator, so the keys ("AB") and
+// ("A","B") landed in the same group. Items are now length-prefixed.
+func TestGroupByMultiItemKeyNoCollision(t *testing.T) {
+	mk := func(keys ...string) *xdm.Element {
+		el := xdm.NewElement("ROW")
+		for _, k := range keys {
+			el.AddChild(xdm.NewTextElement("K", k))
+		}
+		return el
+	}
+	rows := xdm.Sequence{mk("AB"), mk("A", "B"), mk("AB")}
+	e := joinEngine(rows, nil)
+	q := &xquery.Query{
+		Prolog: xquery.Prolog{SchemaImports: []xquery.SchemaImport{
+			{Prefix: "j", Namespace: "urn:j", Location: "j.xsd"},
+		}},
+		Body: &xquery.FLWOR{
+			Clauses: []xquery.Clause{
+				&xquery.For{Var: "r", In: xquery.Call("j:L")},
+				&xquery.GroupBy{InVar: "r", PartitionVar: "part",
+					Keys: []xquery.GroupKey{{Expr: xquery.Call("fn:data", xquery.ChildPath("r", "K")), Var: "k"}}},
+			},
+			Return: xquery.Call("fn:count", xquery.VarRef("part")),
+		},
+	}
+	out := diffEval(t, e, q)
+	// ("AB") appears twice, ("A","B") once — two distinct groups.
+	if got := xdm.MarshalSequence(out); got != "2 1" {
+		t.Fatalf("group sizes = %q, want \"2 1\" (keys must not collide)", got)
+	}
+}

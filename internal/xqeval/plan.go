@@ -1,0 +1,468 @@
+package xqeval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obsv"
+	"repro/internal/xquery"
+)
+
+// plan.go is the query planner: a static pass over a parsed query that
+// rewrites each FLWOR's clause list into an executable pipeline with three
+// optimizations the paper's translator deliberately leaves to the server
+// (§3.4/§3.5): loop-invariant hoisting of for-sources and let-expressions,
+// where-conjunct decomposition with predicate pushdown, and hash execution
+// of equi-join conjuncts. The plan is immutable after construction — one
+// plan is shared by every execution of a prepared statement, concurrently —
+// and all per-run state lives in the executor (plan_exec.go).
+//
+// The planner never changes which tuples a query produces; it may change
+// *whether and when dynamic errors surface* (a predicate evaluated earlier
+// can raise an error the naive pipeline never reached, and a hash probe
+// skips comparisons the naive nested loop would have performed). XQuery
+// §2.3.4 explicitly permits this latitude, and the differential tests pin
+// the value-level equivalence on the whole generated-query corpus.
+
+// Plan is an optimized execution plan for one query. Build it once with
+// NewPlan and evaluate with Engine.EvalPlanWithTrace; the zero decisions
+// case degrades to the naive pipeline's behavior at streaming cost.
+type Plan struct {
+	Query *xquery.Query
+
+	flwors  map[*xquery.FLWOR]*flworPlan
+	ordered []*flworPlan
+
+	// Static decision counts across all FLWORs in the query.
+	HashJoins         int
+	PredicatesPushed  int
+	InvariantsHoisted int
+}
+
+// flworPlan is the pipeline for one FLWOR: streaming segments separated by
+// materializing barriers (group by / order by).
+type flworPlan struct {
+	id       int
+	flwor    *xquery.FLWOR
+	segments []planSegment
+	// numStates sizes the per-execution state array (invariant caches and
+	// hash tables, keyed by op stateIdx).
+	numStates int
+}
+
+// planSegment is a run of streaming ops ending at an optional barrier
+// clause that must see the whole tuple set at once.
+type planSegment struct {
+	ops     []planOp
+	barrier xquery.Clause // *xquery.GroupBy or *xquery.OrderByClause; nil on the final segment
+}
+
+type opKind int
+
+const (
+	opKindFor opKind = iota
+	opKindLet
+	opKindFilter
+)
+
+// planOp is one streaming pipeline operator.
+type planOp struct {
+	kind opKind
+
+	forClause *xquery.For // opKindFor
+	letClause *xquery.Let // opKindLet
+	cond      xquery.Expr // opKindFilter: one where-conjunct
+
+	// invariant marks a for/let whose expression references no FLWOR-local
+	// variable bound earlier in the pipeline: it is evaluated once per
+	// FLWOR execution (lazily, on the first tuple) instead of once per
+	// tuple.
+	invariant bool
+	// hoisted marks an invariant op that the naive pipeline would actually
+	// have re-evaluated (a for precedes it) — the cases worth counting.
+	hoisted bool
+	// pushed marks a filter placed earlier than its originating where
+	// clause.
+	pushed bool
+	// stateIdx indexes the executor's per-run state array; -1 when the op
+	// carries no state.
+	stateIdx int
+
+	// hash turns an invariant for into a hash join.
+	hash *hashJoinSpec
+}
+
+// hashJoinSpec executes an equi-join conjunct as a build/probe hash join:
+// buildExpr depends only on the for variable (evaluated once per source
+// item to build the table), probeExpr only on variables bound earlier
+// (evaluated once per incoming tuple to probe it).
+type hashJoinSpec struct {
+	cond      xquery.Expr // the original conjunct, for EXPLAIN output
+	probeExpr xquery.Expr
+	buildExpr xquery.Expr
+	// valueCmp distinguishes `eq` (value comparison) from `=` (general,
+	// existential comparison); the executor verifies every hash candidate
+	// under the exact operator semantics.
+	valueCmp bool
+}
+
+// NewPlan plans every FLWOR in the query body. The result is immutable and
+// safe for concurrent executions.
+func NewPlan(q *xquery.Query) *Plan {
+	p := &Plan{Query: q, flwors: map[*xquery.FLWOR]*flworPlan{}}
+	xquery.WalkExprs(q.Body, func(e xquery.Expr) bool {
+		if f, ok := e.(*xquery.FLWOR); ok {
+			fp := planFLWOR(f, p)
+			fp.id = len(p.ordered) + 1
+			p.flwors[f] = fp
+			p.ordered = append(p.ordered, fp)
+		}
+		return true
+	})
+	obsv.Global.PlansBuilt.Inc()
+	obsv.Global.PlanHashJoins.Add(int64(p.HashJoins))
+	obsv.Global.PlanPredicatesPushed.Add(int64(p.PredicatesPushed))
+	obsv.Global.PlanInvariantsHoisted.Add(int64(p.InvariantsHoisted))
+	return p
+}
+
+// pipeEntry is one non-where clause during planning, with the set of local
+// variables bound once it has run.
+type pipeEntry struct {
+	clause     xquery.Clause
+	boundAfter map[string]bool
+}
+
+// pendingCond is one where-conjunct awaiting placement. slot is the entry
+// index it runs after (-1 = before the first entry, i.e. once per FLWOR
+// execution).
+type pendingCond struct {
+	cond     xquery.Expr
+	slot     int
+	pushed   bool
+	consumed bool // absorbed into a hash join
+}
+
+func planFLWOR(f *xquery.FLWOR, p *Plan) *flworPlan {
+	fp := &flworPlan{flwor: f}
+
+	entries, conds, rewrite := layoutFLWOR(f)
+
+	// Assemble segments: filters attach right after the entry their slot
+	// names; barriers close the running segment.
+	var segs []planSegment
+	var cur planSegment
+	emitFilters := func(slot int) {
+		for i := range conds {
+			c := &conds[i]
+			if c.slot != slot || c.consumed {
+				continue
+			}
+			cur.ops = append(cur.ops, planOp{kind: opKindFilter, cond: c.cond, pushed: c.pushed, stateIdx: -1})
+			if c.pushed {
+				p.PredicatesPushed++
+			}
+		}
+	}
+
+	emitFilters(-1)
+	sawFor := false
+	for j, ent := range entries {
+		localBefore := map[string]bool{}
+		if j > 0 {
+			localBefore = entries[j-1].boundAfter
+		}
+		switch c := ent.clause.(type) {
+		case *xquery.For:
+			op := planOp{kind: opKindFor, forClause: c, stateIdx: -1}
+			if rewrite && !xquery.UsesVars(c.In, localBefore) {
+				op.invariant = true
+				op.hoisted = sawFor
+				op.stateIdx = fp.numStates
+				fp.numStates++
+				if op.hoisted {
+					p.InvariantsHoisted++
+				}
+				if c.At == "" {
+					if spec := findHashConjunct(c, conds, j, localBefore); spec != nil {
+						op.hash = spec
+						p.HashJoins++
+					}
+				}
+			}
+			cur.ops = append(cur.ops, op)
+			sawFor = true
+		case *xquery.Let:
+			op := planOp{kind: opKindLet, letClause: c, stateIdx: -1}
+			if rewrite && !xquery.UsesVars(c.Expr, localBefore) {
+				op.invariant = true
+				op.hoisted = sawFor
+				op.stateIdx = fp.numStates
+				fp.numStates++
+				if op.hoisted {
+					p.InvariantsHoisted++
+				}
+			}
+			cur.ops = append(cur.ops, op)
+		case *xquery.GroupBy, *xquery.OrderByClause:
+			cur.barrier = ent.clause
+			segs = append(segs, cur)
+			cur = planSegment{}
+		}
+		emitFilters(j)
+	}
+	segs = append(segs, cur)
+	fp.segments = segs
+	return fp
+}
+
+// layoutFLWOR splits a FLWOR's clauses into pipeline entries and placed
+// where-conjuncts. rewrite is false when the clause list shadows a variable
+// name — then every conjunct stays at its original position and no op is
+// treated as invariant, because "earliest binding" is ambiguous. (The
+// translator never emits shadowing; this guards hand-written queries.)
+func layoutFLWOR(f *xquery.FLWOR) (entries []pipeEntry, conds []pendingCond, rewrite bool) {
+	rewrite = true
+	seen := map[string]bool{}
+	binder := func(name string) {
+		if name == "" {
+			return
+		}
+		if seen[name] {
+			rewrite = false
+		}
+		seen[name] = true
+	}
+	for _, cl := range f.Clauses {
+		switch c := cl.(type) {
+		case *xquery.For:
+			binder(c.Var)
+			binder(c.At)
+		case *xquery.Let:
+			binder(c.Var)
+		case *xquery.GroupBy:
+			for _, k := range c.Keys {
+				binder(k.Var)
+			}
+			binder(c.PartitionVar)
+		}
+	}
+
+	bound := map[string]bool{}
+	lastGroupBy := -1
+	for _, cl := range f.Clauses {
+		switch c := cl.(type) {
+		case *xquery.Where:
+			origin := len(entries) - 1
+			for _, conj := range xquery.SplitConjuncts(c.Cond) {
+				slot := origin
+				if rewrite {
+					slot = placeConjunct(conj, entries, bound, lastGroupBy, origin)
+				}
+				conds = append(conds, pendingCond{cond: conj, slot: slot, pushed: slot < origin})
+			}
+		default:
+			next := cloneVarSet(bound)
+			switch c := cl.(type) {
+			case *xquery.For:
+				next[c.Var] = true
+				if c.At != "" {
+					next[c.At] = true
+				}
+			case *xquery.Let:
+				next[c.Var] = true
+			case *xquery.GroupBy:
+				for _, k := range c.Keys {
+					next[k.Var] = true
+				}
+				next[c.PartitionVar] = true
+				lastGroupBy = len(entries)
+			}
+			entries = append(entries, pipeEntry{clause: cl, boundAfter: next})
+			bound = next
+		}
+	}
+	return entries, conds, rewrite
+}
+
+// placeConjunct finds the earliest entry index after which every local
+// variable the conjunct references is bound, never crossing a group-by
+// barrier (grouping changes tuple multiplicity, so filters must not move
+// from after it to before it). A conjunct referencing a variable no entry
+// binds stays at its original position so the naive pipeline's unbound-
+// variable error timing is preserved.
+func placeConjunct(conj xquery.Expr, entries []pipeEntry, localAll map[string]bool, lastGroupBy, origin int) int {
+	local := localFreeVars(conj, localAll)
+	minSlot := -1
+	if lastGroupBy >= 0 {
+		minSlot = lastGroupBy
+	}
+	for j := minSlot; j <= origin; j++ {
+		var boundAfter map[string]bool
+		if j >= 0 {
+			boundAfter = entries[j].boundAfter
+		}
+		if subsetOf(local, boundAfter) {
+			return j
+		}
+	}
+	return origin
+}
+
+// findHashConjunct looks among the conjuncts placed at slot j for the first
+// equi-join the for clause can execute as a hash join: one comparison side
+// referencing exactly the for variable, the other referencing only earlier
+// bindings (at least one, so it is a genuine join and not a constant
+// filter). The matched conjunct is consumed.
+func findHashConjunct(c *xquery.For, conds []pendingCond, j int, localBefore map[string]bool) *hashJoinSpec {
+	for i := range conds {
+		pc := &conds[i]
+		if pc.slot != j || pc.consumed {
+			continue
+		}
+		b, ok := pc.cond.(*xquery.Binary)
+		if !ok || (b.Op != "=" && b.Op != "eq") {
+			continue
+		}
+		spec := classifyJoinSides(b, c.Var, localBefore)
+		if spec == nil {
+			continue
+		}
+		spec.valueCmp = b.Op == "eq"
+		pc.consumed = true
+		return spec
+	}
+	return nil
+}
+
+func classifyJoinSides(b *xquery.Binary, forVar string, localBefore map[string]bool) *hashJoinSpec {
+	forOnly := map[string]bool{forVar: true}
+	leftLocal := localFreeVars(b.Left, mergeVarSets(localBefore, forOnly))
+	rightLocal := localFreeVars(b.Right, mergeVarSets(localBefore, forOnly))
+	switch {
+	case isExactly(leftLocal, forVar) && len(rightLocal) > 0 && subsetOf(rightLocal, localBefore):
+		return &hashJoinSpec{cond: b, buildExpr: b.Left, probeExpr: b.Right}
+	case isExactly(rightLocal, forVar) && len(leftLocal) > 0 && subsetOf(leftLocal, localBefore):
+		return &hashJoinSpec{cond: b, buildExpr: b.Right, probeExpr: b.Left}
+	}
+	return nil
+}
+
+// localFreeVars restricts an expression's free variables to the FLWOR-local
+// binder set — outer and external variables are fixed for a whole FLWOR
+// execution and never constrain placement.
+func localFreeVars(e xquery.Expr, local map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for v := range xquery.FreeVars(e) {
+		if local[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func subsetOf(sub, super map[string]bool) bool {
+	for v := range sub {
+		if !super[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func isExactly(set map[string]bool, name string) bool {
+	return len(set) == 1 && set[name]
+}
+
+func cloneVarSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in)+2)
+	for k := range in {
+		out[k] = true
+	}
+	return out
+}
+
+func mergeVarSets(a, b map[string]bool) map[string]bool {
+	out := cloneVarSet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// Describe renders the plan as indented text lines for EXPLAIN output:
+// one summary line, then each FLWOR's pipeline in execution order.
+func (p *Plan) Describe() []string {
+	lines := []string{fmt.Sprintf("flwors: %d, hash joins: %d, predicates pushed: %d, invariants hoisted: %d",
+		len(p.ordered), p.HashJoins, p.PredicatesPushed, p.InvariantsHoisted)}
+	for _, fp := range p.ordered {
+		lines = append(lines, fmt.Sprintf("flwor %d:", fp.id))
+		for _, seg := range fp.segments {
+			for _, op := range seg.ops {
+				lines = append(lines, "  "+describeOp(op))
+			}
+			if seg.barrier != nil {
+				lines = append(lines, "  "+describeBarrier(seg.barrier))
+			}
+		}
+	}
+	return lines
+}
+
+func describeOp(op planOp) string {
+	switch op.kind {
+	case opKindFor:
+		var b strings.Builder
+		if op.hash != nil {
+			fmt.Fprintf(&b, "hash join $%s in %s", op.forClause.Var, exprText(op.forClause.In))
+			fmt.Fprintf(&b, " [build %s probe %s]", exprText(op.hash.buildExpr), exprText(op.hash.probeExpr))
+			return b.String()
+		}
+		fmt.Fprintf(&b, "for $%s in %s", op.forClause.Var, exprText(op.forClause.In))
+		if op.invariant {
+			b.WriteString(" [invariant]")
+		}
+		return b.String()
+	case opKindLet:
+		s := fmt.Sprintf("let $%s := %s", op.letClause.Var, exprText(op.letClause.Expr))
+		if op.invariant {
+			s += " [invariant]"
+		}
+		return s
+	case opKindFilter:
+		s := "filter " + exprText(op.cond)
+		if op.pushed {
+			s += " [pushed]"
+		}
+		return s
+	default:
+		return "?"
+	}
+}
+
+func describeBarrier(c xquery.Clause) string {
+	switch c := c.(type) {
+	case *xquery.GroupBy:
+		keys := make([]string, len(c.Keys))
+		for i, k := range c.Keys {
+			keys[i] = fmt.Sprintf("%s as $%s", exprText(k.Expr), k.Var)
+		}
+		return fmt.Sprintf("group $%s as $%s by %s", c.InVar, c.PartitionVar, strings.Join(keys, ", "))
+	case *xquery.OrderByClause:
+		specs := make([]string, len(c.Specs))
+		for i, s := range c.Specs {
+			specs[i] = exprText(s.Expr)
+			if s.Descending {
+				specs[i] += " descending"
+			}
+		}
+		return "order by " + strings.Join(specs, ", ")
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// exprText renders an expression on one line (FLWORs serialize multi-line).
+func exprText(e xquery.Expr) string {
+	return strings.Join(strings.Fields(xquery.String(e)), " ")
+}

@@ -1,0 +1,369 @@
+package xqeval
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xdm"
+)
+
+// plan_exec.go executes a flworPlan. All mutable run state lives here, in
+// flworExec, created fresh per FLWOR execution — the plan itself is shared
+// and immutable. Tuples stream through each segment's ops via a recursive
+// feed (no intermediate []*scope materialization); only barriers (group by,
+// order by) collect the tuple set, reusing the naive applyClause
+// implementations so barrier semantics are byte-identical.
+
+// flworExec is one execution of one FLWOR plan.
+type flworExec struct {
+	fp     *flworPlan
+	states []opState
+}
+
+// opState is the lazily-filled per-run state of one op: the cached
+// sequence of an invariant for/let, and the hash table of a hash join.
+type opState struct {
+	done bool
+	seq  xdm.Sequence
+	hash *hashTable
+}
+
+// tupleSink receives each tuple that survives a segment's ops.
+type tupleSink func(t *scope) error
+
+// execPlannedFLWOR runs the planned pipeline. The final segment streams
+// straight into the return clause; earlier segments materialize for their
+// barrier.
+func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
+	ex := &flworExec{fp: fp, states: make([]opState, fp.numStates)}
+	tuples := []*scope{env}
+	for si, seg := range fp.segments {
+		if si < len(fp.segments)-1 {
+			var next []*scope
+			for _, t := range tuples {
+				err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
+					next = append(next, t2)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			if seg.barrier != nil {
+				var err error
+				next, err = applyClause(seg.barrier, next)
+				if err != nil {
+					return nil, err
+				}
+			}
+			tuples = next
+			continue
+		}
+		var out xdm.Sequence
+		for _, t := range tuples {
+			err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
+				if err := t2.checkCancel(); err != nil {
+					return err
+				}
+				v, err := evalExpr(fp.flwor.Return, t2)
+				if err != nil {
+					return err
+				}
+				out = append(out, v...)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return nil, nil // unreachable: there is always a final segment
+}
+
+// feed pushes one tuple through ops[i:], calling out for each survivor.
+func (ex *flworExec) feed(ops []planOp, i int, t *scope, out tupleSink) error {
+	if i == len(ops) {
+		return out(t)
+	}
+	op := &ops[i]
+	switch op.kind {
+	case opKindFilter:
+		ok, err := evalEBV(op.cond, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.prune(1)
+			return nil
+		}
+		return ex.feed(ops, i+1, t, out)
+
+	case opKindLet:
+		var v xdm.Sequence
+		if op.invariant {
+			st := &ex.states[op.stateIdx]
+			if !st.done {
+				// Invariance means the expression sees identical bindings
+				// from every tuple, so evaluating against the first one is
+				// sound.
+				s, err := evalExpr(op.letClause.Expr, t)
+				if err != nil {
+					return err
+				}
+				st.seq, st.done = s, true
+			}
+			v = st.seq
+		} else {
+			var err error
+			v, err = evalExpr(op.letClause.Expr, t)
+			if err != nil {
+				return err
+			}
+		}
+		return ex.feed(ops, i+1, t.bind(op.letClause.Var, v), out)
+
+	case opKindFor:
+		if err := t.checkCancel(); err != nil {
+			return err
+		}
+		var seq xdm.Sequence
+		if op.invariant {
+			st := &ex.states[op.stateIdx]
+			if !st.done {
+				s, err := evalExpr(op.forClause.In, t)
+				if err != nil {
+					return err
+				}
+				st.seq, st.done = s, true
+			}
+			seq = st.seq
+		} else {
+			var err error
+			seq, err = evalExpr(op.forClause.In, t)
+			if err != nil {
+				return err
+			}
+		}
+		if op.hash != nil {
+			return ex.probeHash(ops, i, op, t, seq, out)
+		}
+		for idx, it := range seq {
+			nt := t.bind(op.forClause.Var, xdm.SequenceOf(it))
+			if op.forClause.At != "" {
+				nt = nt.bind(op.forClause.At, xdm.SequenceOf(xdm.Integer(idx+1)))
+			}
+			if err := ex.feed(ops, i+1, nt, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dynErr("unknown plan op")
+}
+
+// probeHash executes a hash-join for: build once from the cached source
+// items, then per tuple evaluate the probe key and emit only the matching
+// items, in source order. Every candidate is re-verified under the exact
+// comparison semantics, so bucket collisions (and the deliberately lossy
+// key normalization) can only cost time, never change results.
+func (ex *flworExec) probeHash(ops []planOp, i int, op *planOp, t *scope, items xdm.Sequence, out tupleSink) error {
+	st := &ex.states[op.stateIdx]
+	if st.hash == nil {
+		h, err := buildHashTable(op, t, items)
+		if err != nil {
+			return err
+		}
+		st.hash = h
+	}
+	probe, err := evalExpr(op.hash.probeExpr, t)
+	if err != nil {
+		return err
+	}
+	probeAtoms := xdm.Atomize(probe)
+	matched := 0
+	for _, ci := range st.hash.candidates(probeAtoms, op.hash.valueCmp) {
+		ok, err := verifyJoinPair(probeAtoms, st.hash.keys[ci], op.hash.valueCmp)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		matched++
+		nt := t.bind(op.forClause.Var, xdm.SequenceOf(st.hash.items[ci]))
+		if err := ex.feed(ops, i+1, nt, out); err != nil {
+			return err
+		}
+	}
+	t.prune(int64(len(items) - matched))
+	return nil
+}
+
+// verifyJoinPair applies the original comparison operator to one probe /
+// build-key pair (both already atomized; atomization is idempotent).
+func verifyJoinPair(probe, key xdm.Sequence, valueCmp bool) (bool, error) {
+	var v xdm.Sequence
+	var err error
+	if valueCmp {
+		v, err = evalValueCompare(probe, key, xdm.OpEq)
+	} else {
+		v, err = evalGeneralCompare(probe, key, xdm.OpEq)
+	}
+	if err != nil {
+		return false, err
+	}
+	if v.Empty() {
+		return false, nil
+	}
+	return bool(v[0].(xdm.Boolean)), nil
+}
+
+// hashTable is the build side of one hash join.
+type hashTable struct {
+	items xdm.Sequence
+	// keys[i] is item i's atomized join key.
+	keys []xdm.Sequence
+	// buckets maps normalized key forms to item indices.
+	buckets map[string][]int
+	// residual lists items whose key cannot be normalized (booleans,
+	// temporals, NaN-valued numerics, multi-item keys under `eq`); they
+	// are verified against every probe, preserving naive error and
+	// mixed-type comparison behavior for those values.
+	residual []int
+}
+
+func buildHashTable(op *planOp, t *scope, items xdm.Sequence) (*hashTable, error) {
+	h := &hashTable{
+		items:   items,
+		keys:    make([]xdm.Sequence, len(items)),
+		buckets: make(map[string][]int, len(items)),
+	}
+	for i, it := range items {
+		kseq, err := evalExpr(op.hash.buildExpr, t.bind(op.forClause.Var, xdm.SequenceOf(it)))
+		if err != nil {
+			return nil, err
+		}
+		key := xdm.Atomize(kseq)
+		h.keys[i] = key
+		if key.Empty() {
+			// An empty key matches nothing under either comparison and can
+			// raise no comparison error: drop the item entirely.
+			continue
+		}
+		if op.hash.valueCmp && len(key) != 1 {
+			// Value comparison against a multi-item key is a dynamic error
+			// in the naive pipeline; keep the item where every probe will
+			// trip over it.
+			h.residual = append(h.residual, i)
+			continue
+		}
+		forms, ok := normalizeKeyAtoms(key)
+		if !ok {
+			h.residual = append(h.residual, i)
+			continue
+		}
+		for _, f := range forms {
+			h.buckets[f] = append(h.buckets[f], i)
+		}
+	}
+	return h, nil
+}
+
+// candidates returns the item indices a probe key must be verified
+// against, ascending (= the naive inner-loop order). Unhashable probes
+// degrade to scanning every item.
+func (h *hashTable) candidates(probe xdm.Sequence, valueCmp bool) []int {
+	if probe.Empty() {
+		// Empty compares false against everything, errors never: no
+		// candidates at all.
+		return nil
+	}
+	if valueCmp && len(probe) != 1 {
+		// The naive pipeline raises a singleton error on the first build
+		// item it meets; scan so verification reproduces it.
+		return h.allItems()
+	}
+	seen := make(map[int]bool, len(h.residual))
+	var cand []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			cand = append(cand, i)
+		}
+	}
+	for _, i := range h.residual {
+		add(i)
+	}
+	for _, a := range probe {
+		forms, ok := atomKeyForms(a.(xdm.Atomic))
+		if !ok {
+			return h.allItems()
+		}
+		for _, f := range forms {
+			for _, i := range h.buckets[f] {
+				add(i)
+			}
+		}
+	}
+	sort.Ints(cand)
+	return cand
+}
+
+func (h *hashTable) allItems() []int {
+	all := make([]int, len(h.items))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// normalizeKeyAtoms returns every bucket form a key sequence should be
+// filed under; ok is false if any atom has no normal form (the whole item
+// then goes to the residual list).
+func normalizeKeyAtoms(atoms xdm.Sequence) ([]string, bool) {
+	var forms []string
+	for _, a := range atoms {
+		f, ok := atomKeyForms(a.(xdm.Atomic))
+		if !ok {
+			return nil, false
+		}
+		forms = append(forms, f...)
+	}
+	return forms, true
+}
+
+// atomKeyForms normalizes one atomic value into bucket-key strings chosen
+// so that any two atoms the evaluator's promotion rules could find equal
+// share at least one form:
+//
+//   - all numerics promote through float64, so they file under the double's
+//     lexical form ("n:…");
+//   - strings file under their lexical form ("s:…");
+//   - untyped atomics compare as strings against strings/untyped and as
+//     numbers against numerics, so they file under both applicable forms;
+//   - booleans and temporals (which also compare lexically against
+//     strings), plus anything NaN-valued (which OrderAtomic treats as equal
+//     to every number), have no safe form and stay in the residual list.
+func atomKeyForms(a xdm.Atomic) ([]string, bool) {
+	switch t := a.Type(); {
+	case t == xdm.TypeString:
+		return []string{"s:" + a.Lexical()}, true
+	case t.Numeric():
+		d, err := xdm.Cast(a, xdm.TypeDouble)
+		if err != nil || math.IsNaN(float64(d.(xdm.Double))) {
+			return nil, false
+		}
+		return []string{"n:" + d.Lexical()}, true
+	case t == xdm.TypeUntyped:
+		if d, err := xdm.Cast(a, xdm.TypeDouble); err == nil {
+			if math.IsNaN(float64(d.(xdm.Double))) {
+				return nil, false
+			}
+			return []string{"s:" + a.Lexical(), "n:" + d.Lexical()}, true
+		}
+		return []string{"s:" + a.Lexical()}, true
+	default:
+		return nil, false
+	}
+}

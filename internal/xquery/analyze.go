@@ -1,0 +1,168 @@
+package xquery
+
+// analyze.go holds the static-analysis helpers the evaluator's query
+// planner builds on: conjunct decomposition of where conditions and
+// free-variable analysis of expressions. Both are pure AST walks — no
+// evaluation, no metadata access — so they are usable at plan time on
+// shared, immutable trees.
+
+// SplitConjuncts flattens a (possibly nested) `and` tree into its conjunct
+// list, in left-to-right evaluation order. Non-`and` expressions are their
+// own single conjunct.
+func SplitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "and" {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// JoinConjuncts rebuilds an `and` tree from a conjunct list (the inverse of
+// SplitConjuncts up to association). An empty list is not representable and
+// returns nil.
+func JoinConjuncts(conjuncts []Expr) Expr {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	out := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		out = &Binary{Op: "and", Left: out, Right: c}
+	}
+	return out
+}
+
+// FreeVars returns the set of variable names referenced by e but not bound
+// within it. Binders tracked: FLWOR for/let clauses (including positional
+// `at` variables), the BEA group-by extension's key and partition
+// variables, and quantified-expression range variables. A group-by
+// clause's grouped variable (InVar) is a reference, not a binder.
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	collectFree(e, nil, free)
+	return free
+}
+
+// UsesVars reports whether any of the given names occurs free in e. It
+// short-cuts the common planner question without materializing the full
+// free set for every probe.
+func UsesVars(e Expr, names map[string]bool) bool {
+	if len(names) == 0 {
+		return false
+	}
+	for v := range FreeVars(e) {
+		if names[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectFree accumulates into free the variables of e not present in
+// bound. bound is treated as immutable; scopes that add binders clone it.
+func collectFree(e Expr, bound map[string]bool, free map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *Var:
+		if !bound[e.Name] {
+			free[e.Name] = true
+		}
+	case *StringLit, *NumberLit, *EmptySeq, *ContextItem:
+		return
+	case *RelPath:
+		collectSteps(e.Steps, bound, free)
+	case *FuncCall:
+		for _, a := range e.Args {
+			collectFree(a, bound, free)
+		}
+	case *Path:
+		collectFree(e.Base, bound, free)
+		collectSteps(e.Steps, bound, free)
+	case *Filter:
+		collectFree(e.Base, bound, free)
+		for _, p := range e.Predicates {
+			collectFree(p, bound, free)
+		}
+	case *Binary:
+		collectFree(e.Left, bound, free)
+		collectFree(e.Right, bound, free)
+	case *Unary:
+		collectFree(e.Operand, bound, free)
+	case *If:
+		collectFree(e.Cond, bound, free)
+		collectFree(e.Then, bound, free)
+		collectFree(e.Else, bound, free)
+	case *Cast:
+		collectFree(e.Operand, bound, free)
+	case *Seq:
+		for _, it := range e.Items {
+			collectFree(it, bound, free)
+		}
+	case *Quantified:
+		collectFree(e.In, bound, free)
+		collectFree(e.Satisfies, withBound(bound, e.Var), free)
+	case *FLWOR:
+		b := cloneBound(bound)
+		for _, c := range e.Clauses {
+			switch c := c.(type) {
+			case *For:
+				collectFree(c.In, b, free)
+				b[c.Var] = true
+				if c.At != "" {
+					b[c.At] = true
+				}
+			case *Let:
+				collectFree(c.Expr, b, free)
+				b[c.Var] = true
+			case *Where:
+				collectFree(c.Cond, b, free)
+			case *GroupBy:
+				for _, k := range c.Keys {
+					collectFree(k.Expr, b, free)
+				}
+				if !b[c.InVar] {
+					free[c.InVar] = true
+				}
+				for _, k := range c.Keys {
+					b[k.Var] = true
+				}
+				b[c.PartitionVar] = true
+			case *OrderByClause:
+				for _, s := range c.Specs {
+					collectFree(s.Expr, b, free)
+				}
+			}
+		}
+		collectFree(e.Return, b, free)
+	case *ElementCtor:
+		for _, c := range e.Content {
+			switch c := c.(type) {
+			case *Enclosed:
+				collectFree(c.Expr, bound, free)
+			case *ElementCtor:
+				collectFree(c, bound, free)
+			}
+		}
+	}
+}
+
+func collectSteps(steps []PathStep, bound, free map[string]bool) {
+	for _, s := range steps {
+		for _, p := range s.Predicates {
+			collectFree(p, bound, free)
+		}
+	}
+}
+
+func cloneBound(bound map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(bound)+4)
+	for k := range bound {
+		out[k] = true
+	}
+	return out
+}
+
+func withBound(bound map[string]bool, name string) map[string]bool {
+	out := cloneBound(bound)
+	out[name] = true
+	return out
+}

@@ -1,0 +1,134 @@
+package xquery
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func sortedFree(e Expr) []string {
+	var out []string
+	for v := range FreeVars(e) {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	a := &Var{Name: "a"}
+	b := &Var{Name: "b"}
+	c := &Var{Name: "c"}
+	tree := &Binary{Op: "and", Left: &Binary{Op: "and", Left: a, Right: b}, Right: c}
+	got := SplitConjuncts(tree)
+	if len(got) != 3 || got[0] != Expr(a) || got[1] != Expr(b) || got[2] != Expr(c) {
+		t.Fatalf("SplitConjuncts = %v, want [a b c]", got)
+	}
+	// `or` is not a conjunction boundary.
+	or := &Binary{Op: "or", Left: a, Right: b}
+	if got := SplitConjuncts(or); len(got) != 1 || got[0] != Expr(or) {
+		t.Fatalf("SplitConjuncts(or) = %v, want the or node itself", got)
+	}
+	// Round trip through JoinConjuncts preserves the conjunct list.
+	if got := SplitConjuncts(JoinConjuncts([]Expr{a, b, c})); len(got) != 3 {
+		t.Fatalf("round trip = %v, want 3 conjuncts", got)
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Fatal("JoinConjuncts(nil) should be nil")
+	}
+}
+
+func TestFreeVarsSimple(t *testing.T) {
+	e := &Binary{Op: "=", Left: ChildPath("c", "CUSTOMERID"), Right: ChildPath("p", "CUSTID")}
+	if got := sortedFree(e); !reflect.DeepEqual(got, []string{"c", "p"}) {
+		t.Fatalf("FreeVars = %v, want [c p]", got)
+	}
+	if got := sortedFree(&RelPath{Steps: []PathStep{{Name: "CUSTID"}}}); len(got) != 0 {
+		t.Fatalf("RelPath has no free vars, got %v", got)
+	}
+}
+
+func TestFreeVarsFLWORBinders(t *testing.T) {
+	// for $x at $i in $src let $y := $x/A where $y eq $outer return ($x, $i, $y)
+	f := &FLWOR{
+		Clauses: []Clause{
+			&For{Var: "x", At: "i", In: VarRef("src")},
+			&Let{Var: "y", Expr: ChildPath("x", "A")},
+			&Where{Cond: &Binary{Op: "eq", Left: VarRef("y"), Right: VarRef("outer")}},
+		},
+		Return: &Seq{Items: []Expr{VarRef("x"), VarRef("i"), VarRef("y")}},
+	}
+	if got := sortedFree(f); !reflect.DeepEqual(got, []string{"outer", "src"}) {
+		t.Fatalf("FreeVars(flwor) = %v, want [outer src]", got)
+	}
+}
+
+func TestFreeVarsGroupByAndQuantified(t *testing.T) {
+	// for $r in $src group $r as $part by $r/K as $k return ($k, $part)
+	f := &FLWOR{
+		Clauses: []Clause{
+			&For{Var: "r", In: VarRef("src")},
+			&GroupBy{InVar: "r", PartitionVar: "part",
+				Keys: []GroupKey{{Expr: ChildPath("r", "K"), Var: "k"}}},
+		},
+		Return: &Seq{Items: []Expr{VarRef("k"), VarRef("part")}},
+	}
+	if got := sortedFree(f); !reflect.DeepEqual(got, []string{"src"}) {
+		t.Fatalf("FreeVars(group by) = %v, want [src]", got)
+	}
+	// The grouped variable is a reference when nothing binds it.
+	g := &FLWOR{
+		Clauses: []Clause{&GroupBy{InVar: "loose", PartitionVar: "p",
+			Keys: []GroupKey{{Expr: VarRef("loose"), Var: "k"}}}},
+		Return: VarRef("k"),
+	}
+	if got := sortedFree(g); !reflect.DeepEqual(got, []string{"loose"}) {
+		t.Fatalf("FreeVars(unbound group in) = %v, want [loose]", got)
+	}
+	q := &Quantified{Var: "v", In: VarRef("seq"),
+		Satisfies: &Binary{Op: "eq", Left: VarRef("v"), Right: VarRef("limit")}}
+	if got := sortedFree(q); !reflect.DeepEqual(got, []string{"limit", "seq"}) {
+		t.Fatalf("FreeVars(quantified) = %v, want [limit seq]", got)
+	}
+}
+
+func TestFreeVarsScopesDoNotLeak(t *testing.T) {
+	// A variable bound in a nested FLWOR stays free outside it.
+	inner := &FLWOR{
+		Clauses: []Clause{&For{Var: "n", In: VarRef("src")}},
+		Return:  VarRef("n"),
+	}
+	outer := &Seq{Items: []Expr{inner, VarRef("n")}}
+	if got := sortedFree(outer); !reflect.DeepEqual(got, []string{"n", "src"}) {
+		t.Fatalf("FreeVars = %v, want [n src]", got)
+	}
+}
+
+func TestFreeVarsElementAndFilter(t *testing.T) {
+	e := &ElementCtor{Name: "RECORD", Content: []ElemContent{
+		&ElementCtor{Name: "A", Content: []ElemContent{&Enclosed{Expr: ChildPath("row", "A")}}},
+		&Enclosed{Expr: VarRef("extra")},
+	}}
+	if got := sortedFree(e); !reflect.DeepEqual(got, []string{"extra", "row"}) {
+		t.Fatalf("FreeVars(ctor) = %v, want [extra row]", got)
+	}
+	f := &Filter{Base: VarRef("base"), Predicates: []Expr{
+		&Binary{Op: "=", Left: &RelPath{Steps: []PathStep{{Name: "CUSTID"}}}, Right: ChildPath("c", "ID")},
+	}}
+	if got := sortedFree(f); !reflect.DeepEqual(got, []string{"base", "c"}) {
+		t.Fatalf("FreeVars(filter) = %v, want [base c]", got)
+	}
+}
+
+func TestUsesVars(t *testing.T) {
+	e := ChildPath("x", "A")
+	if !UsesVars(e, map[string]bool{"x": true}) {
+		t.Fatal("UsesVars should see x")
+	}
+	if UsesVars(e, map[string]bool{"y": true}) {
+		t.Fatal("UsesVars should not see y")
+	}
+	if UsesVars(e, nil) {
+		t.Fatal("UsesVars with empty set is false")
+	}
+}
