@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz bench bench-smoke clean
+.PHONY: ci vet build test race chaos fuzz bench bench-smoke clean
 
-ci: vet build race bench-smoke fuzz
+ci: vet build race chaos bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -17,14 +17,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Chaos soak: the fault-injection net at several fault rates under the
+# race detector — zero escaped panics, typed errors only, retried
+# successes byte-identical to the fault-free run.
+chaos:
+	$(GO) test -race -count=1 -run='TestChaos' .
+
 # Fuzz smoke: run each native fuzz target briefly. Corpus crashers found
 # by longer runs land in testdata/fuzz/ and replay as regular tests.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=$(FUZZTIME) ./internal/sqlparser/
 	$(GO) test -run='^$$' -fuzz=FuzzTranslate -fuzztime=$(FUZZTIME) ./internal/translator/
+	$(GO) test -run='^$$' -fuzz=FuzzFaultedEval -fuzztime=$(FUZZTIME) .
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json
 
 # Benchmark smoke: one iteration of every benchmark, so CI catches
 # benchmarks that no longer compile or fail at runtime.

@@ -34,10 +34,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/aqerr"
 	"repro/internal/catalog"
 	"repro/internal/demo"
 	"repro/internal/driver"
+	"repro/internal/faultnet"
 	"repro/internal/obsv"
+	"repro/internal/resilient"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
@@ -86,6 +89,46 @@ type (
 	// QueryPlan is the evaluator's optimized execution plan for a
 	// translation: hash equi-joins, pushed predicates, hoisted invariants.
 	QueryPlan = xqeval.Plan
+	// QueryError is the typed error the resilience layer raises: every
+	// failure carries a Kind (transient, permanent, unavailable, timeout,
+	// resource limit, internal) the caller can switch on with errors.As.
+	QueryError = aqerr.QueryError
+	// ErrorKind classifies a QueryError.
+	ErrorKind = aqerr.Kind
+	// ResilienceConfig is the knob set EnableResilience applies: retries,
+	// circuit breakers, metadata staleness, result-size caps, and the
+	// default statement timeout.
+	ResilienceConfig = resilient.Config
+	// FaultConfig parameterizes the fault-injection net EnableFaults
+	// installs (seed, rate, fault kinds).
+	FaultConfig = faultnet.Config
+	// FaultInjector is the installed chaos layer; its Report lists every
+	// registered fault point with per-kind injection counts.
+	FaultInjector = faultnet.Injector
+	// FaultKind is one injectable fault class.
+	FaultKind = faultnet.Kind
+	// EvalLimits caps evaluator resources (rows, tuples, recursion depth).
+	EvalLimits = xqeval.Limits
+)
+
+// Error kinds a QueryError can carry.
+const (
+	ErrTransient     = aqerr.KindTransient
+	ErrPermanent     = aqerr.KindPermanent
+	ErrUnavailable   = aqerr.KindUnavailable
+	ErrTimeout       = aqerr.KindTimeout
+	ErrResourceLimit = aqerr.KindResourceLimit
+	ErrInternal      = aqerr.KindInternal
+)
+
+// Injectable fault kinds for FaultConfig.Kinds.
+const (
+	FaultTransient = faultnet.KindTransient
+	FaultPermanent = faultnet.KindPermanent
+	FaultLatency   = faultnet.KindLatency
+	FaultStall     = faultnet.KindStall
+	FaultTruncate  = faultnet.KindTruncate
+	FaultPanic     = faultnet.KindPanic
 )
 
 // SQL column types for building catalogs.
@@ -130,8 +173,10 @@ type Platform struct {
 	// metadata API on every uncached lookup.
 	MetadataLatency time.Duration
 
-	cacheMu sync.Mutex
-	cache   *catalog.Cache
+	cacheMu    sync.Mutex
+	cache      *catalog.Cache
+	resilience *resilient.Config
+	injector   *faultnet.Injector
 }
 
 // New creates a platform over application metadata and an engine.
@@ -147,9 +192,47 @@ func Demo() *Platform {
 	return New(app, engine)
 }
 
-// metaSource builds the metadata stack: application (→ simulated remote)
-// → client-side cache. Lazy construction is guarded so concurrent callers
-// (parallel Translate/Query, RegisterDriver) share one cache.
+// EnableFaults installs the fault-injection net: the metadata source and
+// every data service call become registered fault points that misbehave
+// (transient/permanent errors, latency, stalls, truncation, panics) on the
+// injector's deterministic seeded schedule. Call it during setup, before
+// EnableResilience, so the defenses wrap the faults the way they would
+// wrap a real flaky network. The returned injector's Report lists every
+// fault point with per-kind injection counts.
+func (p *Platform) EnableFaults(cfg FaultConfig) *FaultInjector {
+	inj := faultnet.New(cfg)
+	p.cacheMu.Lock()
+	p.injector = inj
+	p.cache = nil // rebuild the metadata stack with the chaos layer inside
+	p.cacheMu.Unlock()
+	p.Engine.Use(inj.Middleware())
+	return inj
+}
+
+// EnableResilience arms the platform's defenses: retries with backoff
+// around metadata lookups and data service calls, a circuit breaker per
+// data service, panic containment, stale-while-revalidate metadata
+// serving (StaleTTL), evaluator resource caps (MaxRows), and a default
+// statement deadline (QueryTimeout) for the driver. Call it during setup,
+// after any EnableFaults.
+func (p *Platform) EnableResilience(cfg ResilienceConfig) {
+	cfg = cfg.WithDefaults()
+	p.cacheMu.Lock()
+	p.resilience = &cfg
+	p.cache = nil // rebuild the metadata stack with retries + staleness
+	p.cacheMu.Unlock()
+	p.Engine.Use(resilient.NewEngineGuard(cfg).Middleware())
+	if cfg.MaxRows > 0 {
+		lim := p.Engine.Limits()
+		lim.MaxRows = cfg.MaxRows
+		p.Engine.SetLimits(lim)
+	}
+}
+
+// metaSource builds the metadata stack, inside out: application
+// (→ simulated remote) (→ fault injection) (→ retries) → client-side
+// cache with stale-serving. Lazy construction is guarded so concurrent
+// callers (parallel Translate/Query, RegisterDriver) share one cache.
 func (p *Platform) metaSource() catalog.Source {
 	p.cacheMu.Lock()
 	defer p.cacheMu.Unlock()
@@ -158,7 +241,16 @@ func (p *Platform) metaSource() catalog.Source {
 		if p.MetadataLatency > 0 {
 			src = &catalog.Remote{Inner: p.App, Latency: p.MetadataLatency}
 		}
+		if p.injector != nil {
+			src = p.injector.Source(src)
+		}
+		if p.resilience != nil {
+			src = resilient.NewSource(src, *p.resilience)
+		}
 		p.cache = catalog.NewCache(src)
+		if p.resilience != nil {
+			p.cache.FreshFor = p.resilience.StaleTTL
+		}
 	}
 	return p.cache
 }
@@ -232,12 +324,18 @@ func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, e
 // RegisterDriver exposes the platform through database/sql under the given
 // DSN name: sql.Open("aqualogic", name).
 func (p *Platform) RegisterDriver(name string) {
-	driver.RegisterServer(name, &driver.Server{
+	srv := &driver.Server{
 		App:        p.App,
 		Engine:     p.Engine,
 		Meta:       p.metaSource(),
 		DefineView: p.DefineView,
-	})
+	}
+	p.cacheMu.Lock()
+	if p.resilience != nil {
+		srv.QueryTimeout = p.resilience.QueryTimeout
+	}
+	p.cacheMu.Unlock()
+	driver.RegisterServer(name, srv)
 }
 
 // metaCache returns the platform's cache if it has been built yet.

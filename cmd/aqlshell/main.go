@@ -8,7 +8,8 @@
 // PROCEDURES, SHOW COLUMNS FROM <t>, CALL <proc>(args), plus the shell
 // commands \x (print the XQuery a SELECT translates to), \c (query
 // contexts), \p (evaluator query plan), \s (pipeline metrics snapshot),
-// and \q (quit).
+// \r (resilience counters: retries, breaker trips, stale serves, injected
+// faults), and \q (quit).
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
 	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
 	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan,`)
-	fmt.Println(`"\s" for pipeline metrics, "\q" to quit`)
+	fmt.Println(`"\s" for pipeline metrics, "\r" for resilience counters, "\q" to quit`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -63,6 +64,11 @@ func main() {
 			aqualogic.Stats().Render(os.Stdout)
 			cache := p.MetadataStats()
 			fmt.Printf("platform metadata cache: hits=%d misses=%d\n", cache.Hits, cache.Misses)
+		case line == `\r`:
+			aqualogic.Stats().RenderResilience(os.Stdout)
+			cache := p.MetadataStats()
+			fmt.Printf("metadata cache: stale serves=%d shared fetches=%d degraded=%v\n",
+				cache.StaleServes, cache.Shared, cache.Degraded)
 		case strings.HasPrefix(line, `\p `):
 			res, err := p.Translate(strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
 			if err != nil {

@@ -10,7 +10,9 @@
 // work can diff stage-level numbers instead of only end-to-end latency.
 // With -evaljson, the P6 join-cardinality sweep (naive nested loop vs the
 // evaluator's planned hash join) is written the same way (conventionally
-// BENCH_eval.json).
+// BENCH_eval.json). With -faultjson, the P7 fault-rate sweep (query
+// survival and throughput with and without the resilience layer) is
+// written too (conventionally BENCH_faults.json).
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	stageJSON := flag.String("stagejson", "", "also write the per-stage breakdown as JSON to this path (e.g. BENCH_stages.json)")
 	stageIters := flag.Int("stageiters", 50, "iterations per workload class for the stage breakdown JSON")
 	evalJSON := flag.String("evaljson", "", "also write the P6 join-cardinality sweep as JSON to this path (e.g. BENCH_eval.json)")
+	faultJSON := flag.String("faultjson", "", "also write the P7 fault-rate sweep as JSON to this path (e.g. BENCH_faults.json)")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -44,5 +47,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote join-planning sweep to %s\n", *evalJSON)
+	}
+	if *faultJSON != "" {
+		if err := bench.WriteFaultSweepJSON(*faultJSON, bench.DefaultFaultRates, bench.DefaultFaultRuns); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote fault-rate sweep to %s\n", *faultJSON)
 	}
 }

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestRunFaultSweepSmall exercises the P7 sweep at a size small enough
+// for the test suite: at rate 0 both arms must go clean; at a high rate
+// the defended arm must survive strictly more queries than the
+// undefended one and show retries spent doing it.
+func TestRunFaultSweepSmall(t *testing.T) {
+	points, err := RunFaultSweep([]float64{0, 0.2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean := points[0]
+	if clean.Undefended.Errors != 0 || clean.Defended.Errors != 0 {
+		t.Fatalf("rate 0 had errors: %+v", clean)
+	}
+	faulty := points[1]
+	if faulty.Undefended.Errors == 0 {
+		t.Fatalf("rate 0.2 undefended arm saw no faults: %+v", faulty)
+	}
+	if faulty.Defended.OK <= faulty.Undefended.OK {
+		t.Fatalf("defenses did not improve survival: %+v", faulty)
+	}
+	if faulty.Retries == 0 {
+		t.Fatalf("defended arm reported no retries: %+v", faulty)
+	}
+}

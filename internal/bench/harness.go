@@ -25,7 +25,11 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportEvalJoin(w, DefaultEvalJoinSizes)
+	if err := ReportEvalJoin(w, DefaultEvalJoinSizes); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ReportFaultSweep(w, DefaultFaultRates, DefaultFaultRuns)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -1,0 +1,253 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedSource is a Source whose behavior tests control call by call:
+// it can fail, block until released, and counts backend round trips.
+type scriptedSource struct {
+	mu    sync.Mutex
+	meta  *TableMeta
+	err   error
+	calls int
+	block chan struct{} // when non-nil, Lookup waits for close
+}
+
+func newScriptedSource(t *testing.T) *scriptedSource {
+	t.Helper()
+	meta, err := Demo().Lookup(TableRef{Table: "CUSTOMERS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scriptedSource{meta: meta}
+}
+
+func (s *scriptedSource) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+func (s *scriptedSource) Lookup(ref TableRef) (*TableMeta, error) {
+	s.mu.Lock()
+	s.calls++
+	err := s.err
+	block := s.block
+	s.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.meta, nil
+}
+
+func (s *scriptedSource) Tables() ([]*TableMeta, error)     { return []*TableMeta{s.meta}, nil }
+func (s *scriptedSource) Procedures() ([]*TableMeta, error) { return nil, nil }
+
+func (s *scriptedSource) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestRemoteDelayInterruptible(t *testing.T) {
+	remote := &Remote{Inner: Demo(), Latency: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := remote.LookupContext(ctx, TableRef{Table: "CUSTOMERS"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled lookup slept %v", elapsed)
+	}
+}
+
+func TestRemoteDeadlineInterruptsDelay(t *testing.T) {
+	remote := &Remote{Inner: Demo(), Latency: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := remote.LookupContext(ctx, TableRef{Table: "CUSTOMERS"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCacheStaleServeDuringOutage(t *testing.T) {
+	src := newScriptedSource(t)
+	cache := NewCache(src)
+	cache.FreshFor = time.Nanosecond // every entry expires immediately
+	ref := TableRef{Table: "CUSTOMERS"}
+
+	meta, err := cache.Lookup(ref)
+	if err != nil || meta == nil {
+		t.Fatalf("warm lookup: %v", err)
+	}
+	if s := cache.Stats(); s.Degraded {
+		t.Fatal("healthy cache should not report degraded")
+	}
+
+	// Backend goes hard-down; expired entries must serve stale.
+	src.fail(errors.New("connection refused"))
+	time.Sleep(2 * time.Nanosecond)
+	for i := 0; i < 3; i++ {
+		got, err := cache.Lookup(ref)
+		if err != nil {
+			t.Fatalf("outage lookup %d: %v", i, err)
+		}
+		if got != meta {
+			t.Fatalf("outage lookup %d returned wrong meta", i)
+		}
+	}
+	s := cache.Stats()
+	if !s.Degraded {
+		t.Fatal("outage should flag the cache degraded")
+	}
+	if s.StaleServes != 3 {
+		t.Fatalf("stale serves = %d, want 3", s.StaleServes)
+	}
+
+	// Backend recovers: refresh succeeds and the flag clears.
+	src.fail(nil)
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatalf("recovered lookup: %v", err)
+	}
+	if s := cache.Stats(); s.Degraded {
+		t.Fatal("recovery should clear the degraded flag")
+	}
+}
+
+func TestCacheBackendFailureNotCached(t *testing.T) {
+	src := newScriptedSource(t)
+	src.fail(errors.New("boom"))
+	cache := NewCache(src)
+	ref := TableRef{Table: "CUSTOMERS"}
+
+	// No prior entry: the failure propagates and is NOT cached as an
+	// answer — every lookup retries the backend.
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Lookup(ref); err == nil {
+			t.Fatalf("lookup %d should fail", i)
+		}
+	}
+	if n := src.callCount(); n != 3 {
+		t.Fatalf("backend calls = %d, want 3 (failures must not be cached)", n)
+	}
+	if s := cache.Stats(); !s.Degraded {
+		t.Fatal("failing backend should flag degradation")
+	}
+
+	// Recovery: next lookup succeeds and is cached again.
+	src.fail(nil)
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	if n := src.callCount(); n != 4 {
+		t.Fatalf("backend calls = %d, want 4 (success cached)", n)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	src := newScriptedSource(t)
+	src.block = make(chan struct{})
+	cache := NewCache(src)
+	ref := TableRef{Table: "CUSTOMERS"}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cache.Lookup(ref)
+		}(i)
+	}
+	// Wait until every goroutine has either started the fetch or parked
+	// on the in-flight entry, then release the backend.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := cache.Stats()
+		if s.Misses+s.Shared >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never converged: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.block)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	if n := src.callCount(); n != 1 {
+		t.Fatalf("backend calls = %d, want 1 (single-flight)", n)
+	}
+	s := cache.Stats()
+	if s.Misses != 1 || s.Shared != 7 {
+		t.Fatalf("stats = %+v, want 1 miss and 7 shared", s)
+	}
+}
+
+func TestCacheSharedWaiterHonorsContext(t *testing.T) {
+	src := newScriptedSource(t)
+	src.block = make(chan struct{})
+	defer close(src.block)
+	cache := NewCache(src)
+	ref := TableRef{Table: "CUSTOMERS"}
+
+	go cache.Lookup(ref) // occupies the flight
+	deadline := time.Now().Add(5 * time.Second)
+	for src.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fetch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := cache.LookupContext(ctx, ref)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCacheZeroFreshForNeverExpires(t *testing.T) {
+	src := newScriptedSource(t)
+	cache := NewCache(src)
+	ref := TableRef{Table: "CUSTOMERS"}
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	src.fail(errors.New("down"))
+	// FreshFor zero: the entry stays fresh forever, so the outage is
+	// invisible and no stale accounting happens.
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Lookup(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.StaleServes != 0 || s.Degraded {
+		t.Fatalf("stats = %+v, want no staleness with FreshFor=0", s)
+	}
+	if n := src.callCount(); n != 1 {
+		t.Fatalf("backend calls = %d, want 1", n)
+	}
+}

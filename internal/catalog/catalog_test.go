@@ -228,7 +228,7 @@ func TestCacheConcurrentUse(t *testing.T) {
 		<-done
 	}
 	stats := cache.Stats()
-	if stats.Hits+stats.Misses != 1600 {
+	if stats.Hits+stats.Misses+stats.Shared != 1600 {
 		t.Fatalf("stats = %+v", stats)
 	}
 }

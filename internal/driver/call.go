@@ -1,10 +1,12 @@
 package driver
 
 import (
+	"context"
 	"database/sql/driver"
 	"fmt"
 	"strings"
 
+	"repro/internal/aqerr"
 	"repro/internal/catalog"
 	"repro/internal/resultset"
 	"repro/internal/sqlparser"
@@ -30,7 +32,7 @@ type callArg struct {
 	paramIndex int        // 1-based, 0 for literals
 }
 
-func newCallStmt(c *conn, query string) (driver.Stmt, error) {
+func newCallStmt(ctx context.Context, c *conn, query string) (driver.Stmt, error) {
 	body := strings.TrimSpace(query)
 	if strings.HasPrefix(body, "{") {
 		body = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(body, "{"), "}"))
@@ -60,7 +62,7 @@ func newCallStmt(c *conn, query string) (driver.Stmt, error) {
 	}
 	s := &callStmt{conn: c}
 	ref := tableRefFromName(strings.Join(nameParts, "."))
-	meta, err := c.cache.Lookup(ref)
+	meta, err := catalog.LookupContext(ctx, c.cache, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +135,22 @@ func (s *callStmt) Exec(args []driver.Value) (driver.Result, error) {
 // Query implements driver.Stmt: the function is invoked directly through
 // the engine and its flat rows decode with the function's column schema.
 func (s *callStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.queryContext(context.Background(), args)
+}
+
+// QueryContext implements driver.StmtQueryContext for CALL statements.
+func (s *callStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	plain := make([]driver.Value, len(args))
+	for i, a := range args {
+		plain[i] = a.Value
+	}
+	return s.queryContext(ctx, plain)
+}
+
+func (s *callStmt) queryContext(ctx context.Context, args []driver.Value) (dr driver.Rows, err error) {
+	defer aqerr.Recover("call", &err)
+	ctx, cancel := s.conn.withTimeout(ctx)
+	defer cancel()
 	f := s.meta.Function
 	callArgs := make([]xdm.Sequence, len(s.args))
 	for i, a := range s.args {
@@ -156,9 +174,9 @@ func (s *callStmt) Query(args []driver.Value) (driver.Rows, error) {
 		}
 	}
 
-	out, err := s.invoke(callArgs)
+	out, err := s.invoke(ctx, callArgs)
 	if err != nil {
-		return nil, err
+		return nil, aqerr.Wrap("call "+f.Name, err)
 	}
 	cols := make([]resultset.Column, len(f.Columns))
 	for i, c := range f.Columns {
@@ -185,6 +203,6 @@ func (s *callStmt) Query(args []driver.Value) (driver.Rows, error) {
 	return &driverRows{rows: rows}, nil
 }
 
-func (s *callStmt) invoke(args []xdm.Sequence) (xdm.Sequence, error) {
-	return s.conn.engine.Call(s.meta.Function.Namespace, s.meta.Function.Name, args)
+func (s *callStmt) invoke(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+	return s.conn.engine.CallContext(ctx, s.meta.Function.Namespace, s.meta.Function.Name, args)
 }

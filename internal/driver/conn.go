@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/aqerr"
 	"repro/internal/catalog"
 	"repro/internal/obsv"
 	"repro/internal/resultset"
@@ -43,16 +44,27 @@ func newConn(srv *Server, mode string) *conn {
 // Prepare implements driver.Conn: statements translate once here and
 // execute many times with different parameters.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext: translation-time
+// metadata fetches observe the caller's deadline, and a panic anywhere in
+// the translation pipeline surfaces as a typed SQL error instead of
+// killing the embedding process.
+func (c *conn) PrepareContext(ctx context.Context, query string) (st driver.Stmt, err error) {
+	defer aqerr.Recover("prepare", &err)
 	if c.closed {
 		return nil, driver.ErrBadConn
 	}
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
 	trimmed := strings.TrimSpace(query)
 	upper := strings.ToUpper(trimmed)
 	switch {
 	case strings.HasPrefix(upper, "SHOW "):
 		return newShowStmt(c, trimmed)
 	case strings.HasPrefix(upper, "CALL ") || strings.HasPrefix(upper, "{CALL"):
-		return newCallStmt(c, trimmed)
+		return newCallStmt(ctx, c, trimmed)
 	case strings.HasPrefix(upper, "EXPLAIN "):
 		return newExplainStmt(c, strings.TrimSpace(trimmed[len("EXPLAIN"):]))
 	case strings.HasPrefix(upper, "CREATE VIEW "):
@@ -60,15 +72,27 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	}
 	tr := obsv.NewTrace(query)
 	tr.Hook = c.observeStage
-	res, err := c.translator.TranslateTraced(query, tr)
+	res, err := c.translator.TranslateTracedContext(ctx, query, tr)
 	if err != nil {
 		c.obs.TranslateErrors.Inc()
-		return nil, err
+		return nil, aqerr.Wrap("prepare", err)
 	}
 	c.obs.QueriesTranslated.Inc()
 	// Plan once alongside translate-once: the plan is immutable, so one
 	// prepared statement can execute it concurrently.
 	return &stmt{conn: c, res: res, plan: xqeval.NewPlan(res.Query)}, nil
+}
+
+// withTimeout applies the server's QueryTimeout to contexts that carry no
+// deadline of their own — how the non-context Query/Exec entry points
+// (which reach here with context.Background()) still get bounded.
+func (c *conn) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.srv.QueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.srv.QueryTimeout)
+		}
+	}
+	return ctx, func() {}
 }
 
 // Close implements driver.Conn.
@@ -116,7 +140,12 @@ func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driv
 	return s.queryContext(ctx, plain)
 }
 
-func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (driver.Rows, error) {
+func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (dr driver.Rows, err error) {
+	// A panic below (engine bug, malformed injected data) becomes a typed
+	// internal error at this boundary instead of unwinding into database/sql.
+	defer aqerr.Recover("query", &err)
+	ctx, cancel := s.conn.withTimeout(ctx)
+	defer cancel()
 	ext := make(map[string]xdm.Sequence, len(args))
 	for i, a := range args {
 		v, err := toAtomic(a)
@@ -129,7 +158,7 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (driver.Ro
 	tr.Hook = s.conn.observeStage
 	out, err := s.conn.engine.EvalPlanWithTrace(ctx, s.plan, ext, tr)
 	if err != nil {
-		return nil, err
+		return nil, aqerr.Wrap("query", err)
 	}
 	s.conn.obs.QueriesExecuted.Inc()
 	cols := make([]resultset.Column, len(s.res.Columns))
@@ -200,8 +229,14 @@ func (r *driverRows) Columns() []string {
 	return out
 }
 
-// Close implements driver.Rows.
-func (r *driverRows) Close() error { return nil }
+// Close implements driver.Rows: the materialized result data is released
+// immediately rather than lingering until the statement is collected —
+// long-lived prepared statements over large results would otherwise pin
+// every result set ever fetched.
+func (r *driverRows) Close() error {
+	r.rows.Close()
+	return nil
+}
 
 // Next implements driver.Rows.
 func (r *driverRows) Next(dest []driver.Value) error {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/xqeval"
@@ -39,6 +40,10 @@ type Server struct {
 	// name, and SELECT body (the Platform facade wires its DefineView
 	// here).
 	DefineView func(path, name, sql string) error
+	// QueryTimeout, when positive, bounds every statement execution that
+	// arrives without its own deadline — including the non-context
+	// Query/Exec paths, which database/sql cannot otherwise cancel.
+	QueryTimeout time.Duration
 }
 
 func (s *Server) metaSource() catalog.Source {

@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aqerr"
+	"repro/internal/catalog"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// schedule replays n rolls at one site and records which calls fault.
+func schedule(inj *Injector, siteName string, n int) []Kind {
+	out := make([]Kind, n)
+	st := inj.site(siteName)
+	for i := 0; i < n; i++ {
+		k, ok := inj.roll(st, nil)
+		if ok {
+			out[i] = k
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := schedule(New(Config{Seed: 42, Rate: 0.3}), "ds/X", 200)
+	b := schedule(New(Config{Seed: 42, Rate: 0.3}), "ds/X", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(New(Config{Seed: 43, Rate: 0.3}), "ds/X", 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleInterleavingIndependent(t *testing.T) {
+	// Two sites hammered from many goroutines: each site's k-th call must
+	// fault exactly as in a serial replay, regardless of interleaving.
+	mk := func() *Injector { return New(Config{Seed: 7, Rate: 0.25}) }
+	serialX := schedule(mk(), "ds/X", 100)
+	serialY := schedule(mk(), "ds/Y", 100)
+
+	inj := mk()
+	var wg sync.WaitGroup
+	gotX := make([]Kind, 100)
+	gotY := make([]Kind, 100)
+	for _, w := range []struct {
+		name string
+		got  []Kind
+	}{{"ds/X", gotX}, {"ds/Y", gotY}} {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := inj.site(w.name)
+			for i := 0; i < 100; i++ {
+				if k, ok := inj.roll(st, nil); ok {
+					w.got[i] = k
+				} else {
+					w.got[i] = -1
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range serialX {
+		if gotX[i] != serialX[i] || gotY[i] != serialY[i] {
+			t.Fatalf("interleaved schedule diverged at call %d", i)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	tr := &Error{Site: "s", Kind: KindTransient}
+	if !aqerr.Transient(tr) || !aqerr.Fault(tr) {
+		t.Fatal("transient fault should classify transient+fault")
+	}
+	pe := &Error{Site: "s", Kind: KindPermanent}
+	if aqerr.Transient(pe) || !aqerr.Fault(pe) {
+		t.Fatal("permanent fault should classify fault but not transient")
+	}
+	tc := &Error{Site: "s", Kind: KindTruncate}
+	if !aqerr.Transient(tc) {
+		t.Fatal("truncation should be retryable")
+	}
+}
+
+func TestStallObservesCancellation(t *testing.T) {
+	inj := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindStall}, StallTimeout: time.Minute})
+	src := inj.Source(catalog.Demo())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := catalog.LookupContext(ctx, src, catalog.TableRef{Table: "CUSTOMERS"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("stall ignored cancellation")
+	}
+}
+
+func TestStallWatchdog(t *testing.T) {
+	inj := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindStall}, StallTimeout: 10 * time.Millisecond})
+	src := inj.Source(catalog.Demo())
+	_, err := src.Lookup(catalog.TableRef{Table: "CUSTOMERS"})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindStall {
+		t.Fatalf("err = %v, want watchdog stall error", err)
+	}
+}
+
+func TestTruncationCarriesError(t *testing.T) {
+	e := xqeval.New()
+	rows := make([]*xdm.Element, 10)
+	for i := range rows {
+		rows[i] = xdm.NewElement("R")
+	}
+	e.RegisterRows("urn:t", "T", rows)
+	inj := New(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindTruncate}})
+	e.Use(inj.Middleware())
+	out, err := e.Call("urn:t", "T", nil)
+	if err == nil {
+		t.Fatal("truncated call must surface an error — partial rows are never silent")
+	}
+	if !aqerr.Transient(err) {
+		t.Fatalf("truncation error %v should be transient", err)
+	}
+	if len(out) >= 10 {
+		t.Fatalf("rows = %d, want a strict prefix", len(out))
+	}
+}
+
+func TestPanicKindPanics(t *testing.T) {
+	e := xqeval.New()
+	e.RegisterRows("urn:t", "T", nil)
+	inj := New(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindPanic}})
+	e.Use(inj.Middleware())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	e.Call("urn:t", "T", nil)
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	inj := New(Config{Seed: 9, Rate: 0})
+	src := inj.Source(catalog.Demo())
+	for i := 0; i < 50; i++ {
+		if _, err := src.Lookup(catalog.TableRef{Table: "CUSTOMERS"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := inj.Report()
+	if len(rep) != 1 || rep[0].Calls != 50 || rep[0].Total() != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRegistryTracksSites(t *testing.T) {
+	inj := New(Config{Seed: 3, Rate: 0.5, Kinds: []Kind{KindTransient, KindPermanent, KindLatency}, Latency: time.Microsecond})
+	src := inj.Source(catalog.Demo())
+	for i := 0; i < 40; i++ {
+		src.Lookup(catalog.TableRef{Table: "CUSTOMERS"})
+		src.Lookup(catalog.TableRef{Table: "PAYMENTS"})
+	}
+	rep := inj.Report()
+	if len(rep) != 2 {
+		t.Fatalf("sites = %d, want 2", len(rep))
+	}
+	var total int64
+	for _, r := range rep {
+		if r.Calls != 40 {
+			t.Fatalf("%s calls = %d", r.Name, r.Calls)
+		}
+		total += r.Total()
+	}
+	if total == 0 {
+		t.Fatal("rate 0.5 over 80 calls should inject at least once")
+	}
+}

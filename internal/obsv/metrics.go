@@ -149,6 +149,24 @@ type Metrics struct {
 	PlanInvariantsHoisted Counter
 	TuplesPruned          Counter
 
+	// Resilience counters (fault injection and the defenses around it).
+	// FaultsInjected counts chaos-layer injections (internal/faultnet);
+	// the rest count the production-side reactions: retry attempts beyond
+	// the first try, operations rescued by those retries, breaker state
+	// transitions to open, calls rejected fast by an open breaker,
+	// metadata lookups served stale during a backend outage, lookups
+	// coalesced onto another in-flight fetch, panics converted to typed
+	// errors, and queries aborted by a resource guard.
+	FaultsInjected     Counter
+	Retries            Counter
+	RetrySuccesses     Counter
+	BreakerOpens       Counter
+	BreakerFastFails   Counter
+	StaleServes        Counter
+	SingleFlightShared Counter
+	PanicsRecovered    Counter
+	ResourceLimitHits  Counter
+
 	stageTime [NumStages]Histogram
 }
 
@@ -191,7 +209,18 @@ type Snapshot struct {
 	PredicatesPushed  int64
 	InvariantsHoisted int64
 	TuplesPruned      int64
-	Stages            []StageSnapshot // pipeline order; stages never seen are omitted
+
+	FaultsInjected     int64
+	Retries            int64
+	RetrySuccesses     int64
+	BreakerOpens       int64
+	BreakerFastFails   int64
+	StaleServes        int64
+	SingleFlightShared int64
+	PanicsRecovered    int64
+	ResourceLimitHits  int64
+
+	Stages []StageSnapshot // pipeline order; stages never seen are omitted
 }
 
 // Snapshot captures the current values.
@@ -209,6 +238,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		PredicatesPushed:  m.PlanPredicatesPushed.Load(),
 		InvariantsHoisted: m.PlanInvariantsHoisted.Load(),
 		TuplesPruned:      m.TuplesPruned.Load(),
+
+		FaultsInjected:     m.FaultsInjected.Load(),
+		Retries:            m.Retries.Load(),
+		RetrySuccesses:     m.RetrySuccesses.Load(),
+		BreakerOpens:       m.BreakerOpens.Load(),
+		BreakerFastFails:   m.BreakerFastFails.Load(),
+		StaleServes:        m.StaleServes.Load(),
+		SingleFlightShared: m.SingleFlightShared.Load(),
+		PanicsRecovered:    m.PanicsRecovered.Load(),
+		ResourceLimitHits:  m.ResourceLimitHits.Load(),
 	}
 	for st := Stage(0); st < NumStages; st++ {
 		hs := m.stageTime[st].Snapshot()
@@ -238,6 +277,9 @@ func (s Snapshot) Render(w io.Writer) {
 		fmt.Fprintf(w, "planner: plans=%d hash joins=%d predicates pushed=%d invariants hoisted=%d tuples pruned=%d\n",
 			s.PlansBuilt, s.HashJoins, s.PredicatesPushed, s.InvariantsHoisted, s.TuplesPruned)
 	}
+	if s.resilienceActive() {
+		s.RenderResilience(w)
+	}
 	if len(s.Stages) > 0 {
 		fmt.Fprintf(w, "%-18s %-8s %-12s %-12s %s\n", "stage", "count", "total", "mean", "p99<=")
 		for _, st := range s.Stages {
@@ -247,4 +289,24 @@ func (s Snapshot) Render(w io.Writer) {
 				time.Duration(st.P99NS).Round(time.Microsecond))
 		}
 	}
+}
+
+// resilienceActive reports whether any resilience counter has moved (the
+// block is omitted from Render for fault-free, defense-free processes).
+func (s Snapshot) resilienceActive() bool {
+	return s.FaultsInjected+s.Retries+s.RetrySuccesses+s.BreakerOpens+
+		s.BreakerFastFails+s.StaleServes+s.SingleFlightShared+
+		s.PanicsRecovered+s.ResourceLimitHits > 0
+}
+
+// RenderResilience writes the resilience counter block (aqlshell's `\r`),
+// unconditionally — zeros included, so degradation that has NOT happened
+// is also visible.
+func (s Snapshot) RenderResilience(w io.Writer) {
+	fmt.Fprintf(w, "faults injected: %d, panics recovered: %d, resource-limit aborts: %d\n",
+		s.FaultsInjected, s.PanicsRecovered, s.ResourceLimitHits)
+	fmt.Fprintf(w, "retries: %d (rescued: %d), breaker: opened=%d fast-fails=%d\n",
+		s.Retries, s.RetrySuccesses, s.BreakerOpens, s.BreakerFastFails)
+	fmt.Fprintf(w, "metadata degradation: stale serves=%d, single-flight shared=%d\n",
+		s.StaleServes, s.SingleFlightShared)
 }

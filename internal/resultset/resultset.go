@@ -72,6 +72,13 @@ func (r *Rows) Next() bool {
 // Reset rewinds the cursor before the first row.
 func (r *Rows) Reset() { r.pos = 0 }
 
+// Close releases the decoded row data; the schema stays available for
+// metadata calls. After Close, Next reports no rows.
+func (r *Rows) Close() {
+	r.data = nil
+	r.pos = 0
+}
+
 func (r *Rows) current() ([]xdm.Atomic, error) {
 	if r.pos == 0 {
 		return nil, fmt.Errorf("resultset: Next has not been called")

@@ -1,6 +1,8 @@
 package translator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +16,7 @@ import (
 // source, the accumulated schema imports, the variable name generator, and
 // inferred parameter types.
 type generator struct {
+	ctx      context.Context
 	meta     catalog.Source
 	opts     Options
 	contexts *Context
@@ -37,8 +40,9 @@ type genStats struct {
 	wildcards int64
 }
 
-func newGenerator(meta catalog.Source, opts Options, contexts *Context) *generator {
+func newGenerator(ctx context.Context, meta catalog.Source, opts Options, contexts *Context) *generator {
 	return &generator{
+		ctx:        ctx,
 		meta:       meta,
 		opts:       opts,
 		contexts:   contexts,
@@ -183,13 +187,21 @@ func (g *generator) addBaseTable(t *sqlparser.TableName, fr *fromResult, ctxID i
 }
 
 func (g *generator) lookupTable(t *sqlparser.TableName) (*catalog.TableMeta, error) {
-	meta, err := g.meta.Lookup(catalog.TableRef{
+	meta, err := catalog.LookupContext(g.ctx, g.meta, catalog.TableRef{
 		Catalog: t.Catalog,
 		Schema:  t.Schema,
 		Table:   t.Name,
 	})
 	if err != nil {
-		return nil, semErr(t.Pos, "%v", err)
+		// Name-resolution failures are SQL semantic errors with the table's
+		// source position; infrastructure failures (backend down, timeout)
+		// are not the SQL's fault and keep their own classified types.
+		var nf *catalog.NotFoundError
+		var amb *catalog.AmbiguousError
+		if errors.As(err, &nf) || errors.As(err, &amb) {
+			return nil, semErr(t.Pos, "%v", err)
+		}
+		return nil, err
 	}
 	if !meta.Function.IsTable() {
 		return nil, semErr(t.Pos, "%s is a parameterized data service function; call it as a stored procedure, not a table", t.Name)

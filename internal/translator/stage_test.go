@@ -1,6 +1,7 @@
 package translator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestStageOneASTFigure5(t *testing.T) {
 // (Figure 6): the column wildcard is replaced by one column node per
 // metadata column, using metadata fetched from the catalog.
 func TestStageTwoWildcardExpansionFigure6(t *testing.T) {
-	g := newGenerator(catalog.Demo(), Options{}, CaptureContexts(mustParseStmt(t, "SELECT * FROM CUSTOMERS")))
+	g := newGenerator(context.Background(), catalog.Demo(), Options{}, CaptureContexts(mustParseStmt(t, "SELECT * FROM CUSTOMERS")))
 	fr, err := g.buildFrom(mustParseStmt(t, "SELECT * FROM CUSTOMERS").Body.(*sqlparser.QuerySpec).From, nil, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +60,7 @@ func TestStageTwoWildcardExpansionFigure6(t *testing.T) {
 // qualifies element names the way the paper's multi-table examples do.
 func TestStageTwoQualifiedExpansion(t *testing.T) {
 	stmt := mustParseStmt(t, "SELECT * FROM CUSTOMERS, PAYMENTS")
-	g := newGenerator(catalog.Demo(), Options{}, CaptureContexts(stmt))
+	g := newGenerator(context.Background(), catalog.Demo(), Options{}, CaptureContexts(stmt))
 	fr, err := g.buildFrom(stmt.Body.(*sqlparser.QuerySpec).From, nil, 1)
 	if err != nil {
 		t.Fatal(err)

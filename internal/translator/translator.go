@@ -24,6 +24,7 @@
 package translator
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -146,11 +147,23 @@ func (t *Translator) Translate(sql string) (*Result, error) {
 	return t.TranslateTraced(sql, nil)
 }
 
+// TranslateContext is Translate under a cancelable context: stage two's
+// metadata fetches observe cancellation and deadline expiry.
+func (t *Translator) TranslateContext(ctx context.Context, sql string) (*Result, error) {
+	return t.TranslateTracedContext(ctx, sql, nil)
+}
+
 // TranslateTraced is Translate with stage observation: each pipeline stage
 // (lex, parse, semantic-validate, restructure, generate, serialize) is
 // recorded as a span on tr with wall time, sizes, and stage detail. A nil
 // trace is valid and costs nothing beyond the untraced path.
 func (t *Translator) TranslateTraced(sql string, tr *obsv.Trace) (*Result, error) {
+	return t.TranslateTracedContext(context.Background(), sql, tr)
+}
+
+// TranslateTracedContext combines context propagation with stage tracing —
+// the driver's entry point.
+func (t *Translator) TranslateTracedContext(ctx context.Context, sql string, tr *obsv.Trace) (*Result, error) {
 	// Stage one: syntactic recognition, observed as lex + parse.
 	sp := tr.StartStage(obsv.StageLex)
 	sp.SetInput(len(sql))
@@ -172,16 +185,16 @@ func (t *Translator) TranslateTraced(sql string, tr *obsv.Trace) (*Result, error
 	sp.Add("params", int64(stmt.ParamCount))
 	sp.End()
 
-	return t.translateStmt(stmt, tr)
+	return t.translateStmt(ctx, stmt, tr)
 }
 
 // TranslateStmt translates an already-parsed statement (used by the driver,
 // which parses once to count parameters and validate early).
 func (t *Translator) TranslateStmt(stmt *sqlparser.SelectStmt) (*Result, error) {
-	return t.translateStmt(stmt, nil)
+	return t.translateStmt(context.Background(), stmt, nil)
 }
 
-func (t *Translator) translateStmt(stmt *sqlparser.SelectStmt, tr *obsv.Trace) (*Result, error) {
+func (t *Translator) translateStmt(ctx context.Context, stmt *sqlparser.SelectStmt, tr *obsv.Trace) (*Result, error) {
 	// Stage one's semantic capture: the query-context tree (§3.4.3).
 	sp := tr.StartStage(obsv.StageValidate)
 	contexts := CaptureContexts(stmt)
@@ -191,7 +204,7 @@ func (t *Translator) translateStmt(stmt *sqlparser.SelectStmt, tr *obsv.Trace) (
 	// Stages two and three share the generation state: stage two resolves
 	// and validates as each RSN is prepared, stage three renders it. The
 	// restructure span covers that combined RSN preparation.
-	g := newGenerator(t.Meta, t.Options, contexts)
+	g := newGenerator(ctx, t.Meta, t.Options, contexts)
 	sp = tr.StartStage(obsv.StageRestructure)
 	rows, cols, err := g.genSelectStmt(stmt, nil)
 	if err != nil {

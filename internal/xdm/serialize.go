@@ -6,10 +6,11 @@ import (
 	"strings"
 )
 
-// EscapeText escapes XML text content (the three characters that must be
-// escaped in character data).
+// EscapeText escapes XML text content: the three markup characters, plus
+// carriage return as a character reference — parsers normalize a literal
+// CR to LF (XML 1.0 §2.11), so only &#xD; round-trips.
 func EscapeText(s string) string {
-	if !strings.ContainsAny(s, "&<>") {
+	if !strings.ContainsAny(s, "&<>\r") {
 		return s
 	}
 	var b strings.Builder
@@ -22,6 +23,8 @@ func EscapeText(s string) string {
 			b.WriteString("&lt;")
 		case '>':
 			b.WriteString("&gt;")
+		case '\r':
+			b.WriteString("&#xD;")
 		default:
 			b.WriteRune(r)
 		}
@@ -29,10 +32,14 @@ func EscapeText(s string) string {
 	return b.String()
 }
 
-// escapeAttr escapes XML attribute values (text escapes plus quotes).
+// escapeAttr escapes XML attribute values: text escapes plus quotes, plus
+// tab and newline as character references — attribute-value normalization
+// (XML 1.0 §3.3.3) turns the literal characters into spaces.
 func escapeAttr(s string) string {
 	s = EscapeText(s)
-	return strings.ReplaceAll(s, `"`, "&quot;")
+	s = strings.ReplaceAll(s, `"`, "&quot;")
+	s = strings.ReplaceAll(s, "\t", "&#x9;")
+	return strings.ReplaceAll(s, "\n", "&#xA;")
 }
 
 // Marshal serializes a node to compact XML (no indentation). Namespace

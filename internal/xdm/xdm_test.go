@@ -345,6 +345,26 @@ func TestMarshalEscaping(t *testing.T) {
 	}
 }
 
+func TestMarshalWhitespaceRoundTrip(t *testing.T) {
+	// A literal CR in text is normalized to LF by any conforming parser,
+	// and literal tab/newline in attributes normalize to spaces; only
+	// character references survive the trip.
+	e := NewElement("ROW")
+	e.SetAttr(QName{Local: "note"}, "a\tb\nc\rd")
+	e.AddChild(NewTextElement("MEMO", "line1\r\nline2\rend"))
+	doc, err := ParseString(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if got, _ := root.Attribute("note"); got != "a\tb\nc\rd" {
+		t.Fatalf("attr = %q", got)
+	}
+	if got := root.FirstChildElement("MEMO").StringValue(); got != "line1\r\nline2\rend" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
 func TestMarshalNamespaceAndAttrs(t *testing.T) {
 	e := &Element{Name: QName{Space: "ld:Test/CUSTOMERS", Prefix: "ns0", Local: "CUSTOMERS"}}
 	e.SetAttr(QName{Local: "id"}, `a"b`)

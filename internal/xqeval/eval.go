@@ -11,7 +11,9 @@ import (
 
 // evalExpr evaluates any expression to a sequence.
 func evalExpr(e xquery.Expr, env *scope) (xdm.Sequence, error) {
-	env.step()
+	if err := env.step(); err != nil {
+		return nil, err
+	}
 	switch e := e.(type) {
 	case *xquery.StringLit:
 		return xdm.SequenceOf(xdm.String(e.Value)), nil
@@ -440,6 +442,9 @@ func evalFLWOR(f *xquery.FLWOR, env *scope) (xdm.Sequence, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := t.countRows(len(v)); err != nil {
+			return nil, err
+		}
 		out = append(out, v...)
 	}
 	return out, nil
@@ -458,6 +463,9 @@ func applyClause(clause xquery.Clause, tuples []*scope) ([]*scope, error) {
 				return nil, err
 			}
 			for i, it := range seq {
+				if err := t.countTuple(); err != nil {
+					return nil, err
+				}
 				nt := t.bind(c.Var, xdm.SequenceOf(it))
 				if c.At != "" {
 					nt = nt.bind(c.At, xdm.SequenceOf(xdm.Integer(i+1)))
@@ -516,6 +524,9 @@ func applyGroupBy(c *xquery.GroupBy, tuples []*scope) ([]*scope, error) {
 	var order []string
 	groups := map[string]*group{}
 	for _, t := range tuples {
+		if err := t.checkCancel(); err != nil {
+			return nil, err
+		}
 		keyValues := make([]xdm.Sequence, len(c.Keys))
 		var keyBuilder strings.Builder
 		for i, k := range c.Keys {
@@ -570,6 +581,9 @@ func applyGroupBy(c *xquery.GroupBy, tuples []*scope) ([]*scope, error) {
 func applyOrderBy(c *xquery.OrderByClause, tuples []*scope) ([]*scope, error) {
 	keys := make([][]xdm.Sequence, len(tuples))
 	for i, t := range tuples {
+		if err := t.checkCancel(); err != nil {
+			return nil, err
+		}
 		keys[i] = make([]xdm.Sequence, len(c.Specs))
 		for j, s := range c.Specs {
 			v, err := evalExpr(s.Expr, t)

@@ -1,6 +1,7 @@
 package xqeval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"time"
@@ -37,7 +38,11 @@ func evalFuncCall(e *xquery.FuncCall, env *scope) (xdm.Sequence, error) {
 			}
 			args[i] = v
 		}
-		return fn(args)
+		ctx := env.goCtx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return fn(ctx, args)
 	}
 
 	builtin, ok := builtins[e.Name]

@@ -69,6 +69,9 @@ func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
 				if err != nil {
 					return err
 				}
+				if err := t2.countRows(len(v)); err != nil {
+					return err
+				}
 				out = append(out, v...)
 				return nil
 			})
@@ -149,6 +152,9 @@ func (ex *flworExec) feed(ops []planOp, i int, t *scope, out tupleSink) error {
 			return ex.probeHash(ops, i, op, t, seq, out)
 		}
 		for idx, it := range seq {
+			if err := t.countTuple(); err != nil {
+				return err
+			}
 			nt := t.bind(op.forClause.Var, xdm.SequenceOf(it))
 			if op.forClause.At != "" {
 				nt = nt.bind(op.forClause.At, xdm.SequenceOf(xdm.Integer(idx+1)))
@@ -191,6 +197,9 @@ func (ex *flworExec) probeHash(ops []planOp, i int, op *planOp, t *scope, items 
 			continue
 		}
 		matched++
+		if err := t.countTuple(); err != nil {
+			return err
+		}
 		nt := t.bind(op.forClause.Var, xdm.SequenceOf(st.hash.items[ci]))
 		if err := ex.feed(ops, i+1, nt, out); err != nil {
 			return err
@@ -240,6 +249,11 @@ func buildHashTable(op *planOp, t *scope, items xdm.Sequence) (*hashTable, error
 		buckets: make(map[string][]int, len(items)),
 	}
 	for i, it := range items {
+		if i&255 == 0 {
+			if err := t.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		kseq, err := evalExpr(op.hash.buildExpr, t.bind(op.forClause.Var, xdm.SequenceOf(it)))
 		if err != nil {
 			return nil, err

@@ -265,6 +265,16 @@ func writeElement(w *writer, e *ElementCtor) {
 		w.flushLine()
 		return
 	}
+	// Mixed content (text among the children): every byte outside an
+	// enclosed expression is significant, so pretty-printing would change
+	// the text nodes on re-parse. Render verbatim, inline.
+	for _, c := range e.Content {
+		if _, ok := c.(*TextContent); ok {
+			writeElementInline(w, e)
+			w.flushLine()
+			return
+		}
+	}
 	w.linef("<%s>", e.Name)
 	w.indent++
 	for _, c := range e.Content {
@@ -284,6 +294,30 @@ func writeElement(w *writer, e *ElementCtor) {
 	}
 	w.indent--
 	w.linef("</%s>", e.Name)
+}
+
+// writeElementInline renders an element without inserting any whitespace
+// outside enclosed expressions — the only faithful form for mixed
+// content, where inter-child bytes are text.
+func writeElementInline(w *writer, e *ElementCtor) {
+	if len(e.Content) == 0 {
+		w.emit("<" + e.Name + "/>")
+		return
+	}
+	w.emit("<" + e.Name + ">")
+	for _, c := range e.Content {
+		switch c := c.(type) {
+		case *TextContent:
+			w.emit(escapeText(c.Text))
+		case *ElementCtor:
+			writeElementInline(w, c)
+		case *Enclosed:
+			w.emit("{")
+			writeExpr(w, c.Expr)
+			w.emit("}")
+		}
+	}
+	w.emit("</" + e.Name + ">")
 }
 
 // inlineable reports whether an enclosed expression is compact enough to
