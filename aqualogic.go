@@ -29,6 +29,7 @@
 package aqualogic
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/faultnet"
 	"repro/internal/obsv"
+	"repro/internal/qcache"
 	"repro/internal/resilient"
 	"repro/internal/resultset"
 	"repro/internal/translator"
@@ -89,6 +91,16 @@ type (
 	// QueryPlan is the evaluator's optimized execution plan for a
 	// translation: hash equi-joins, pushed predicates, hoisted invariants.
 	QueryPlan = xqeval.Plan
+	// CompiledQuery is the compiled-query artifact: the completed
+	// translation, the evaluator's plan (checked and built straight from
+	// the generated AST — no serialize→reparse round trip), and the
+	// compile-time stage trace. Compile returns it; the shared compile
+	// cache stores it.
+	CompiledQuery = qcache.CompiledQuery
+	// CompileCacheStats snapshots the shared compile cache's counters
+	// (hits, misses, single-flight shares, evictions, invalidations, size,
+	// current metadata generation).
+	CompileCacheStats = qcache.Stats
 	// QueryError is the typed error the resilience layer raises: every
 	// failure carries a Kind (transient, permanent, unavailable, timeout,
 	// resource limit, internal) the caller can switch on with errors.As.
@@ -175,6 +187,7 @@ type Platform struct {
 
 	cacheMu    sync.Mutex
 	cache      *catalog.Cache
+	qc         *qcache.Cache
 	resilience *resilient.Config
 	injector   *faultnet.Injector
 }
@@ -204,6 +217,7 @@ func (p *Platform) EnableFaults(cfg FaultConfig) *FaultInjector {
 	p.cacheMu.Lock()
 	p.injector = inj
 	p.cache = nil // rebuild the metadata stack with the chaos layer inside
+	p.qc = nil    // artifacts compiled over the old stack are stale
 	p.cacheMu.Unlock()
 	p.Engine.Use(inj.Middleware())
 	return inj
@@ -220,6 +234,7 @@ func (p *Platform) EnableResilience(cfg ResilienceConfig) {
 	p.cacheMu.Lock()
 	p.resilience = &cfg
 	p.cache = nil // rebuild the metadata stack with retries + staleness
+	p.qc = nil    // rebuild the compile cache with CompileCacheEntries applied
 	p.cacheMu.Unlock()
 	p.Engine.Use(resilient.NewEngineGuard(cfg).Middleware())
 	if cfg.MaxRows > 0 {
@@ -255,6 +270,58 @@ func (p *Platform) metaSource() catalog.Source {
 	return p.cache
 }
 
+// queryCache lazily builds the platform's shared compiled-query cache,
+// keyed on the metadata cache's generation so catalog changes retire
+// stale artifacts. The same instance backs Compile/Query on the facade
+// and every connection of a registered driver.
+func (p *Platform) queryCache() *qcache.Cache {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if p.qc == nil {
+		cfg := qcache.Config{Generation: p.metadataGeneration}
+		if p.resilience != nil {
+			cfg.MaxEntries = p.resilience.CompileCacheEntries
+		}
+		p.qc = qcache.New(cfg)
+	}
+	return p.qc
+}
+
+// metadataGeneration reads the metadata cache's current epoch (building
+// the stack if needed). Zero when the source does not version itself.
+func (p *Platform) metadataGeneration() uint64 {
+	if gs, ok := p.metaSource().(qcache.GenerationSource); ok {
+		return gs.Generation()
+	}
+	return 0
+}
+
+// Compile translates, statically checks, and plans a SELECT once,
+// returning the compiled-query artifact — the AST handed to the evaluator
+// directly, with no serialize→reparse round trip. Artifacts are cached in
+// the platform's shared compile cache keyed by (normalized SQL, result
+// mode, catalog generation); repeated Compile/Query calls of equivalent
+// statements reuse one compilation.
+func (p *Platform) Compile(sql string, mode ResultMode) (*CompiledQuery, error) {
+	return p.CompileContext(context.Background(), sql, mode)
+}
+
+// CompileContext is Compile observing a context during metadata fetches.
+func (p *Platform) CompileContext(ctx context.Context, sql string, mode ResultMode) (*CompiledQuery, error) {
+	cq, _, err := p.queryCache().Get(ctx, sql, mode, func(ctx context.Context, sql string) (*qcache.CompiledQuery, error) {
+		tr := obsv.NewTrace(sql)
+		tr.Hook = obsv.Global.ObserveStage
+		return qcache.Compile(ctx, p.Translator(mode), p.Engine, sql, tr)
+	})
+	return cq, err
+}
+
+// CompileStats reports the shared compile cache's counters. Process-wide
+// figures (all platforms) are also in Stats().
+func (p *Platform) CompileStats() CompileCacheStats {
+	return p.queryCache().Stats()
+}
+
 // Translator returns a translator over the platform's (cached) metadata.
 func (p *Platform) Translator(mode ResultMode) *translator.Translator {
 	tr := translator.New(p.metaSource())
@@ -286,12 +353,15 @@ func (p *Platform) Query(sql string, args ...any) (*Rows, error) {
 	return p.QueryMode(ModeText, sql, args...)
 }
 
-// QueryMode is Query with an explicit result-handling mode.
+// QueryMode is Query with an explicit result-handling mode. Statements
+// compile through the shared compile cache: a repeated query reuses the
+// cached plan and skips translation, checking, and planning entirely.
 func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, error) {
-	res, err := p.Translate(sql, mode)
+	cq, err := p.Compile(sql, mode)
 	if err != nil {
 		return nil, err
 	}
+	res := cq.Res
 	if len(args) != res.ParamCount {
 		return nil, fmt.Errorf("aqualogic: statement has %d parameter(s), got %d value(s)", res.ParamCount, len(args))
 	}
@@ -303,7 +373,7 @@ func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, e
 		}
 		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
 	}
-	out, err := p.Engine.EvalWith(res.Query, ext)
+	out, err := p.Engine.EvalPlanWithTrace(context.Background(), cq.Plan, ext, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +398,7 @@ func (p *Platform) RegisterDriver(name string) {
 		App:        p.App,
 		Engine:     p.Engine,
 		Meta:       p.metaSource(),
+		Cache:      p.queryCache(), // one compile cache across facade + all connections
 		DefineView: p.DefineView,
 	}
 	p.cacheMu.Lock()
@@ -373,10 +444,11 @@ func PlanQuery(t *Translation) *QueryPlan {
 }
 
 // Stats snapshots the process-wide pipeline metrics (queries translated
-// and executed, cache hits/misses, rows materialized, evaluator steps,
-// per-stage timing aggregates). Per-connection figures are available via
-// the driver's Stats() (see driver.StatsReporter); the platform's own
-// metadata-cache counters via MetadataStats.
+// and executed, metadata- and compile-cache hits/misses/evictions, rows
+// materialized, evaluator steps, per-stage timing aggregates).
+// Per-connection figures are available via the driver's Stats() (see
+// driver.StatsReporter); the platform's own metadata-cache counters via
+// MetadataStats, and its compile-cache counters via CompileStats.
 func Stats() PipelineStats {
 	return obsv.Global.Snapshot()
 }
@@ -462,9 +534,17 @@ func (p *Platform) DefineView(path, name, sql string) error {
 
 	fn := catalog.NewRelationalImport(path, name, cols)
 	p.App.AddDSFile(&DSFile{Path: path, Name: name, Functions: []*Function{fn}})
-	// The metadata cache may hold a negative entry for the new name.
+	// The metadata cache may hold a negative entry for the new name; the
+	// generation bump from Invalidate retires compiled artifacts by keying,
+	// and flushing the compile cache frees them immediately.
 	if c := p.metaCache(); c != nil {
 		c.Invalidate()
+	}
+	p.cacheMu.Lock()
+	qc := p.qc
+	p.cacheMu.Unlock()
+	if qc != nil {
+		qc.Invalidate()
 	}
 
 	query := res.Query

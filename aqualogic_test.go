@@ -92,12 +92,26 @@ func TestMetadataLatencyAndCache(t *testing.T) {
 	if _, err := p.Query("SELECT CUSTOMERID FROM CUSTOMERS"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Query("SELECT CUSTOMERID FROM CUSTOMERS"); err != nil {
+	// A distinct statement over the same table recompiles (compile-cache
+	// miss) but finds the table metadata already cached.
+	if _, err := p.Query("SELECT CUSTOMERNAME FROM CUSTOMERS"); err != nil {
 		t.Fatal(err)
 	}
 	stats := p.MetadataStats()
 	if stats.Misses != 1 || stats.Hits < 1 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	// Repeating a statement verbatim is a compile-cache hit: no translation,
+	// no catalog traffic at all.
+	if _, err := p.Query("SELECT CUSTOMERID FROM CUSTOMERS"); err != nil {
+		t.Fatal(err)
+	}
+	cs := p.CompileStats()
+	if cs.Hits < 1 || cs.Misses != 2 {
+		t.Fatalf("compile stats = %+v", cs)
+	}
+	if after := p.MetadataStats(); after.Misses != stats.Misses {
+		t.Fatalf("compile-cache hit still fetched metadata: %+v", after)
 	}
 }
 

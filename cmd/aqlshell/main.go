@@ -9,7 +9,9 @@
 // commands \x (print the XQuery a SELECT translates to), \c (query
 // contexts), \p (evaluator query plan), \s (pipeline metrics snapshot),
 // \r (resilience counters: retries, breaker trips, stale serves, injected
-// faults), and \q (quit).
+// faults), and \q (compile-cache counters: hits, misses, single-flight
+// shares, evictions, invalidations, size, metadata generation). Type
+// "quit" or "exit" to leave.
 package main
 
 import (
@@ -37,7 +39,8 @@ func main() {
 	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
 	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
 	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan,`)
-	fmt.Println(`"\s" for pipeline metrics, "\r" for resilience counters, "\q" to quit`)
+	fmt.Println(`"\s" for pipeline metrics, "\r" for resilience counters, "\q" for`)
+	fmt.Println(`compile-cache counters, "quit" or "exit" to leave`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -51,8 +54,14 @@ func main() {
 		switch {
 		case line == "":
 			continue
-		case line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+		case strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
 			return
+		case line == `\q`:
+			cs := p.CompileStats()
+			fmt.Printf("compile cache: hits=%d misses=%d shared=%d evictions=%d invalidations=%d\n",
+				cs.Hits, cs.Misses, cs.Shared, cs.Evictions, cs.Invalidations)
+			fmt.Printf("entries: %d/%d, metadata generation: %d\n", cs.Size, cs.MaxEntries, cs.Generation)
+			aqualogic.Stats().RenderCompileCache(os.Stdout)
 		case strings.HasPrefix(line, `\x `):
 			xq, err := p.TranslateText(strings.TrimPrefix(line, `\x `))
 			if err != nil {
@@ -70,12 +79,12 @@ func main() {
 			fmt.Printf("metadata cache: stale serves=%d shared fetches=%d degraded=%v\n",
 				cache.StaleServes, cache.Shared, cache.Degraded)
 		case strings.HasPrefix(line, `\p `):
-			res, err := p.Translate(strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
+			cq, err := p.Compile(strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			for _, planLine := range aqualogic.PlanQuery(res).Describe() {
+			for _, planLine := range cq.Plan.Describe() {
 				fmt.Println(planLine)
 			}
 		case strings.HasPrefix(line, `\c `):

@@ -12,7 +12,9 @@
 // evaluator's planned hash join) is written the same way (conventionally
 // BENCH_eval.json). With -faultjson, the P7 fault-rate sweep (query
 // survival and throughput with and without the resilience layer) is
-// written too (conventionally BENCH_faults.json).
+// written too (conventionally BENCH_faults.json). With -compilejson, the
+// P8 compile-path sweep (legacy serialize∘parse vs compiled-query cold vs
+// cached) is written as well (conventionally BENCH_compile.json).
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 	stageIters := flag.Int("stageiters", 50, "iterations per workload class for the stage breakdown JSON")
 	evalJSON := flag.String("evaljson", "", "also write the P6 join-cardinality sweep as JSON to this path (e.g. BENCH_eval.json)")
 	faultJSON := flag.String("faultjson", "", "also write the P7 fault-rate sweep as JSON to this path (e.g. BENCH_faults.json)")
+	compileJSON := flag.String("compilejson", "", "also write the P8 compile-path sweep as JSON to this path (e.g. BENCH_compile.json)")
+	compileIters := flag.Int("compileiters", 200, "iterations per workload class for the compile-path JSON")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -54,5 +58,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote fault-rate sweep to %s\n", *faultJSON)
+	}
+	if *compileJSON != "" {
+		if err := bench.WriteCompileJSON(*compileJSON, *compileIters); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote compile-path sweep to %s\n", *compileJSON)
 	}
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCompileSweepCoversWorkload(t *testing.T) {
+	points, err := RunCompileSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(TranslationWorkload) {
+		t.Fatalf("%d points for %d classes", len(points), len(TranslationWorkload))
+	}
+	for _, p := range points {
+		if p.TextualNS <= 0 || p.ColdNS <= 0 || p.CachedNS <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", p.Name, p)
+		}
+		// Timing assertions stay qualitative in tests (CI machines jitter);
+		// the quantitative gap is BENCH_compile.json's job. But a cache hit
+		// that does translation work would be a correctness bug, so pin the
+		// order weakly: cached must not dwarf the full compile paths.
+		if p.CachedNS > 10*p.TextualNS {
+			t.Fatalf("%s: cached path slower than 10x textual: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestReportCompile(t *testing.T) {
+	var b strings.Builder
+	if err := ReportCompile(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"P8", "textual", "cached", "simple", "complex"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCompileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_compile.json")
+	if err := WriteCompileJSON(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P8 compile paths", "textual_ns", "cached_ns", "speedup_cached_vs_textual"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -29,7 +29,11 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportFaultSweep(w, DefaultFaultRates, DefaultFaultRuns)
+	if err := ReportFaultSweep(w, DefaultFaultRates, DefaultFaultRuns); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ReportCompile(w)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -3,6 +3,7 @@ package catalog
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"time"
 
@@ -145,6 +146,12 @@ type Cache struct {
 	flights  map[TableRef]*flight
 	stats    CacheStats
 	degraded bool
+	// generation counts metadata epochs: it advances when the cache is
+	// invalidated, when a refresh replaces an entry with different
+	// metadata, and when the backend first degrades. Consumers that derive
+	// artifacts from metadata (the compiled-query cache) key on it, so a
+	// catalog change or outage retires every artifact compiled before it.
+	generation uint64
 }
 
 type cacheEntry struct {
@@ -210,11 +217,21 @@ func (c *Cache) LookupContext(ctx context.Context, ref TableRef) (*TableMeta, er
 
 	c.mu.Lock()
 	if err == nil || authoritative(err) {
+		if old, ok := c.entries[ref]; ok && !entryEquivalent(old, meta, err) {
+			// A refresh changed this table's metadata: queries compiled
+			// against the old answer are stale.
+			c.generation++
+		}
 		c.entries[ref] = cacheEntry{meta: meta, err: err, fetched: time.Now()}
 		c.degraded = false
 	} else {
 		// A backend failure is not an answer: leave any stale entry in
-		// place and flag degradation.
+		// place and flag degradation. Entering the degraded state retires
+		// the current metadata epoch too — stale-served answers may no
+		// longer match the backend.
+		if !c.degraded {
+			c.generation++
+		}
 		c.degraded = true
 	}
 	fl.meta, fl.err = meta, err
@@ -253,6 +270,20 @@ func (c *Cache) serveStaleOr(ref TableRef, fetchErr error) (*TableMeta, error) {
 	return e.meta, e.err
 }
 
+// entryEquivalent reports whether a freshly fetched answer matches the
+// cached one — same metadata content and the same (or equally absent)
+// authoritative error. First-time fetches never pass through here, so
+// cache warm-up does not advance the generation.
+func entryEquivalent(old cacheEntry, meta *TableMeta, err error) bool {
+	if (old.err == nil) != (err == nil) {
+		return false
+	}
+	if old.err != nil && old.err.Error() != err.Error() {
+		return false
+	}
+	return reflect.DeepEqual(old.meta, meta)
+}
+
 // authoritative reports whether a lookup error is a definitive answer
 // about the name (cacheable) rather than an infrastructure failure.
 func authoritative(err error) bool {
@@ -278,10 +309,21 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // Invalidate drops every cached entry (e.g. after a data service
-// redeployment) and clears the degradation flag.
+// redeployment), clears the degradation flag, and advances the metadata
+// generation.
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[TableRef]cacheEntry)
 	c.degraded = false
+	c.generation++
+}
+
+// Generation returns the current metadata epoch. It advances on
+// Invalidate, on a refresh that changes an entry, and on the transition
+// into the degraded state; derived-artifact caches key on it.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
 }

@@ -251,3 +251,92 @@ func TestCacheZeroFreshForNeverExpires(t *testing.T) {
 		t.Fatalf("backend calls = %d, want 1", n)
 	}
 }
+
+func (s *scriptedSource) swap(meta *TableMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta = meta
+}
+
+func TestGenerationStableThroughWarmup(t *testing.T) {
+	cache := NewCache(Demo())
+	if g := cache.Generation(); g != 0 {
+		t.Fatalf("fresh cache generation = %d", g)
+	}
+	for _, table := range []string{"CUSTOMERS", "PAYMENTS", "PO_CUSTOMERS"} {
+		if _, err := cache.Lookup(TableRef{Table: table}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First-time fetches are warm-up, not change: artifacts compiled while
+	// the cache fills must stay valid.
+	if g := cache.Generation(); g != 0 {
+		t.Fatalf("warm-up advanced generation to %d", g)
+	}
+}
+
+func TestGenerationAdvancesOnInvalidate(t *testing.T) {
+	cache := NewCache(Demo())
+	before := cache.Generation()
+	cache.Invalidate()
+	if g := cache.Generation(); g != before+1 {
+		t.Fatalf("generation = %d, want %d", g, before+1)
+	}
+}
+
+func TestGenerationAdvancesWhenRefreshChangesEntry(t *testing.T) {
+	src := newScriptedSource(t)
+	cache := NewCache(src)
+	cache.FreshFor = time.Nanosecond // every access refreshes
+	ref := TableRef{Table: "CUSTOMERS"}
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	// Same answer on refresh: no epoch change.
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	if g := cache.Generation(); g != 0 {
+		t.Fatalf("unchanged refresh advanced generation to %d", g)
+	}
+	// Now the backend's answer differs (a redeployed data service).
+	changed := *src.meta
+	changedFn := *changed.Function
+	changedFn.Name = "CUSTOMERS_V2"
+	changed.Function = &changedFn
+	src.swap(&changed)
+	time.Sleep(time.Millisecond)
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	if g := cache.Generation(); g != 1 {
+		t.Fatalf("changed refresh left generation at %d, want 1", g)
+	}
+}
+
+func TestGenerationAdvancesOnceOnDegrade(t *testing.T) {
+	src := newScriptedSource(t)
+	cache := NewCache(src)
+	cache.FreshFor = time.Nanosecond
+	ref := TableRef{Table: "CUSTOMERS"}
+	if _, err := cache.Lookup(ref); err != nil {
+		t.Fatal(err)
+	}
+	src.fail(errors.New("backend down"))
+	time.Sleep(time.Millisecond)
+	// Stale-served through the outage; entering the degraded state retires
+	// the epoch exactly once, however long the outage lasts.
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Lookup(ref); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if g := cache.Generation(); g != 1 {
+		t.Fatalf("degraded generation = %d, want exactly 1 bump", g)
+	}
+	if !cache.Stats().Degraded {
+		t.Fatal("cache should report degraded")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/aqerr"
 	"repro/internal/catalog"
 	"repro/internal/obsv"
+	"repro/internal/qcache"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
@@ -19,12 +20,16 @@ import (
 
 // conn is one connection: a translator with its own metadata cache (the
 // paper's per-connection fetch-and-cache behavior) plus the execution
-// engine and the per-connection metrics behind Stats().
+// engine and the per-connection metrics behind Stats(). Compiled-query
+// artifacts are not per-connection: they live in the server's shared
+// compile cache, so translation work done on any connection is reused by
+// all of them.
 type conn struct {
 	srv        *Server
 	engine     *xqeval.Engine
 	translator *translator.Translator
 	cache      *catalog.Cache
+	mode       translator.ResultMode
 	obs        *obsv.Metrics
 	closed     bool
 }
@@ -38,7 +43,28 @@ func newConn(srv *Server, mode string) *conn {
 	} else {
 		tr.Options.Mode = translator.ModeText
 	}
-	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache, obs: &obsv.Metrics{}}
+	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache,
+		mode: tr.Options.Mode, obs: &obsv.Metrics{}}
+}
+
+// compile resolves query through the server's shared compile cache,
+// translating + checking + planning only on a miss (single-flight across
+// racing connections). hit reports artifact reuse; only fresh compiles
+// count toward the connection's QueriesTranslated.
+func (c *conn) compile(ctx context.Context, query string) (cq *qcache.CompiledQuery, hit bool, err error) {
+	cq, hit, err = c.srv.compileCache().Get(ctx, query, c.mode, func(ctx context.Context, sql string) (*qcache.CompiledQuery, error) {
+		tr := obsv.NewTrace(sql)
+		tr.Hook = c.observeStage
+		return qcache.Compile(ctx, c.translator, c.engine, sql, tr)
+	})
+	if err != nil {
+		c.obs.TranslateErrors.Inc()
+		return nil, false, err
+	}
+	if !hit {
+		c.obs.QueriesTranslated.Inc()
+	}
+	return cq, hit, nil
 }
 
 // Prepare implements driver.Conn: statements translate once here and
@@ -66,21 +92,20 @@ func (c *conn) PrepareContext(ctx context.Context, query string) (st driver.Stmt
 	case strings.HasPrefix(upper, "CALL ") || strings.HasPrefix(upper, "{CALL"):
 		return newCallStmt(ctx, c, trimmed)
 	case strings.HasPrefix(upper, "EXPLAIN "):
-		return newExplainStmt(c, strings.TrimSpace(trimmed[len("EXPLAIN"):]))
+		return newExplainStmt(ctx, c, strings.TrimSpace(trimmed[len("EXPLAIN"):]))
 	case strings.HasPrefix(upper, "CREATE VIEW "):
 		return newCreateViewStmt(c, trimmed)
 	}
-	tr := obsv.NewTrace(query)
-	tr.Hook = c.observeStage
-	res, err := c.translator.TranslateTracedContext(ctx, query, tr)
+	// Compile once through the server's shared cache: translate, statically
+	// check, and plan the generated AST directly (no serialize→reparse).
+	// The artifact is immutable, so one prepared statement can execute it
+	// concurrently, and a repeat of the same statement — on this or any
+	// other connection — reuses it without compiling.
+	cq, _, err := c.compile(ctx, query)
 	if err != nil {
-		c.obs.TranslateErrors.Inc()
 		return nil, aqerr.Wrap("prepare", err)
 	}
-	c.obs.QueriesTranslated.Inc()
-	// Plan once alongside translate-once: the plan is immutable, so one
-	// prepared statement can execute it concurrently.
-	return &stmt{conn: c, res: res, plan: xqeval.NewPlan(res.Query)}, nil
+	return &stmt{conn: c, cq: cq}, nil
 }
 
 // withTimeout applies the server's QueryTimeout to contexts that carry no
@@ -107,18 +132,17 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return nil, fmt.Errorf("aqualogic: transactions are not supported (data services are read-only)")
 }
 
-// stmt is a prepared SELECT.
+// stmt is a prepared SELECT holding its compiled-query artifact.
 type stmt struct {
 	conn *conn
-	res  *translator.Result
-	plan *xqeval.Plan
+	cq   *qcache.CompiledQuery
 }
 
 // Close implements driver.Stmt.
 func (s *stmt) Close() error { return nil }
 
 // NumInput implements driver.Stmt.
-func (s *stmt) NumInput() int { return s.res.ParamCount }
+func (s *stmt) NumInput() int { return s.cq.Res.ParamCount }
 
 // Exec implements driver.Stmt; the driver is read-only.
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
@@ -154,21 +178,23 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (dr driver
 		}
 		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
 	}
-	tr := obsv.NewTrace(s.res.XQuery())
+	// The trace is named by the source SQL, not the serialized XQuery: the
+	// compiled path never needs the textual form to execute.
+	tr := obsv.NewTrace(s.cq.SQL)
 	tr.Hook = s.conn.observeStage
-	out, err := s.conn.engine.EvalPlanWithTrace(ctx, s.plan, ext, tr)
+	out, err := s.conn.engine.EvalPlanWithTrace(ctx, s.cq.Plan, ext, tr)
 	if err != nil {
 		return nil, aqerr.Wrap("query", err)
 	}
 	s.conn.obs.QueriesExecuted.Inc()
-	cols := make([]resultset.Column, len(s.res.Columns))
-	for i, c := range s.res.Columns {
+	cols := make([]resultset.Column, len(s.cq.Res.Columns))
+	for i, c := range s.cq.Res.Columns {
 		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
 			Type: c.Type, Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
 	}
 	sp := tr.StartStage(obsv.StageDecode)
 	var rows *resultset.Rows
-	if s.res.Mode == translator.ModeText {
+	if s.cq.Res.Mode == translator.ModeText {
 		it, err := out.Singleton()
 		if err != nil {
 			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/qcache"
 	"repro/internal/xqeval"
 )
 
@@ -35,6 +36,12 @@ type Server struct {
 	// Meta optionally overrides the metadata source seen by translators
 	// (e.g. a latency-simulating catalog.Remote). Defaults to App.
 	Meta catalog.Source
+	// Cache optionally supplies the server's shared compiled-query cache
+	// (the Platform facade passes its own, so facade queries and driver
+	// statements share one artifact pool). When nil, a server-private
+	// cache is built on first use, keyed on Meta's metadata generation
+	// when Meta versions itself.
+	Cache *qcache.Cache
 	// DefineView, when set, enables the CREATE VIEW statement: it should
 	// register a logical data service for the given schema path, view
 	// name, and SELECT body (the Platform facade wires its DefineView
@@ -44,6 +51,8 @@ type Server struct {
 	// arrives without its own deadline — including the non-context
 	// Query/Exec paths, which database/sql cannot otherwise cancel.
 	QueryTimeout time.Duration
+
+	cacheMu sync.Mutex
 }
 
 func (s *Server) metaSource() catalog.Source {
@@ -51,6 +60,23 @@ func (s *Server) metaSource() catalog.Source {
 		return s.Meta
 	}
 	return s.App
+}
+
+// compileCache returns the server's shared compiled-query cache, building
+// a private one lazily when the embedder supplied none. Every connection
+// of the server populates and consumes the same cache: a statement
+// prepared on one connection is a compile-cache hit on all of them.
+func (s *Server) compileCache() *qcache.Cache {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.Cache == nil {
+		cfg := qcache.Config{}
+		if gs, ok := s.metaSource().(qcache.GenerationSource); ok {
+			cfg.Generation = gs.Generation
+		}
+		s.Cache = qcache.New(cfg)
+	}
+	return s.Cache
 }
 
 var (

@@ -4,8 +4,10 @@ import (
 	"context"
 	"database/sql"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +23,27 @@ func openDemo(t *testing.T, opts string) *sql.DB {
 		RegisterServer("demo", &Server{App: app, Engine: engine})
 	})
 	db, err := sql.Open("aqualogic", "demo"+opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+var isolatedSeq atomic.Int64
+
+// openIsolated registers a fresh demo server under a unique DSN and opens
+// it: nothing is shared with other tests. The compile cache is per server,
+// so tests asserting on cold-vs-warm compile or catalog behavior (EXPLAIN
+// goldens, cache-effect lines, translate-once counters) must use this —
+// on the shared "demo" server another test may already have compiled the
+// same statement.
+func openIsolated(t *testing.T, opts string) *sql.DB {
+	t.Helper()
+	app, _, engine := demo.Setup(demo.DefaultSizes)
+	name := fmt.Sprintf("demo-isolated-%d", isolatedSeq.Add(1))
+	RegisterServer(name, &Server{App: app, Engine: engine})
+	db, err := sql.Open("aqualogic", name+opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,9 +52,10 @@ func normalizeExplain(s string) string {
 
 func runExplain(t *testing.T, sqlText string) string {
 	t.Helper()
-	// A fresh pool per statement gives each EXPLAIN a cold connection
-	// cache, so hit/miss deltas in the golden files are deterministic.
-	db := openDemo(t, "")
+	// A fresh server per statement gives each EXPLAIN a cold compile cache
+	// and a cold connection catalog cache, so hit/miss deltas in the golden
+	// files are deterministic regardless of what other tests compiled.
+	db := openIsolated(t, "")
 	rows, err := db.Query("EXPLAIN " + sqlText)
 	if err != nil {
 		t.Fatalf("EXPLAIN %s: %v", sqlText, err)
@@ -104,7 +105,7 @@ func TestExplainGolden(t *testing.T) {
 // order with their timings, and the catalog-cache effect line.
 func TestExplainStageOrder(t *testing.T) {
 	out := runExplain(t, "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C, PAYMENTS P WHERE C.CUSTOMERID = P.CUSTID")
-	stages := []string{"lex", "parse", "semantic-validate", "restructure", "generate", "serialize"}
+	stages := []string{"lex", "parse", "semantic-validate", "restructure", "generate", "serialize", "compile"}
 	idx := -1
 	for _, stage := range stages {
 		re := regexp.MustCompile(`(?m)^` + stage + ` +\d+(\.\d+)?(ns|µs|ms|s)\b`)
@@ -121,9 +122,11 @@ func TestExplainStageOrder(t *testing.T) {
 		"-- stage trace:",
 		"tables=2",
 		"contexts=1",
+		"-- compile cache: miss (compiled now)",
 		"-- catalog cache: hits=0 misses=2",
 		"-- query contexts (stage one):",
 		"-- generated XQuery (stage three):",
+		"-- query plan (evaluator):",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("EXPLAIN output missing %q:\n%s", want, out)
@@ -131,11 +134,12 @@ func TestExplainStageOrder(t *testing.T) {
 	}
 }
 
-// TestExplainRepeatedCacheHits checks the cache-effect line on a warm
-// connection: translating the same statement twice over one connection
-// turns the misses into hits.
+// TestExplainRepeatedCacheHits checks the cache-effect lines on a warm
+// server: the first EXPLAIN compiles (catalog miss included), the second
+// reuses the cached artifact — no translation, no catalog traffic, and
+// the stage trace rendered is the original compile's.
 func TestExplainRepeatedCacheHits(t *testing.T) {
-	db := openDemo(t, "")
+	db := openIsolated(t, "")
 	conn, err := db.Conn(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -158,10 +162,63 @@ func TestExplainRepeatedCacheHits(t *testing.T) {
 		return strings.Join(lines, "\n")
 	}
 	first, second := read(), read()
+	if !strings.Contains(first, "-- compile cache: miss (compiled now)") {
+		t.Fatalf("cold compile line missing:\n%s", first)
+	}
 	if !strings.Contains(first, "-- catalog cache: hits=0 misses=1") {
 		t.Fatalf("cold cache line missing:\n%s", first)
 	}
-	if !strings.Contains(second, "-- catalog cache: hits=1 misses=0 (connection totals: hits=1 misses=1)") {
-		t.Fatalf("warm cache line missing:\n%s", second)
+	if !strings.Contains(second, "-- compile cache: hit") {
+		t.Fatalf("warm compile line missing:\n%s", second)
+	}
+	if !strings.Contains(second, "-- catalog cache: hits=0 misses=0 (connection totals: hits=0 misses=1)") {
+		t.Fatalf("warm cache line should show no catalog traffic:\n%s", second)
+	}
+	// A cached EXPLAIN still renders the full artifact.
+	if !strings.Contains(second, "-- stage trace:") || !strings.Contains(second, "-- query plan (evaluator):") {
+		t.Fatalf("cached EXPLAIN missing sections:\n%s", second)
+	}
+}
+
+// TestExplainTranslatesOnce is the regression test for the EXPLAIN
+// double-translation bug: one EXPLAIN statement performs exactly one
+// translation (it used to translate for the trace and let Prepare
+// translate again), and EXPLAIN of a statement the server already
+// compiled performs none.
+func TestExplainTranslatesOnce(t *testing.T) {
+	db := openIsolated(t, "")
+	conn, err := db.Conn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	translated := func() int64 {
+		var n int64
+		if err := conn.Raw(func(dc any) error {
+			n = dc.(StatsReporter).Stats().Pipeline.QueriesTranslated
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	run := func(q string) {
+		rows, err := conn.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+	}
+
+	run("EXPLAIN SELECT CITY FROM CUSTOMERS")
+	if n := translated(); n != 1 {
+		t.Fatalf("one EXPLAIN translated %d times, want exactly 1", n)
+	}
+	// EXPLAIN again, then execute the same statement: both reuse the
+	// artifact the first EXPLAIN compiled.
+	run("EXPLAIN SELECT CITY FROM CUSTOMERS")
+	run("SELECT CITY FROM CUSTOMERS")
+	if n := translated(); n != 1 {
+		t.Fatalf("cached EXPLAIN + execute re-translated (total %d, want 1)", n)
 	}
 }

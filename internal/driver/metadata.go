@@ -1,14 +1,13 @@
 package driver
 
 import (
+	"context"
 	"database/sql/driver"
 	"fmt"
 	"io"
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/obsv"
-	"repro/internal/xqeval"
 )
 
 // showStmt answers the metadata-browsing statements reporting tools issue
@@ -163,22 +162,26 @@ func (r *staticRows) Next(dest []driver.Value) error {
 	return nil
 }
 
-// newExplainStmt runs a traced translation and returns the stage-by-stage
-// trace (wall time, sizes, stage detail), the catalog-cache effect, the
-// query-context tree (the paper's Figure 4 view), and the generated
-// XQuery, one line per row — the developer-facing EXPLAIN surface.
-func newExplainStmt(c *conn, sql string) (driver.Stmt, error) {
+// newExplainStmt resolves the statement through the server's shared
+// compile cache — compiling only when no artifact exists, exactly like
+// Prepare — and renders the artifact: the compile-time stage trace (wall
+// time, sizes, stage detail), the compile- and catalog-cache effects, the
+// query-context tree (the paper's Figure 4 view), the generated XQuery,
+// and the evaluator plan, one line per row. EXPLAIN of a statement the
+// server has already compiled performs no translation at all: every
+// section, including the stage trace, comes from the cached artifact.
+func newExplainStmt(ctx context.Context, c *conn, sql string) (driver.Stmt, error) {
 	before := c.cache.Stats()
-	tr := obsv.NewTrace(sql)
-	tr.Hook = c.observeStage
-	res, err := c.translator.TranslateTraced(sql, tr)
+	cq, hit, err := c.compile(ctx, sql)
 	if err != nil {
-		c.obs.TranslateErrors.Inc()
 		return nil, err
 	}
-	c.obs.QueriesTranslated.Inc()
 	after := c.cache.Stats()
 
+	status := "miss (compiled now)"
+	if hit {
+		status = "hit (stage trace below is the original compile's)"
+	}
 	out := &staticRows{cols: []string{"PLAN"}}
 	addLines := func(s string) {
 		for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
@@ -186,15 +189,16 @@ func newExplainStmt(c *conn, sql string) (driver.Stmt, error) {
 		}
 	}
 	addLines("-- stage trace:")
-	addLines(tr.RenderString(true))
+	addLines(cq.Trace.RenderString(true))
+	addLines(fmt.Sprintf("-- compile cache: %s", status))
 	addLines(fmt.Sprintf("-- catalog cache: hits=%d misses=%d (connection totals: hits=%d misses=%d)",
 		after.Hits-before.Hits, after.Misses-before.Misses, after.Hits, after.Misses))
 	addLines("-- query contexts (stage one):")
-	addLines(res.Contexts.Tree())
+	addLines(cq.Res.Contexts.Tree())
 	addLines("-- generated XQuery (stage three):")
-	addLines(res.XQuery())
+	addLines(cq.XQuery())
 	addLines("-- query plan (evaluator):")
-	for _, line := range xqeval.NewPlan(res.Query).Describe() {
+	for _, line := range cq.Plan.Describe() {
 		addLines(line)
 	}
 	return &explainStmt{rows: out}, nil
@@ -266,8 +270,11 @@ func (s *createViewStmt) Exec(args []driver.Value) (driver.Result, error) {
 	if err := s.conn.srv.DefineView(s.path, s.name, s.body); err != nil {
 		return nil, err
 	}
-	// New metadata invalidates this connection's cache too.
+	// New metadata invalidates this connection's catalog cache and every
+	// compiled artifact on the server (a query naming the new view may
+	// have compiled to a not-found error moments ago).
 	s.conn.cache.Invalidate()
+	s.conn.srv.compileCache().Invalidate()
 	return driver.RowsAffected(0), nil
 }
 

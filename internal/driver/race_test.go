@@ -142,3 +142,51 @@ func TestConnImplementsStatsReporter(t *testing.T) {
 	var _ StatsReporter = (*conn)(nil)
 	var _ driver.Conn = (*conn)(nil)
 }
+
+// TestConcurrentPrepareStampede races many pool connections preparing the
+// same cold statement: the server's shared compile cache must single-
+// flight the compile — exactly one translation however many connections
+// collide — and every statement must still execute correctly.
+func TestConcurrentPrepareStampede(t *testing.T) {
+	db := openIsolated(t, "")
+	db.SetMaxOpenConns(16)
+
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var n int64
+			if err := db.QueryRow("SELECT COUNT(*) FROM CUSTOMERS").Scan(&n); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			if n == 0 {
+				t.Error("no rows")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	conn, err := db.Conn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Raw(func(dc any) error {
+		s := dc.(StatsReporter).Stats().Compile
+		if s.Misses != 1 {
+			return fmt.Errorf("stampede compiled %d times, want 1 (stats %+v)", s.Misses, s)
+		}
+		if s.Hits+s.Shared != goroutines-1 {
+			return fmt.Errorf("hits=%d shared=%d, want %d reuses", s.Hits, s.Shared, goroutines-1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,15 +3,20 @@ package driver
 import (
 	"repro/internal/catalog"
 	"repro/internal/obsv"
+	"repro/internal/qcache"
 )
 
 // ConnStats is a point-in-time observability snapshot of one connection:
 // the pipeline counters and per-stage timing histograms accumulated by
 // every statement prepared and executed on it, plus its metadata-cache
-// counters (§3.5). Process-wide totals live in obsv.Global.
+// counters (§3.5) and the server-shared compile cache's counters (the
+// Compile field aggregates across every connection of the server, since
+// the compiled-query cache is shared). Process-wide totals live in
+// obsv.Global.
 type ConnStats struct {
 	Pipeline obsv.Snapshot
 	Cache    catalog.CacheStats
+	Compile  qcache.Stats
 }
 
 // StatsReporter is implemented by this driver's connections, so embedders
@@ -29,7 +34,8 @@ type StatsReporter interface {
 
 // Stats implements StatsReporter.
 func (c *conn) Stats() ConnStats {
-	return ConnStats{Pipeline: c.obs.Snapshot(), Cache: c.cache.Stats()}
+	return ConnStats{Pipeline: c.obs.Snapshot(), Cache: c.cache.Stats(),
+		Compile: c.srv.compileCache().Stats()}
 }
 
 // observeStage folds a completed stage event into the connection's and

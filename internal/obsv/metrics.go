@@ -23,6 +23,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value (e.g. a cache's current size) —
+// unlike Counter it can move both ways and be set outright.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the number of power-of-two latency buckets: bucket i
 // holds observations in [2^i µs, 2^(i+1) µs), bucket 0 holds < 2 µs, and
 // the last bucket holds everything from ~2.1 s up.
@@ -149,6 +164,19 @@ type Metrics struct {
 	PlanInvariantsHoisted Counter
 	TuplesPruned          Counter
 
+	// Compile-cache counters (internal/qcache): lookups of CompiledQuery
+	// artifacts at the compiled-query boundary. Hits reuse a compiled
+	// artifact, misses compile one, shared lookups coalesced onto another
+	// caller's in-flight compile, evictions are LRU drops under the size
+	// bound, and invalidations are whole-cache flushes (catalog change or
+	// degradation). Size is the current entry count across the process.
+	CompileCacheHits          Counter
+	CompileCacheMisses        Counter
+	CompileCacheShared        Counter
+	CompileCacheEvictions     Counter
+	CompileCacheInvalidations Counter
+	CompileCacheSize          Gauge
+
 	// Resilience counters (fault injection and the defenses around it).
 	// FaultsInjected counts chaos-layer injections (internal/faultnet);
 	// the rest count the production-side reactions: retry attempts beyond
@@ -210,6 +238,13 @@ type Snapshot struct {
 	InvariantsHoisted int64
 	TuplesPruned      int64
 
+	CompileCacheHits          int64
+	CompileCacheMisses        int64
+	CompileCacheShared        int64
+	CompileCacheEvictions     int64
+	CompileCacheInvalidations int64
+	CompileCacheSize          int64
+
 	FaultsInjected     int64
 	Retries            int64
 	RetrySuccesses     int64
@@ -238,6 +273,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		PredicatesPushed:  m.PlanPredicatesPushed.Load(),
 		InvariantsHoisted: m.PlanInvariantsHoisted.Load(),
 		TuplesPruned:      m.TuplesPruned.Load(),
+
+		CompileCacheHits:          m.CompileCacheHits.Load(),
+		CompileCacheMisses:        m.CompileCacheMisses.Load(),
+		CompileCacheShared:        m.CompileCacheShared.Load(),
+		CompileCacheEvictions:     m.CompileCacheEvictions.Load(),
+		CompileCacheInvalidations: m.CompileCacheInvalidations.Load(),
+		CompileCacheSize:          m.CompileCacheSize.Load(),
 
 		FaultsInjected:     m.FaultsInjected.Load(),
 		Retries:            m.Retries.Load(),
@@ -277,6 +319,9 @@ func (s Snapshot) Render(w io.Writer) {
 		fmt.Fprintf(w, "planner: plans=%d hash joins=%d predicates pushed=%d invariants hoisted=%d tuples pruned=%d\n",
 			s.PlansBuilt, s.HashJoins, s.PredicatesPushed, s.InvariantsHoisted, s.TuplesPruned)
 	}
+	if s.CompileCacheHits+s.CompileCacheMisses+s.CompileCacheShared > 0 {
+		s.RenderCompileCache(w)
+	}
 	if s.resilienceActive() {
 		s.RenderResilience(w)
 	}
@@ -289,6 +334,15 @@ func (s Snapshot) Render(w io.Writer) {
 				time.Duration(st.P99NS).Round(time.Microsecond))
 		}
 	}
+}
+
+// RenderCompileCache writes the compile-cache counter block (aqlshell's
+// `\q`), unconditionally — zeros included, so a cache that has never been
+// consulted is also visible.
+func (s Snapshot) RenderCompileCache(w io.Writer) {
+	fmt.Fprintf(w, "compile cache: hits=%d misses=%d shared=%d evictions=%d invalidations=%d size=%d\n",
+		s.CompileCacheHits, s.CompileCacheMisses, s.CompileCacheShared,
+		s.CompileCacheEvictions, s.CompileCacheInvalidations, s.CompileCacheSize)
 }
 
 // resilienceActive reports whether any resilience counter has moved (the

@@ -38,7 +38,9 @@ type Stage int
 
 // The pipeline stages. Lex through Serialize are the translator's
 // (§3.4.1); Evaluate is the engine's; Decode is the result-set
-// materialization of §4.
+// materialization of §4; Compile is the post-translation static check +
+// plan construction that turns a translation into an executable
+// CompiledQuery (the internal/qcache boundary).
 const (
 	StageLex Stage = iota
 	StageParse
@@ -48,6 +50,7 @@ const (
 	StageSerialize
 	StageEvaluate
 	StageDecode
+	StageCompile
 	NumStages // count sentinel, not a stage
 )
 
@@ -60,6 +63,7 @@ var stageNames = [NumStages]string{
 	"serialize",
 	"evaluate",
 	"decode",
+	"compile",
 }
 
 // String returns the stage's wire name (stable: golden tests and the

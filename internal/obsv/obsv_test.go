@@ -78,6 +78,7 @@ func TestStageNames(t *testing.T) {
 		StageSerialize:   "serialize",
 		StageEvaluate:    "evaluate",
 		StageDecode:      "decode",
+		StageCompile:     "compile",
 	}
 	for s, name := range want {
 		if s.String() != name {

@@ -1,0 +1,368 @@
+// Package qcache is the compiled-query layer: it turns the translator's
+// output into a first-class CompiledQuery artifact (translation + static
+// check + immutable evaluator plan, with the compile-time stage trace
+// attached) and caches those artifacts process-shared, keyed by
+// (normalized SQL, result mode, catalog generation).
+//
+// The paper's architecture puts a textual XQuery boundary between the
+// JDBC driver and the DSP server: the driver serializes the generated
+// query, the server re-parses, re-checks, and re-plans it on every
+// statement. In-process, that boundary is pure waste. This package ends
+// it: the translator's xquery AST is handed to the evaluator directly
+// (xqeval.Engine.CompileAST — check + plan, no parse), and the finished
+// artifact is reused across repeated statements, connections, and the
+// facade. The textual serialize∘parse path survives as the sql2xq/xqrun
+// process boundary and as the differential oracle the tests compare
+// against.
+//
+// Cache semantics:
+//
+//   - keying — the SQL text is lexed and canonicalized (case-folded
+//     keywords and identifiers, collapsed whitespace and comments), so
+//     trivially re-spelled statements share one artifact; the result mode
+//     and the catalog's metadata generation complete the key, so a catalog
+//     invalidation, a refresh that changes a table, or a degradation event
+//     silently retires every artifact compiled before it;
+//   - single-flight population — concurrent misses on one key share one
+//     compile;
+//   - size bounds — at most MaxEntries artifacts are retained, evicted in
+//     least-recently-used order;
+//   - failures are never cached — a statement that fails to translate or
+//     check recompiles (and re-fails) on each attempt, matching the
+//     catalog cache's rule that only answers are cacheable.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obsv"
+	"repro/internal/sqlparser"
+	"repro/internal/translator"
+	"repro/internal/xqeval"
+)
+
+// DefaultMaxEntries bounds the cache when Config.MaxEntries is zero.
+const DefaultMaxEntries = 256
+
+// CompiledQuery is the compiled artifact every execution layer consumes:
+// the completed translation (generated AST, result schema, parameter
+// info, query contexts), the evaluator's immutable plan, and the stage
+// trace recorded while compiling. It is immutable after Compile returns;
+// any number of concurrent evaluations may share it.
+type CompiledQuery struct {
+	// SQL is the statement text the artifact was compiled from.
+	SQL string
+	// NormalizedSQL is the canonical key form (set when cached).
+	NormalizedSQL string
+	// Mode is the §4 result-handling mode the query was generated for.
+	Mode translator.ResultMode
+	// Generation is the catalog metadata epoch the artifact was keyed
+	// under (zero when the metadata source does not version itself).
+	Generation uint64
+	// Res is the completed translation: AST, result schema, contexts.
+	Res *translator.Result
+	// Plan is the evaluator's immutable execution plan over Res.Query.
+	Plan *xqeval.Plan
+	// Trace holds the compile-time stage spans (lex … serialize, compile);
+	// EXPLAIN renders it instead of re-translating.
+	Trace *obsv.Trace
+}
+
+// XQuery serializes the generated query — the textual form the legacy
+// boundary ships; the compiled path never needs it to execute.
+func (cq *CompiledQuery) XQuery() string { return cq.Res.XQuery() }
+
+// ExternalVars lists the external variable names ($p1…$pN) the artifact's
+// plan expects bound at evaluation time.
+func (cq *CompiledQuery) ExternalVars() []string { return externalVars(cq.Res.ParamCount) }
+
+func externalVars(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "p" + strconv.Itoa(i+1)
+	}
+	return out
+}
+
+// Compile runs the whole compile pipeline once: translate (traced), then
+// statically check and plan the generated AST against the engine —
+// recorded as the compile stage span. It is the canonical CompileFunc
+// body; callers wrap it to choose the translator and trace hook.
+func Compile(ctx context.Context, tr *translator.Translator, engine *xqeval.Engine, sql string, trace *obsv.Trace) (*CompiledQuery, error) {
+	res, err := tr.TranslateTracedContext(ctx, sql, trace)
+	if err != nil {
+		return nil, err
+	}
+	sp := trace.StartStage(obsv.StageCompile)
+	sp.SetInput(len(sql))
+	plan, err := engine.CompileAST(res.Query, externalVars(res.ParamCount))
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.Add("external", int64(res.ParamCount))
+	sp.End()
+	return &CompiledQuery{SQL: sql, Mode: res.Mode, Res: res, Plan: plan, Trace: trace}, nil
+}
+
+// Normalize lexes SQL into its canonical key form: keywords and plain
+// identifiers case-folded, whitespace and comments collapsed, and every
+// token type-tagged and length-delimited so distinct statements can never
+// collide (a delimited identifier "FROM" keys differently from the
+// keyword FROM).
+func Normalize(sql string) (string, error) {
+	toks, err := sqlparser.Lex(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(sql) + len(toks)*4)
+	for _, t := range toks {
+		if t.Type == sqlparser.TokEOF {
+			break
+		}
+		b.WriteString(strconv.Itoa(int(t.Type)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(len(t.Text)))
+		b.WriteByte(':')
+		b.WriteString(t.Text)
+		b.WriteByte(' ')
+	}
+	return b.String(), nil
+}
+
+// GenerationSource is the metadata-versioning surface the cache keys on;
+// catalog.Cache implements it.
+type GenerationSource interface {
+	Generation() uint64
+}
+
+// CompileFunc populates one cache miss. It receives the original (not
+// normalized) SQL text.
+type CompileFunc func(ctx context.Context, sql string) (*CompiledQuery, error)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxEntries bounds the cache (LRU eviction beyond it). Zero means
+	// DefaultMaxEntries; negative disables caching entirely — every Get
+	// compiles (the degraded configuration, for memory-starved embedders).
+	MaxEntries int
+	// Generation supplies the catalog metadata epoch for keying; nil pins
+	// generation zero (unversioned metadata).
+	Generation func() uint64
+}
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Shared        int64
+	Evictions     int64
+	Invalidations int64
+	// Size is the current entry count; MaxEntries the configured bound.
+	Size       int
+	MaxEntries int
+	// Generation is the metadata epoch current lookups key under.
+	Generation uint64
+}
+
+// Key identifies one cached artifact.
+type Key struct {
+	SQL        string // normalized form
+	Mode       translator.ResultMode
+	Generation uint64
+}
+
+// Cache is the shared compiled-query cache. It is safe for concurrent
+// use; one instance is shared by every connection of a driver Server and
+// by the facade of the owning Platform.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used; values are *entry
+	flights map[Key]*flight
+	epoch   uint64 // advanced by Invalidate; in-flight compiles from an older epoch are not stored
+	stats   Stats
+}
+
+type entry struct {
+	key Key
+	cq  *CompiledQuery
+}
+
+// flight is one in-progress compile; concurrent lookups of the same key
+// wait on done and share the result.
+type flight struct {
+	done chan struct{}
+	cq   *CompiledQuery
+	err  error
+}
+
+// New builds a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+		flights: make(map[Key]*flight),
+	}
+}
+
+func (c *Cache) generation() uint64 {
+	if c.cfg.Generation == nil {
+		return 0
+	}
+	return c.cfg.Generation()
+}
+
+// Get returns the compiled artifact for sql in the given mode, compiling
+// (at most once per key, however many callers race) on a miss. hit
+// reports whether the artifact was reused — from the cache or from
+// another caller's in-flight compile — rather than compiled by this call.
+// SQL that does not lex bypasses the cache so compile surfaces the
+// canonical error.
+func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode, compile CompileFunc) (*CompiledQuery, bool, error) {
+	norm, err := Normalize(sql)
+	if err != nil {
+		cq, cerr := compile(ctx, sql)
+		return cq, false, cerr
+	}
+	if c.cfg.MaxEntries < 0 {
+		cq, cerr := compile(ctx, sql)
+		if cq != nil {
+			cq.NormalizedSQL = norm
+		}
+		return cq, false, cerr
+	}
+	// The generation read happens before c.mu so a Generation func that
+	// consults other locks (the platform's metadata stack) never nests
+	// inside the cache's.
+	key := Key{SQL: norm, Mode: mode, Generation: c.generation()}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.mu.Unlock()
+		obsv.Global.CompileCacheHits.Inc()
+		return el.Value.(*entry).cq, true, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		obsv.Global.CompileCacheShared.Inc()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		return fl.cq, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	epoch := c.epoch
+	c.stats.Misses++
+	c.mu.Unlock()
+	obsv.Global.CompileCacheMisses.Inc()
+
+	cq, err := compile(ctx, sql)
+
+	c.mu.Lock()
+	if err == nil {
+		cq.NormalizedSQL = norm
+		cq.Generation = key.Generation
+		if c.epoch == epoch {
+			c.storeLocked(key, cq)
+		}
+	}
+	fl.cq, fl.err = cq, err
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return cq, false, err
+}
+
+// Peek reports whether an artifact for sql/mode is cached under the
+// current generation, without populating or promoting it.
+func (c *Cache) Peek(sql string, mode translator.ResultMode) (*CompiledQuery, bool) {
+	norm, err := Normalize(sql)
+	if err != nil || c.cfg.MaxEntries < 0 {
+		return nil, false
+	}
+	key := Key{SQL: norm, Mode: mode, Generation: c.generation()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*entry).cq, true
+	}
+	return nil, false
+}
+
+// storeLocked inserts (or refreshes) an artifact and evicts beyond the
+// size bound. Callers hold c.mu.
+func (c *Cache) storeLocked(key Key, cq *CompiledQuery) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).cq = cq
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, cq: cq})
+	for c.lru.Len() > c.cfg.MaxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+		obsv.Global.CompileCacheEvictions.Inc()
+	}
+	c.reportSizeLocked()
+}
+
+// reportSizeLocked keeps the process-wide size gauge in step with this
+// cache's contribution. Callers hold c.mu.
+func (c *Cache) reportSizeLocked() {
+	if delta := c.lru.Len() - c.stats.Size; delta != 0 {
+		obsv.Global.CompileCacheSize.Add(int64(delta))
+	}
+	c.stats.Size = c.lru.Len()
+}
+
+// Invalidate drops every cached artifact (a data service redeployment,
+// resilience-layer rebuild, or explicit flush). In-flight compiles that
+// started before the flush complete but are not stored.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*list.Element)
+	c.lru = list.New()
+	c.epoch++
+	c.stats.Invalidations++
+	obsv.Global.CompileCacheInvalidations.Inc()
+	c.reportSizeLocked()
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	gen := c.generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.lru.Len()
+	s.MaxEntries = c.cfg.MaxEntries
+	s.Generation = gen
+	return s
+}

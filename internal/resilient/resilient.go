@@ -53,6 +53,11 @@ type Config struct {
 	// QueryTimeout bounds statement execution for callers without their
 	// own deadline. Applied to the driver Server by the facade.
 	QueryTimeout time.Duration
+	// CompileCacheEntries bounds the shared compiled-query cache (0 keeps
+	// the qcache default; negative disables compiled-query caching, the
+	// memory-starved degraded mode). Applied to qcache.Config by the
+	// facade, not here.
+	CompileCacheEntries int
 }
 
 // WithDefaults fills zero fields with the package defaults.

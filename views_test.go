@@ -174,3 +174,32 @@ func TestCreateViewThroughDriver(t *testing.T) {
 	// Servers without the hook refuse.
 	// (internal/driver tests cover the nil-hook path directly.)
 }
+
+func TestDefineViewInvalidatesCompiledQueries(t *testing.T) {
+	p := Demo()
+	sql := "SELECT BIG FROM BIGSPENDERS"
+	// Compiling before the view exists fails — and that failure must not
+	// pin the name: defining the view retires everything compiled against
+	// the old catalog, so the verbatim statement then succeeds.
+	if _, err := p.Query(sql); err == nil {
+		t.Fatal("query against missing view should fail")
+	}
+	if err := p.DefineView("Views", "BIGSPENDERS",
+		"SELECT CUSTID ID, PAYMENT BIG FROM PAYMENTS WHERE PAYMENT > 100"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Query(sql)
+	if err != nil {
+		t.Fatalf("query after CREATE VIEW: %v", err)
+	}
+	if !rows.Next() {
+		t.Fatal("view returned no rows")
+	}
+	// And the repeat is a compile-cache hit on the new artifact.
+	if _, err := p.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if cs := p.CompileStats(); cs.Hits < 1 || cs.Invalidations < 1 {
+		t.Fatalf("compile stats = %+v", cs)
+	}
+}
