@@ -30,9 +30,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTranslate -fuzztime=$(FUZZTIME) ./internal/translator/
 	$(GO) test -run='^$$' -fuzz=FuzzFaultedEval -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzCompiledDifferential -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzStreamDifferential -fuzztime=$(FUZZTIME) .
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json
 
 # Benchmark smoke: one iteration of every benchmark, so CI catches
 # benchmarks that no longer compile or fail at runtime.

@@ -347,8 +347,13 @@ func (p *Platform) TranslateText(sql string) (string, error) {
 }
 
 // Query translates and executes a SELECT end to end, binding the given
-// parameter values to `?` markers, and decodes the result set. It uses the
-// §4 text-mode path, the driver's default.
+// parameter values to `?` markers. It uses the §4 text-mode path, the
+// driver's default. The returned Rows is a thin view over a pull cursor:
+// rows decode one Next at a time while the query is still running, and
+// Close cancels any remaining evaluation. Call rows.Materialize() — or any
+// scroll operation (Len, Reset), which materializes implicitly — for a
+// scrollable result; check rows.Err() after iterating, since errors can
+// strike mid-stream.
 func (p *Platform) Query(sql string, args ...any) (*Rows, error) {
 	return p.QueryMode(ModeText, sql, args...)
 }
@@ -357,7 +362,25 @@ func (p *Platform) Query(sql string, args ...any) (*Rows, error) {
 // compile through the shared compile cache: a repeated query reuses the
 // cached plan and skips translation, checking, and planning entirely.
 func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, error) {
-	cq, err := p.Compile(sql, mode)
+	return p.QueryStreamMode(context.Background(), mode, sql, args...)
+}
+
+// QueryStream is Query observing a context: cancelling ctx aborts the
+// evaluation at the next tuple boundary, surfacing through rows.Err().
+func (p *Platform) QueryStream(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	return p.QueryStreamMode(ctx, ModeText, sql, args...)
+}
+
+// QueryStreamMode is the full streaming entry point: compile (cached), bind
+// parameters, start the evaluation, and return a Rows over the row cursor.
+// The evaluation runs concurrently with consumption — ORDER BY and GROUP BY
+// segments are the only materialization barriers — so the first row is
+// available long before the last one is computed, and FETCH FIRST n stops
+// the evaluation after n rows. Errors that precede the first row (unknown
+// tables, bad parameters, sources failing at open) are returned here
+// synchronously; later ones via rows.Err().
+func (p *Platform) QueryStreamMode(ctx context.Context, mode ResultMode, sql string, args ...any) (*Rows, error) {
+	cq, err := p.CompileContext(ctx, sql, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -373,8 +396,9 @@ func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, e
 		}
 		ext[fmt.Sprintf("p%d", i+1)] = xdm.SequenceOf(v)
 	}
-	out, err := p.Engine.EvalPlanWithTrace(context.Background(), cq.Plan, ext, nil)
-	if err != nil {
+	cur := p.Engine.EvalStream(ctx, cq.Plan, ext, nil)
+	if err := cur.Prime(); err != nil {
+		cur.Close()
 		return nil, err
 	}
 	cols := make([]resultset.Column, len(res.Columns))
@@ -382,13 +406,9 @@ func (p *Platform) QueryMode(mode ResultMode, sql string, args ...any) (*Rows, e
 		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName, Type: c.Type, Nullable: c.Nullable}
 	}
 	if mode == ModeText {
-		it, err := out.Singleton()
-		if err != nil {
-			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)
-		}
-		return resultset.FromText(xdm.StringValue(it), cols)
+		return resultset.NewStreaming(resultset.StreamText(cur, cols)), nil
 	}
-	return resultset.FromXML(out, cols)
+	return resultset.NewStreaming(resultset.StreamXML(cur, cols)), nil
 }
 
 // RegisterDriver exposes the platform through database/sql under the given

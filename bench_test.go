@@ -212,3 +212,18 @@ func externalNames(n int) []string {
 	}
 	return out
 }
+
+// BenchmarkStreamDelivery is the P9 experiment: time to first row and
+// total latency of the pull-cursor path against materialize-then-decode,
+// per result cardinality.
+func BenchmarkStreamDelivery(b *testing.B) {
+	for _, rows := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunStreamSweep([]int{rows}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -56,6 +56,15 @@ func chaosArgs(paramCount int) []any {
 	}
 }
 
+// drain materializes a streaming result set — where mid-stream faults
+// (sources failing with rows already delivered) surface — then renders it.
+func drain(r *Rows) (string, error) {
+	if err := r.Materialize(); err != nil {
+		return "", err
+	}
+	return marshalRows(r), nil
+}
+
 // marshalRows renders a result set canonically for byte comparison.
 func marshalRows(r *Rows) string {
 	var b strings.Builder
@@ -114,10 +123,12 @@ func TestChaosSoak(t *testing.T) {
 	want := make(map[string]string, len(chaosCorpus()))
 	for _, sql := range chaosCorpus() {
 		rows, err := base.Query(sql, chaosArgs(strings.Count(sql, "?"))...)
+		if err == nil {
+			want[sql], err = drain(rows)
+		}
 		if err != nil {
 			t.Fatalf("baseline %q: %v", sql, err)
 		}
-		want[sql] = marshalRows(rows)
 	}
 
 	iters := 3
@@ -143,6 +154,13 @@ func TestChaosSoak(t *testing.T) {
 					for i := 0; i < iters; i++ {
 						for _, sql := range chaosCorpus() {
 							rows, err := p.Query(sql, chaosArgs(strings.Count(sql, "?"))...)
+							var got string
+							if err == nil {
+								// Faults can also strike with rows already in
+								// flight; they must surface typed from the
+								// cursor, never as a silent short read.
+								got, err = drain(rows)
+							}
 							if err != nil {
 								if !typedFailure(err) {
 									t.Errorf("untyped chaos failure for %q: %v", sql, err)
@@ -152,7 +170,7 @@ func TestChaosSoak(t *testing.T) {
 								mu.Unlock()
 								continue
 							}
-							if got := marshalRows(rows); got != want[sql] {
+							if got != want[sql] {
 								t.Errorf("rate %v: %q diverged from fault-free run\ngot:  %s\nwant: %s",
 									rate, sql, got, want[sql])
 							}
@@ -275,12 +293,20 @@ func FuzzFaultedEval(f *testing.F) {
 		}
 		args := chaosArgs(res.ParamCount)
 		baseRows, baseErr := base.Query(sql, args...)
+		var want string
+		if baseErr == nil {
+			want, baseErr = drain(baseRows)
+		}
 		p, _ := chaosPlatform(sizes, FaultConfig{
 			Seed: seed, Rate: 0.3,
 			Latency:      50 * time.Microsecond,
 			StallTimeout: time.Millisecond,
 		})
 		rows, err := p.Query(sql, args...)
+		var got string
+		if err == nil {
+			got, err = drain(rows)
+		}
 		if err != nil {
 			if !typedFailure(err) && baseErr == nil {
 				t.Fatalf("untyped chaos failure for %q: %v", sql, err)
@@ -290,8 +316,86 @@ func FuzzFaultedEval(f *testing.F) {
 		if baseErr != nil {
 			return // planner error-timing latitude; value divergence is the bug
 		}
-		if got, want := marshalRows(rows), marshalRows(baseRows); got != want {
+		if got != want {
 			t.Fatalf("%q under faults diverged\ngot:  %s\nwant: %s", sql, got, want)
 		}
 	})
+}
+
+// TestChaosMidStreamTruncation aims truncation faults — sources that
+// return a prefix of the real rows together with an error — at live
+// streams consumed row by row, with no resilience layer to absorb them.
+// The contract: a run either delivers the complete, byte-identical result
+// with a nil Err, or terminates in a typed error; a nil-Err run that
+// silently delivered a prefix is the corruption this test exists to catch.
+func TestChaosMidStreamTruncation(t *testing.T) {
+	sizes := demo.Sizes{Customers: 40, PaymentsPerCustomer: 3, Orders: 12, ItemsPerOrder: 2}
+	// Statements whose evaluation calls data sources per tuple, so a
+	// truncation can strike with rows already handed to the consumer.
+	stmts := []string{
+		"SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS",
+		"SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C, PAYMENTS P WHERE C.CUSTOMERID = P.CUSTID",
+		"SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID IN (SELECT CUSTID FROM PAYMENTS WHERE PAYMENT > 100)",
+	}
+
+	app, _, engine := demo.Setup(sizes)
+	base := New(app, engine)
+	want := make(map[string]string, len(stmts))
+	for _, sql := range stmts {
+		rows, err := base.Query(sql)
+		if err == nil {
+			want[sql], err = drain(rows)
+		}
+		if err != nil {
+			t.Fatalf("baseline %q: %v", sql, err)
+		}
+	}
+
+	fapp, _, fengine := demo.Setup(sizes)
+	p := New(fapp, fengine)
+	inj := p.EnableFaults(FaultConfig{
+		Seed:  41,
+		Rate:  0.15,
+		Kinds: []FaultKind{FaultTruncate}, // truncation only: every fault is a short read
+	})
+
+	var midStream, complete int
+	for iter := 0; iter < 40; iter++ {
+		for _, sql := range stmts {
+			rows, err := p.Query(sql)
+			if err != nil {
+				if !typedFailure(err) {
+					t.Fatalf("untyped open-time failure for %q: %v", sql, err)
+				}
+				continue
+			}
+			// Live row-by-row consumption: the genuine streaming path, where
+			// a silent short read would otherwise be indistinguishable from
+			// a small result.
+			got, err := marshalStreamed(rows)
+			if err != nil {
+				if !typedFailure(err) {
+					t.Fatalf("untyped mid-stream failure for %q: %v", sql, err)
+				}
+				midStream++
+				continue
+			}
+			if got != want[sql] {
+				t.Fatalf("truncated %q passed off a short read as success\ngot:  %s\nwant: %s",
+					sql, got, want[sql])
+			}
+			complete++
+		}
+	}
+	if midStream == 0 {
+		t.Fatalf("no truncation surfaced mid-stream (%d complete runs) — the fault never hit a live cursor", complete)
+	}
+	var injected int64
+	for _, r := range inj.Report() {
+		injected += r.Total()
+	}
+	if injected == 0 {
+		t.Fatal("injector reported no truncation faults")
+	}
+	t.Logf("%d complete runs, %d typed mid-stream truncations, %d faults injected", complete, midStream, injected)
 }

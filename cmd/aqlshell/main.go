@@ -9,9 +9,12 @@
 // commands \x (print the XQuery a SELECT translates to), \c (query
 // contexts), \p (evaluator query plan), \s (pipeline metrics snapshot),
 // \r (resilience counters: retries, breaker trips, stale serves, injected
-// faults), and \q (compile-cache counters: hits, misses, single-flight
-// shares, evictions, invalidations, size, metadata generation). Type
-// "quit" or "exit" to leave.
+// faults), \q (compile-cache counters: hits, misses, single-flight
+// shares, evictions, invalidations, size, metadata generation), and
+// \f n (fetch size: page results n rows at a time straight off the live
+// cursor — rows print as the evaluation produces them, and abandoning a
+// page cancels the rest of the query; \f 0 restores whole-result
+// formatting). Type "quit" or "exit" to leave.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"database/sql"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	aqualogic "repro"
@@ -40,10 +44,12 @@ func main() {
 	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
 	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan,`)
 	fmt.Println(`"\s" for pipeline metrics, "\r" for resilience counters, "\q" for`)
-	fmt.Println(`compile-cache counters, "quit" or "exit" to leave`)
+	fmt.Println(`compile-cache counters, "\f n" to page results n rows at a time off`)
+	fmt.Println(`the live cursor (\f 0 to turn paging off), "quit" or "exit" to leave`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fetchSize := 0 // 0: materialize and align columns; n>0: page n rows at a time
 	for {
 		fmt.Print("sql> ")
 		if !scanner.Scan() {
@@ -62,6 +68,24 @@ func main() {
 				cs.Hits, cs.Misses, cs.Shared, cs.Evictions, cs.Invalidations)
 			fmt.Printf("entries: %d/%d, metadata generation: %d\n", cs.Size, cs.MaxEntries, cs.Generation)
 			aqualogic.Stats().RenderCompileCache(os.Stdout)
+		case line == `\f`:
+			if fetchSize > 0 {
+				fmt.Printf("fetch size: %d rows per page\n", fetchSize)
+			} else {
+				fmt.Println("paging off (results materialize before printing)")
+			}
+		case strings.HasPrefix(line, `\f `):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, `\f `)))
+			if err != nil || n < 0 {
+				fmt.Println(`usage: \f <rows-per-page>   (0 turns paging off)`)
+				continue
+			}
+			fetchSize = n
+			if n == 0 {
+				fmt.Println("paging off")
+			} else {
+				fmt.Printf("paging %d row(s) at a time\n", n)
+			}
 		case strings.HasPrefix(line, `\x `):
 			xq, err := p.TranslateText(strings.TrimPrefix(line, `\x `))
 			if err != nil {
@@ -95,11 +119,67 @@ func main() {
 			}
 			fmt.Print(res.Contexts.Tree())
 		default:
-			if err := runQuery(db, line); err != nil {
+			var err error
+			if fetchSize > 0 {
+				err = runQueryPaged(db, line, fetchSize, scanner)
+			} else {
+				err = runQuery(db, line)
+			}
+			if err != nil {
 				fmt.Println("error:", err)
 			}
 		}
 	}
+}
+
+// runQueryPaged prints rows straight off the streaming cursor, pageSize at
+// a time: the first page appears while the evaluation is still running,
+// and declining the next page closes the result set, which cancels the
+// remaining evaluation server-side.
+func runQueryPaged(db *sql.DB, query string, pageSize int, in *bufio.Scanner) error {
+	rows, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(cols, " | "))
+	n := 0
+	for rows.Next() {
+		raw := make([]any, len(cols))
+		for i := range raw {
+			raw[i] = new(sql.NullString)
+		}
+		if err := rows.Scan(raw...); err != nil {
+			return err
+		}
+		rec := make([]string, len(cols))
+		for i := range raw {
+			ns := raw[i].(*sql.NullString)
+			if ns.Valid {
+				rec[i] = ns.String
+			} else {
+				rec[i] = "NULL"
+			}
+		}
+		fmt.Println(strings.Join(rec, " | "))
+		n++
+		if n%pageSize == 0 {
+			fmt.Printf("-- %d row(s) so far; Enter for next %d, q to stop -- ", n, pageSize)
+			if !in.Scan() || strings.EqualFold(strings.TrimSpace(in.Text()), "q") {
+				fmt.Printf("(%d row(s), rest of the query cancelled)\n", n)
+				return rows.Close()
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d row(s))\n", n)
+	return nil
 }
 
 func runQuery(db *sql.DB, query string) error {

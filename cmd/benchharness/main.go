@@ -14,7 +14,10 @@
 // survival and throughput with and without the resilience layer) is
 // written too (conventionally BENCH_faults.json). With -compilejson, the
 // P8 compile-path sweep (legacy serialize∘parse vs compiled-query cold vs
-// cached) is written as well (conventionally BENCH_compile.json).
+// cached) is written as well (conventionally BENCH_compile.json). With
+// -streamjson, the P9 streaming-delivery sweep (pull cursor vs
+// materialize-then-decode: time to first row, total latency, live-heap
+// high-water) is written too (conventionally BENCH_stream.json).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	faultJSON := flag.String("faultjson", "", "also write the P7 fault-rate sweep as JSON to this path (e.g. BENCH_faults.json)")
 	compileJSON := flag.String("compilejson", "", "also write the P8 compile-path sweep as JSON to this path (e.g. BENCH_compile.json)")
 	compileIters := flag.Int("compileiters", 200, "iterations per workload class for the compile-path JSON")
+	streamJSON := flag.String("streamjson", "", "also write the P9 streaming-delivery sweep as JSON to this path (e.g. BENCH_stream.json)")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -65,5 +69,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote compile-path sweep to %s\n", *compileJSON)
+	}
+	if *streamJSON != "" {
+		if err := bench.WriteStreamJSON(*streamJSON, bench.DefaultStreamRows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote streaming-delivery sweep to %s\n", *streamJSON)
 	}
 }

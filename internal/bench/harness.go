@@ -33,7 +33,11 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportCompile(w)
+	if err := ReportCompile(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ReportStream(w, DefaultStreamRows)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+// TestRunStreamSweepSmall exercises the P9 sweep end to end at small
+// cardinalities: both delivery paths run, the workload plans as
+// streamable, and first-row latency never exceeds total latency.
+func TestRunStreamSweepSmall(t *testing.T) {
+	points, err := RunStreamSweep([]int{1, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.StreamTTFRNS <= 0 || p.MaterializedTTFRNS <= 0 {
+			t.Fatalf("rows=%d: missing TTFR: %+v", p.Rows, p)
+		}
+		if p.StreamTTFRNS > p.StreamTotalNS || p.MaterializedTTFRNS > p.MaterializedTotalNS {
+			t.Fatalf("rows=%d: first row after last row: %+v", p.Rows, p)
+		}
+	}
+}

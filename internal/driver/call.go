@@ -200,7 +200,10 @@ func (s *callStmt) queryContext(ctx context.Context, args []driver.Value) (dr dr
 	if err != nil {
 		return nil, err
 	}
-	return &driverRows{rows: rows}, nil
+	// Stored-procedure results are materialized by construction (the whole
+	// function result is in hand); a cursor view joins them to the streaming
+	// driver path.
+	return &driverRows{cur: rows.Cursor()}, nil
 }
 
 func (s *callStmt) invoke(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {

@@ -169,7 +169,14 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (dr driver
 	// internal error at this boundary instead of unwinding into database/sql.
 	defer aqerr.Recover("query", &err)
 	ctx, cancel := s.conn.withTimeout(ctx)
-	defer cancel()
+	// The evaluation outlives this call: rows stream out of a still-running
+	// query, so the context's cancel transfers to the returned driver.Rows
+	// (released by its Close). Cancel locally only on the error paths.
+	defer func() {
+		if err != nil {
+			cancel()
+		}
+	}()
 	ext := make(map[string]xdm.Sequence, len(args))
 	for i, a := range args {
 		v, err := toAtomic(a)
@@ -182,8 +189,12 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (dr driver
 	// compiled path never needs the textual form to execute.
 	tr := obsv.NewTrace(s.cq.SQL)
 	tr.Hook = s.conn.observeStage
-	out, err := s.conn.engine.EvalPlanWithTrace(ctx, s.cq.Plan, ext, tr)
-	if err != nil {
+	cur := s.conn.engine.EvalStream(ctx, s.cq.Plan, ext, tr)
+	// Priming pulls the first chunk, so errors raised before any row exists
+	// (unbound sources, bad parameters, source faults at open) surface here
+	// synchronously, as they did on the materialized path.
+	if err := cur.Prime(); err != nil {
+		cur.Close()
 		return nil, aqerr.Wrap("query", err)
 	}
 	s.conn.obs.QueriesExecuted.Inc()
@@ -192,30 +203,15 @@ func (s *stmt) queryContext(ctx context.Context, args []driver.Value) (dr driver
 		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
 			Type: c.Type, Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
 	}
-	sp := tr.StartStage(obsv.StageDecode)
-	var rows *resultset.Rows
+	var rc resultset.RowCursor
 	if s.cq.Res.Mode == translator.ModeText {
-		it, err := out.Singleton()
-		if err != nil {
-			return nil, fmt.Errorf("aqualogic: text-mode result: %v", err)
-		}
-		payload := xdm.StringValue(it)
-		sp.SetInput(len(payload))
-		rows, err = resultset.FromText(payload, cols)
-		if err != nil {
-			return nil, err
-		}
+		rc = resultset.StreamText(cur, cols)
 	} else {
-		sp.SetInput(len(out))
-		rows, err = resultset.FromXML(out, cols)
-		if err != nil {
-			return nil, err
-		}
+		rc = resultset.StreamXML(cur, cols)
 	}
-	sp.SetOutput(rows.Len())
-	sp.End()
-	s.conn.obs.RowsMaterialized.Add(int64(rows.Len()))
-	return &driverRows{rows: rows}, nil
+	// Decoding now interleaves with consumption, so the decode span brackets
+	// the cursor's whole delivery window and closes with the row count.
+	return &driverRows{cur: rc, conn: s.conn, cancel: cancel, sp: tr.StartStage(obsv.StageDecode)}, nil
 }
 
 // toAtomic converts a database/sql parameter to an atomic value.
@@ -240,14 +236,21 @@ func toAtomic(v driver.Value) (xdm.Atomic, error) {
 	}
 }
 
-// driverRows adapts resultset.Rows to driver.Rows.
+// driverRows adapts a pull row cursor to driver.Rows. Rows decode one at a
+// time as database/sql's Rows.Next pulls them; Close terminates a
+// still-running evaluation early by cancelling its context.
 type driverRows struct {
-	rows *resultset.Rows
+	cur    resultset.RowCursor
+	conn   *conn              // nil for ancillary statements (CALL)
+	cancel context.CancelFunc // nil when no live evaluation is attached
+	sp     *obsv.Span         // decode span, closed with the delivered row count
+	n      int64              // rows delivered
+	closed bool
 }
 
 // Columns implements driver.Rows.
 func (r *driverRows) Columns() []string {
-	cols := r.rows.Columns()
+	cols := r.cur.Columns()
 	out := make([]string, len(cols))
 	for i, c := range cols {
 		out[i] = c.Label
@@ -255,26 +258,49 @@ func (r *driverRows) Columns() []string {
 	return out
 }
 
-// Close implements driver.Rows: the materialized result data is released
-// immediately rather than lingering until the statement is collected —
-// long-lived prepared statements over large results would otherwise pin
-// every result set ever fetched.
+// Close implements driver.Rows. It is idempotent and releases everything
+// exactly once: the cursor (dropping buffered rows), then the evaluation
+// context, so a result set abandoned mid-stream cancels the query instead
+// of evaluating tuples nobody will read.
 func (r *driverRows) Close() error {
-	r.rows.Close()
-	return nil
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.cur.Close()
+	if r.cancel != nil {
+		r.cancel()
+	}
+	if r.sp != nil {
+		r.sp.SetOutput(int(r.n))
+		r.sp.End()
+	}
+	if r.conn != nil {
+		r.conn.obs.RowsStreamed.Add(r.n)
+	}
+	return err
 }
 
-// Next implements driver.Rows.
+// Next implements driver.Rows: one pull on the cursor per row. Errors that
+// strike mid-stream (source faults, cancellation) surface here as typed
+// query errors through sql.Rows.Err.
 func (r *driverRows) Next(dest []driver.Value) error {
-	if !r.rows.Next() {
+	if r.closed {
 		return io.EOF
 	}
+	row, err := r.cur.Next()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return aqerr.Wrap("query", err)
+	}
+	r.n++
 	for i := range dest {
-		v, err := r.rows.Value(i)
-		if err != nil {
-			return err
+		if i >= len(row) {
+			return fmt.Errorf("aqualogic: column index %d out of range (0..%d)", i, len(row)-1)
 		}
-		dest[i] = fromAtomic(v)
+		dest[i] = fromAtomic(row[i])
 	}
 	return nil
 }
@@ -282,18 +308,18 @@ func (r *driverRows) Next(dest []driver.Value) error {
 // ColumnTypeDatabaseTypeName implements driver.RowsColumnTypeDatabaseTypeName:
 // rows.ColumnTypes() reports the SQL type of each output column.
 func (r *driverRows) ColumnTypeDatabaseTypeName(index int) string {
-	return r.rows.Columns()[index].Type.String()
+	return r.cur.Columns()[index].Type.String()
 }
 
 // ColumnTypeNullable implements driver.RowsColumnTypeNullable.
 func (r *driverRows) ColumnTypeNullable(index int) (nullable, ok bool) {
-	return r.rows.Columns()[index].Nullable, true
+	return r.cur.Columns()[index].Nullable, true
 }
 
 // ColumnTypePrecisionScale implements driver.RowsColumnTypePrecisionScale
 // for columns with declared facets (DECIMAL(p,s), VARCHAR(n)).
 func (r *driverRows) ColumnTypePrecisionScale(index int) (precision, scale int64, ok bool) {
-	c := r.rows.Columns()[index]
+	c := r.cur.Columns()[index]
 	if c.Precision == 0 && c.Scale == 0 {
 		return 0, 0, false
 	}

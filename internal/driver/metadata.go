@@ -201,6 +201,7 @@ func newExplainStmt(ctx context.Context, c *conn, sql string) (driver.Stmt, erro
 	for _, line := range cq.Plan.Describe() {
 		addLines(line)
 	}
+	addLines(fmt.Sprintf("-- streaming: %s", cq.Plan.Stream.Describe()))
 	return &explainStmt{rows: out}, nil
 }
 

@@ -38,6 +38,17 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// SetMax raises the gauge to n if n is larger — a concurrency-safe
+// high-water mark (used for peak in-flight rows across cursors).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // histBuckets is the number of power-of-two latency buckets: bucket i
 // holds observations in [2^i µs, 2^(i+1) µs), bucket 0 holds < 2 µs, and
 // the last bucket holds everything from ~2.1 s up.
@@ -148,8 +159,17 @@ type Metrics struct {
 	// CacheHits/CacheMisses count metadata-cache lookups (§3.5).
 	CacheHits   Counter
 	CacheMisses Counter
-	// RowsMaterialized counts result-set rows decoded (§4, both paths).
+	// RowsMaterialized counts result-set rows decoded whole (§4, both
+	// paths); RowsStreamed counts rows delivered one pull at a time
+	// through the streaming decoders.
 	RowsMaterialized Counter
+	RowsStreamed     Counter
+	// TimeToFirstRow observes the latency from opening a streaming cursor
+	// to its first row becoming available; PeakInFlightRows is the
+	// high-water mark of rows buffered between producer and consumer
+	// across all cursors (bounded by the cursor channel's capacity).
+	TimeToFirstRow   Histogram
+	PeakInFlightRows Gauge
 	// EvalSteps counts evaluator expression steps (the engine's unit of
 	// work).
 	EvalSteps Counter
@@ -225,18 +245,23 @@ type StageSnapshot struct {
 // Snapshot is a point-in-time copy of a Metrics — the scrape surface for
 // embedders (plain values, no atomics).
 type Snapshot struct {
-	QueriesTranslated int64
-	TranslateErrors   int64
-	QueriesExecuted   int64
-	CacheHits         int64
-	CacheMisses       int64
-	RowsMaterialized  int64
-	EvalSteps         int64
-	PlansBuilt        int64
-	HashJoins         int64
-	PredicatesPushed  int64
-	InvariantsHoisted int64
-	TuplesPruned      int64
+	QueriesTranslated    int64
+	TranslateErrors      int64
+	QueriesExecuted      int64
+	CacheHits            int64
+	CacheMisses          int64
+	RowsMaterialized     int64
+	RowsStreamed         int64
+	TimeToFirstRowCount  int64
+	TimeToFirstRowMeanNS int64
+	TimeToFirstRowP99NS  int64
+	PeakInFlightRows     int64
+	EvalSteps            int64
+	PlansBuilt           int64
+	HashJoins            int64
+	PredicatesPushed     int64
+	InvariantsHoisted    int64
+	TuplesPruned         int64
 
 	CompileCacheHits          int64
 	CompileCacheMisses        int64
@@ -267,6 +292,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheHits:         m.CacheHits.Load(),
 		CacheMisses:       m.CacheMisses.Load(),
 		RowsMaterialized:  m.RowsMaterialized.Load(),
+		RowsStreamed:      m.RowsStreamed.Load(),
+		PeakInFlightRows:  m.PeakInFlightRows.Load(),
 		EvalSteps:         m.EvalSteps.Load(),
 		PlansBuilt:        m.PlansBuilt.Load(),
 		HashJoins:         m.PlanHashJoins.Load(),
@@ -290,6 +317,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		SingleFlightShared: m.SingleFlightShared.Load(),
 		PanicsRecovered:    m.PanicsRecovered.Load(),
 		ResourceLimitHits:  m.ResourceLimitHits.Load(),
+	}
+	if ttfr := m.TimeToFirstRow.Snapshot(); ttfr.Count > 0 {
+		s.TimeToFirstRowCount = ttfr.Count
+		s.TimeToFirstRowMeanNS = ttfr.Mean().Nanoseconds()
+		s.TimeToFirstRowP99NS = ttfr.Quantile(0.99).Nanoseconds()
 	}
 	for st := Stage(0); st < NumStages; st++ {
 		hs := m.stageTime[st].Snapshot()
@@ -315,6 +347,13 @@ func (s Snapshot) Render(w io.Writer) {
 	fmt.Fprintf(w, "metadata cache: hits=%d misses=%d\n", s.CacheHits, s.CacheMisses)
 	fmt.Fprintf(w, "rows materialized: %d, evaluator steps: %d\n",
 		s.RowsMaterialized, s.EvalSteps)
+	if s.RowsStreamed > 0 || s.TimeToFirstRowCount > 0 {
+		fmt.Fprintf(w, "streaming: rows=%d, first-row mean=%s p99<=%s (%d cursors), peak in-flight rows=%d\n",
+			s.RowsStreamed,
+			time.Duration(s.TimeToFirstRowMeanNS).Round(time.Microsecond),
+			time.Duration(s.TimeToFirstRowP99NS).Round(time.Microsecond),
+			s.TimeToFirstRowCount, s.PeakInFlightRows)
+	}
 	if s.PlansBuilt > 0 {
 		fmt.Fprintf(w, "planner: plans=%d hash joins=%d predicates pushed=%d invariants hoisted=%d tuples pruned=%d\n",
 			s.PlansBuilt, s.HashJoins, s.PredicatesPushed, s.InvariantsHoisted, s.TuplesPruned)

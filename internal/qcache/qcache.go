@@ -65,7 +65,10 @@ type CompiledQuery struct {
 	Generation uint64
 	// Res is the completed translation: AST, result schema, contexts.
 	Res *translator.Result
-	// Plan is the evaluator's immutable execution plan over Res.Query.
+	// Plan is the evaluator's immutable execution plan over Res.Query. It
+	// carries the streaming decomposition (Plan.Stream) built at compile
+	// time, so a cached statement streams rows without re-analyzing the
+	// query shape on each execution.
 	Plan *xqeval.Plan
 	// Trace holds the compile-time stage spans (lex … serialize, compile);
 	// EXPLAIN renders it instead of re-translating.
@@ -79,6 +82,11 @@ func (cq *CompiledQuery) XQuery() string { return cq.Res.XQuery() }
 // ExternalVars lists the external variable names ($p1…$pN) the artifact's
 // plan expects bound at evaluation time.
 func (cq *CompiledQuery) ExternalVars() []string { return externalVars(cq.Res.ParamCount) }
+
+// Streamable reports whether executions of this artifact deliver rows
+// through a pull cursor (compile-time decomposition succeeded) rather than
+// materializing the full result before the first row.
+func (cq *CompiledQuery) Streamable() bool { return cq.Plan.Stream.Streamable() }
 
 func externalVars(n int) []string {
 	if n == 0 {

@@ -19,6 +19,7 @@ package resultset
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -45,41 +46,126 @@ type Column struct {
 	Scale     int
 }
 
-// Rows is a materialized, scrollable result set.
+// Rows is a result set. It is forward-only streaming while a row cursor
+// is attached (rows decode one pull at a time), and materialized/scrollable
+// otherwise. Scroll operations (Len, Reset) on a streaming Rows first drain
+// the cursor via Materialize.
 type Rows struct {
 	cols []Column
 	// data[r][c] is nil for SQL NULL.
 	data [][]xdm.Atomic
 	pos  int // 0 = before first row
+
+	cur    RowCursor // non-nil while streaming
+	curRow []xdm.Atomic
+	onRow  bool
+	err    error
 }
 
 // Columns returns the result schema.
 func (r *Rows) Columns() []Column { return r.cols }
 
-// Len returns the number of rows.
-func (r *Rows) Len() int { return len(r.data) }
+// Len returns the number of rows. On a streaming result it materializes the
+// remaining rows first.
+func (r *Rows) Len() int {
+	if r.cur != nil {
+		r.Materialize()
+	}
+	return len(r.data)
+}
 
 // Next advances the cursor; it must be called before the first row, JDBC
-// style. It returns false past the last row.
+// style. It returns false past the last row and on a streaming error —
+// check Err after a false return to tell the two apart.
 func (r *Rows) Next() bool {
+	if r.cur != nil {
+		row, err := r.cur.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			r.endStream(err)
+			r.onRow = false
+			return false
+		}
+		r.curRow, r.onRow = row, true
+		return true
+	}
 	if r.pos > len(r.data) {
 		return false
 	}
 	r.pos++
+	r.onRow = false
 	return r.pos <= len(r.data)
 }
 
-// Reset rewinds the cursor before the first row.
-func (r *Rows) Reset() { r.pos = 0 }
+// endStream detaches and closes the cursor, keeping the first error seen.
+func (r *Rows) endStream(err error) {
+	if r.cur != nil {
+		cerr := r.cur.Close()
+		if err == nil {
+			err = cerr
+		}
+		r.cur = nil
+	}
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+}
 
-// Close releases the decoded row data; the schema stays available for
-// metadata calls. After Close, Next reports no rows.
+// Err returns the first error hit while streaming rows, if any. Materialized
+// result sets never have one.
+func (r *Rows) Err() error { return r.err }
+
+// Materialize drains any remaining streamed rows into the scrollable buffer
+// and rewinds the cursor before the first buffered row. Rows already
+// consumed with Next are not recovered. It returns the first streaming
+// error, also available via Err.
+func (r *Rows) Materialize() error {
+	for r.cur != nil {
+		row, err := r.cur.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			r.endStream(err)
+			break
+		}
+		r.data = append(r.data, row)
+		obsv.Global.RowsMaterialized.Inc()
+	}
+	r.pos = 0
+	r.onRow = false
+	return r.err
+}
+
+// Reset rewinds the cursor before the first row, materializing a streaming
+// result first.
+func (r *Rows) Reset() {
+	if r.cur != nil {
+		r.Materialize()
+		return
+	}
+	r.pos = 0
+	r.onRow = false
+}
+
+// Close releases the decoded row data and, for streaming results, closes
+// the underlying cursor, cancelling any still-running evaluation. The
+// schema stays available for metadata calls. Close is idempotent; after it,
+// Next reports no rows.
 func (r *Rows) Close() {
+	r.endStream(nil)
 	r.data = nil
 	r.pos = 0
+	r.onRow = false
+	r.curRow = nil
 }
 
 func (r *Rows) current() ([]xdm.Atomic, error) {
+	if r.onRow {
+		return r.curRow, nil
+	}
 	if r.pos == 0 {
 		return nil, fmt.Errorf("resultset: Next has not been called")
 	}
@@ -208,23 +294,9 @@ func FromXML(result xdm.Sequence, cols []Column) (*Rows, error) {
 	}
 	rows := &Rows{cols: cols}
 	for _, rec := range root.ChildElements("RECORD") {
-		row := make([]xdm.Atomic, len(cols))
-		// Columns with duplicate element names are matched positionally
-		// among same-named children.
-		used := map[string]int{}
-		for i, c := range cols {
-			matches := rec.ChildElements(c.ElementName)
-			idx := used[c.ElementName]
-			used[c.ElementName]++
-			if idx >= len(matches) {
-				row[i] = nil // absent element = NULL
-				continue
-			}
-			v, err := parseValue(matches[idx].StringValue(), c)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
+		row, err := decodeRecord(rec, cols)
+		if err != nil {
+			return nil, err
 		}
 		rows.data = append(rows.data, row)
 	}
@@ -254,21 +326,9 @@ func FromText(payload string, cols []Column) (*Rows, error) {
 		return nil, fmt.Errorf("resultset: malformed text payload: missing leading row delimiter")
 	}
 	for _, rowText := range strings.Split(payload[1:], RowDelimiter) {
-		fields := strings.Split(rowText, ColumnDelimiter)
-		if len(fields) != len(cols) {
-			return nil, fmt.Errorf("resultset: row has %d fields, schema has %d columns", len(fields), len(cols))
-		}
-		row := make([]xdm.Atomic, len(cols))
-		for i, field := range fields {
-			if field == NullToken {
-				row[i] = nil
-				continue
-			}
-			v, err := parseValue(unescape(field), cols[i])
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
+		row, err := decodeTextRow(rowText, cols)
+		if err != nil {
+			return nil, err
 		}
 		rows.data = append(rows.data, row)
 	}

@@ -45,6 +45,22 @@ func evalFuncCall(e *xquery.FuncCall, env *scope) (xdm.Sequence, error) {
 		return fn(ctx, args)
 	}
 
+	// FETCH FIRST's fn:subsequence(rows, 1, n) spelling short-circuits in
+	// every evaluation mode — planned and naive alike — so the limit stops
+	// the producing pipeline instead of truncating a finished sequence.
+	// Both differential-oracle sides take this path, keeping them aligned.
+	if limit, inner, ok := subsequenceLimit(e); ok {
+		var out xdm.Sequence
+		err := streamLimited(inner, env, limit, func(it xdm.Item) error {
+			out = append(out, it)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
 	builtin, ok := builtins[e.Name]
 	if !ok {
 		return nil, dynErr("unknown function %s", e.Name)

@@ -30,6 +30,11 @@ import (
 type Plan struct {
 	Query *xquery.Query
 
+	// Stream is the body's streaming decomposition (stream.go): how — and
+	// whether — EvalStream can deliver rows incrementally. Compiled-query
+	// artifacts carry it, so cached statements stream without re-analysis.
+	Stream *StreamPlan
+
 	flwors  map[*xquery.FLWOR]*flworPlan
 	ordered []*flworPlan
 
@@ -109,7 +114,7 @@ type hashJoinSpec struct {
 // NewPlan plans every FLWOR in the query body. The result is immutable and
 // safe for concurrent executions.
 func NewPlan(q *xquery.Query) *Plan {
-	p := &Plan{Query: q, flwors: map[*xquery.FLWOR]*flworPlan{}}
+	p := &Plan{Query: q, Stream: planStream(q.Body), flwors: map[*xquery.FLWOR]*flworPlan{}}
 	xquery.WalkExprs(q.Body, func(e xquery.Expr) bool {
 		if f, ok := e.(*xquery.FLWOR); ok {
 			fp := planFLWOR(f, p)

@@ -31,10 +31,25 @@ type opState struct {
 // tupleSink receives each tuple that survives a segment's ops.
 type tupleSink func(t *scope) error
 
-// execPlannedFLWOR runs the planned pipeline. The final segment streams
-// straight into the return clause; earlier segments materialize for their
-// barrier.
+// execPlannedFLWOR runs the planned pipeline and materializes the result —
+// the sequence-valued entry point evalFLWOR uses.
 func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	err := execPlannedFLWORTo(fp, env, func(v xdm.Sequence) error {
+		out = append(out, v...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// execPlannedFLWORTo runs the planned pipeline, delivering each tuple's
+// return value to emit as it is produced. The final segment streams
+// straight from the tuple sink into emit — this is the cursor boundary
+// EvalStream pulls from; earlier segments materialize for their barrier.
+func execPlannedFLWORTo(fp *flworPlan, env *scope, emit func(xdm.Sequence) error) error {
 	ex := &flworExec{fp: fp, states: make([]opState, fp.numStates)}
 	tuples := []*scope{env}
 	for si, seg := range fp.segments {
@@ -46,20 +61,19 @@ func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
 					return nil
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 			}
 			if seg.barrier != nil {
 				var err error
 				next, err = applyClause(seg.barrier, next)
 				if err != nil {
-					return nil, err
+					return err
 				}
 			}
 			tuples = next
 			continue
 		}
-		var out xdm.Sequence
 		for _, t := range tuples {
 			err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
 				if err := t2.checkCancel(); err != nil {
@@ -72,16 +86,15 @@ func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
 				if err := t2.countRows(len(v)); err != nil {
 					return err
 				}
-				out = append(out, v...)
-				return nil
+				return emit(v)
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
-	return nil, nil // unreachable: there is always a final segment
+	return nil // unreachable: there is always a final segment
 }
 
 // feed pushes one tuple through ops[i:], calling out for each survivor.
