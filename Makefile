@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race chaos fuzz bench bench-smoke clean
+.PHONY: ci vet build test race chaos fuzz bench bench-smoke serve-smoke clean
 
-ci: vet build race chaos bench-smoke fuzz
+ci: vet build race chaos serve-smoke bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -31,9 +31,16 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultedEval -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzCompiledDifferential -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzStreamDifferential -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzServeDifferential -fuzztime=$(FUZZTIME) .
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json -servejson BENCH_serve.json
+
+# Serve smoke: the network front end end-to-end — loopback and real-TCP
+# conformance against the in-process oracle, the wire session-state
+# machine, and a clean shutdown with no leaked goroutines.
+serve-smoke:
+	$(GO) test -count=1 -run='TestServe|TestRowsErr' .
 
 # Benchmark smoke: one iteration of every benchmark, so CI catches
 # benchmarks that no longer compile or fail at runtime.

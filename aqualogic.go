@@ -322,6 +322,21 @@ func (p *Platform) CompileStats() CompileCacheStats {
 	return p.queryCache().Stats()
 }
 
+// MetadataSource answers table/procedure metadata lookups — the
+// catalog-facing surface the network server re-exports over the wire and
+// the remote client implements on the other side.
+type MetadataSource = catalog.Source
+
+// Metadata returns the platform's metadata source: the full stack built
+// by metaSource (remote simulation, fault injection, retries, client-side
+// cache), shared with every translator and driver connection. The network
+// server front end (internal/server) serves its metadata endpoints from
+// exactly this source, so remote and in-process metadata browsing see the
+// same cache, the same staleness behavior, and the same fault points.
+func (p *Platform) Metadata() MetadataSource {
+	return p.metaSource()
+}
+
 // Translator returns a translator over the platform's (cached) metadata.
 func (p *Platform) Translator(mode ResultMode) *translator.Translator {
 	tr := translator.New(p.metaSource())
@@ -476,30 +491,7 @@ func Stats() PipelineStats {
 // ToAtomic converts a Go value to an XQuery atomic value, accepting the
 // types database/sql users pass as parameters.
 func ToAtomic(v any) (xdm.Atomic, error) {
-	switch v := v.(type) {
-	case int:
-		return xdm.Integer(v), nil
-	case int32:
-		return xdm.Integer(v), nil
-	case int64:
-		return xdm.Integer(v), nil
-	case float32:
-		return xdm.Double(v), nil
-	case float64:
-		return xdm.Double(v), nil
-	case bool:
-		return xdm.Boolean(v), nil
-	case string:
-		return xdm.String(v), nil
-	case []byte:
-		return xdm.String(string(v)), nil
-	case time.Time:
-		return xdm.DateTime{T: v}, nil
-	case xdm.Atomic:
-		return v, nil
-	default:
-		return nil, fmt.Errorf("unsupported parameter type %T", v)
-	}
+	return xdm.FromGo(v)
 }
 
 // RegisterRows installs a parameterless data service function returning

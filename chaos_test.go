@@ -10,6 +10,7 @@
 package aqualogic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -19,6 +20,9 @@ import (
 
 	"repro/internal/aqerr"
 	"repro/internal/demo"
+	"repro/internal/faultnet"
+	"repro/internal/remoteclient"
+	"repro/internal/server"
 )
 
 // chaosCorpus mirrors the differential corpus (EXPLAIN golden SQL plus
@@ -398,4 +402,105 @@ func TestChaosMidStreamTruncation(t *testing.T) {
 		t.Fatal("injector reported no truncation faults")
 	}
 	t.Logf("%d complete runs, %d typed mid-stream truncations, %d faults injected", complete, midStream, injected)
+}
+
+// TestServeChaos points the chaos layer at the wire surface itself: every
+// srv/* request site (handshake, prepare, execute, fetch, cursor close,
+// metadata) misbehaves on a deterministic schedule — transient and
+// permanent errors, latency spikes, short stalls, fetch truncation, and
+// handler panics. The contract mirrors the in-process soak: no injected
+// panic escapes the handler boundary, every failure the client sees is a
+// typed error, and any run that reports success is byte-identical to the
+// fault-free result (a truncated fetch always carries its error).
+func TestServeChaos(t *testing.T) {
+	p := Demo()
+
+	// Fault-free baselines straight from the platform: srv/* faults never
+	// touch the in-process path.
+	baseline := make(map[string]string)
+	for _, sql := range chaosCorpus() {
+		rows, err := p.Query(sql, chaosArgs(strings.Count(sql, "?"))...)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", sql, err)
+		}
+		if baseline[sql], err = drain(rows); err != nil {
+			t.Fatalf("baseline %q: %v", sql, err)
+		}
+	}
+
+	inj := faultnet.New(faultnet.Config{
+		Seed:         99,
+		Rate:         0.25,
+		Latency:      500 * time.Microsecond,
+		StallTimeout: 5 * time.Millisecond, // stalls resolve fast in-test
+	})
+	srv := server.New(p, server.Config{
+		FetchRows:          2, // many fetches per statement = many fault rolls
+		SessionIdleTimeout: time.Minute,
+		Faults:             inj,
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	var attempts, failures, truncations int
+	for round := 0; round < 4; round++ {
+		c, err := remoteclient.Loopback(h)
+		if err != nil {
+			// Handshake faulted: must be typed, then try again next round.
+			if !typedFailure(err) {
+				t.Fatalf("handshake failed untyped: %v", err)
+			}
+			failures++
+			continue
+		}
+		for _, sql := range chaosCorpus() {
+			attempts++
+			rows, err := c.QueryStreamMode(context.Background(), ModeText, sql,
+				chaosArgs(strings.Count(sql, "?"))...)
+			var got string
+			if err == nil {
+				got, err = marshalStreamed(rows)
+				rows.Close()
+			}
+			if err != nil {
+				failures++
+				if !typedFailure(err) {
+					t.Fatalf("%q: untyped failure through the wire: %v", sql, err)
+				}
+				if strings.Contains(err.Error(), "truncate") {
+					truncations++
+				}
+				continue
+			}
+			if got != baseline[sql] {
+				t.Fatalf("%q: served success diverged from fault-free baseline\ngot:  %s\nwant: %s",
+					sql, got, baseline[sql])
+			}
+		}
+		_ = c.Close() // may itself be faulted; either way the server reaps
+	}
+	if failures == 0 {
+		t.Fatalf("chaos injected nothing across %d attempts — schedule dead", attempts)
+	}
+	t.Logf("serve chaos: %d attempts, %d typed failures (%d truncations)", attempts, failures, truncations)
+
+	// Panic containment is part of the schedule: recovered handler panics
+	// must be counted, and the server must still be fully alive.
+	inj.SetRate(0)
+	c, err := remoteclient.Loopback(h)
+	if err != nil {
+		t.Fatalf("post-chaos handshake: %v", err)
+	}
+	sql := "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS"
+	rows, err := c.QueryStreamMode(context.Background(), ModeText, sql)
+	if err != nil {
+		t.Fatalf("post-chaos query: %v", err)
+	}
+	if got, err := marshalStreamed(rows); err != nil || got != baseline[sql] {
+		t.Fatalf("post-chaos rows diverged (err=%v)\ngot:  %s\nwant: %s", err, got, baseline[sql])
+	}
+	rows.Close()
+	if st := srv.Stats(); st.QueriesInFlight != 0 || st.CursorsOpen != 0 {
+		t.Fatalf("chaos left server state behind: %+v", st)
+	}
 }

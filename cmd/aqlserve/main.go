@@ -1,0 +1,87 @@
+// Command aqlserve runs the network data-service server: the AquaLogic
+// DSP server process of the paper's client/server architecture. It fronts
+// the demo platform (TPC-C-flavored order/customer/payment data plus the
+// examples' logical data services) with the internal/wire HTTP protocol —
+// handshake, prepare, execute, chunked fetch, explain, metadata browse —
+// under session limits, admission control, and idle-session reaping.
+//
+// A remote client (internal/remoteclient, or anything speaking the JSON
+// protocol) then sees the same query and catalog surfaces the in-process
+// facade offers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/faultnet"
+	"repro/internal/resilient"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	maxSessions := flag.Int("max-sessions", 0, "session cap (0 = default 4096)")
+	maxQueries := flag.Int("max-queries", 0, "concurrent evaluation cap (0 = default 256)")
+	idle := flag.Duration("session-idle", 0, "idle-session reap timeout (0 = default 60s)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 = unbounded)")
+	fetchRows := flag.Int("fetch-rows", 0, "rows per fetch chunk (0 = default 256)")
+	resilience := flag.Bool("resilient", true, "enable the retry/breaker/stale-cache layer")
+	faultRate := flag.Float64("fault-rate", 0, "faultnet injection probability in [0,1] (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "faultnet deterministic schedule seed")
+	flag.Parse()
+
+	p := aqualogic.Demo()
+	rc := resilient.Config{
+		MaxSessions:          *maxSessions,
+		MaxConcurrentQueries: *maxQueries,
+		SessionIdleTimeout:   *idle,
+		QueryTimeout:         *queryTimeout,
+	}.WithDefaults()
+	if *resilience {
+		p.EnableResilience(rc)
+	}
+	var inj *faultnet.Injector
+	if *faultRate > 0 {
+		inj = p.EnableFaults(aqualogic.FaultConfig{Seed: *faultSeed, Rate: *faultRate})
+	}
+
+	srv := server.New(p, server.Config{
+		MaxSessions:          rc.MaxSessions,
+		MaxConcurrentQueries: rc.MaxConcurrentQueries,
+		SessionIdleTimeout:   rc.SessionIdleTimeout,
+		QueryTimeout:         rc.QueryTimeout,
+		FetchRows:            *fetchRows,
+		Faults:               inj,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("aqlserve: listening on %s (sessions<=%d queries<=%d idle=%s)\n",
+		*addr, rc.MaxSessions, rc.MaxConcurrentQueries, rc.SessionIdleTimeout)
+
+	select {
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "aqlserve:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("aqlserve: %s — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	srv.Close()
+	fmt.Println("aqlserve: shutdown complete")
+}

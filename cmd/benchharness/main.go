@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro"
 	"repro/internal/bench"
 )
 
@@ -36,6 +37,9 @@ func main() {
 	compileJSON := flag.String("compilejson", "", "also write the P8 compile-path sweep as JSON to this path (e.g. BENCH_compile.json)")
 	compileIters := flag.Int("compileiters", 200, "iterations per workload class for the compile-path JSON")
 	streamJSON := flag.String("streamjson", "", "also write the P9 streaming-delivery sweep as JSON to this path (e.g. BENCH_stream.json)")
+	serveJSON := flag.String("servejson", "", "also write the P10 network-front-end load sweep as JSON to this path (e.g. BENCH_serve.json)")
+	serveClients := flag.Int("serveclients", bench.DefaultServeClients, "concurrent simulated clients for the P10 sweep")
+	serveOps := flag.Int("serveops", bench.DefaultServeOps, "operations per client for the P10 sweep")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -76,5 +80,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote streaming-delivery sweep to %s\n", *streamJSON)
+	}
+	if *serveJSON != "" {
+		if err := bench.WriteServeJSON(*serveJSON, aqualogic.Demo(), *serveClients, *serveOps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote network-front-end load sweep to %s\n", *serveJSON)
 	}
 }

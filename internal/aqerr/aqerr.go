@@ -66,6 +66,27 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts Kind.String — how the wire protocol reconstructs a
+// typed error kind on the client side of a server boundary.
+func ParseKind(s string) Kind {
+	switch s {
+	case "transient":
+		return KindTransient
+	case "permanent":
+		return KindPermanent
+	case "unavailable":
+		return KindUnavailable
+	case "timeout":
+		return KindTimeout
+	case "resource-limit":
+		return KindResourceLimit
+	case "internal":
+		return KindInternal
+	default:
+		return KindUnknown
+	}
+}
+
 // QueryError is the typed error the resilience layer surfaces through the
 // driver and facade.
 type QueryError struct {

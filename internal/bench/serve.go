@@ -1,0 +1,335 @@
+// serve.go is the P10 experiment: the network front end under massive
+// client concurrency. Thousands of simulated reporting clients — each the
+// examples/reporting mix of metadata browsing, an aggregate report join,
+// and prepared-statement drill-downs — hammer one server through the
+// loopback transport (in-process request dispatch, so client count is
+// bounded by goroutines rather than sockets). The harness records exact
+// per-op-class latency quantiles (p50/p99/p999), the goroutine and heap
+// ceilings the server holds under that load, and — the leak contract —
+// whether a single goroutine survives the drain.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/remoteclient"
+	"repro/internal/resultset"
+	"repro/internal/server"
+	"repro/internal/translator"
+	"repro/internal/wire"
+)
+
+// Default shape of the P10 sweep: the paper's "thousands of concurrent
+// users" claim, scaled to one process.
+const (
+	DefaultServeClients = 1000
+	DefaultServeOps     = 6
+)
+
+// The client mix, mirroring examples/reporting.
+const (
+	serveReportSQL = `SELECT C.CITY, COUNT(*) AS ORDERS, SUM(O.TOTAL) AS REVENUE
+		FROM CUSTOMERS C INNER JOIN PO_CUSTOMERS O ON C.CUSTOMERID = O.CUSTOMERID
+		WHERE C.CITY IS NOT NULL GROUP BY C.CITY HAVING COUNT(*) > 1 ORDER BY 3 DESC`
+	serveDrillSQL = `SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS C
+		WHERE NOT EXISTS (SELECT 1 FROM PO_CUSTOMERS O WHERE O.CUSTOMERID = C.CUSTOMERID)
+		AND CUSTOMERID < ? ORDER BY CUSTOMERID`
+	servePointSQL = "SELECT CITY FROM CUSTOMERS WHERE CUSTOMERID = ?"
+)
+
+// ServeOpPoint is the latency distribution of one op class, quantiles
+// computed exactly over every recorded sample.
+type ServeOpPoint struct {
+	Op     string `json:"op"`
+	Count  int    `json:"count"`
+	Errors int    `json:"errors"`
+	// FirstError is the first error message this op class saw, kept so a
+	// nonzero Errors count in a recorded run is diagnosable after the fact.
+	FirstError string `json:"first_error,omitempty"`
+	P50NS      int64  `json:"p50_ns"`
+	P99NS      int64  `json:"p99_ns"`
+	P999NS     int64  `json:"p999_ns"`
+	MaxNS      int64  `json:"max_ns"`
+}
+
+// ServeReport is the whole P10 run.
+type ServeReport struct {
+	Experiment   string `json:"experiment"`
+	Clients      int    `json:"clients"`
+	OpsPerClient int    `json:"ops_per_client"`
+	DurationNS   int64  `json:"duration_ns"`
+	// ThroughputOpsSec counts completed ops (across classes) per second of
+	// wall clock.
+	ThroughputOpsSec float64        `json:"throughput_ops_sec"`
+	Ops              []ServeOpPoint `json:"ops"`
+	// Goroutine and heap ceilings sampled while the fleet was running,
+	// and the leak check after the drain: GoroutinesLeaked is how many
+	// goroutines outlived (baseline-relative) the last client and the
+	// server shutdown — the acceptance number is zero.
+	GoroutineBaseline int    `json:"goroutine_baseline"`
+	GoroutinePeak     int    `json:"goroutine_peak"`
+	GoroutinesLeaked  int    `json:"goroutines_leaked"`
+	HeapPeakBytes     uint64 `json:"heap_peak_bytes"`
+	// Server counters at the end of the run.
+	Server wire.ServerStats `json:"server"`
+}
+
+// quantileNS returns the exact q-quantile of a sorted sample.
+func quantileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * q)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// serveSamples is one client's recorded latencies, merged after the run
+// so the hot path takes no shared lock.
+type serveSamples struct {
+	lat    map[string][]int64
+	errs   map[string]int
+	errMsg map[string]string
+}
+
+// RunServeSweep runs the P10 load: clients concurrent simulated users,
+// each performing opsPerClient operations of the reporting mix against
+// one loopback server fronting b (callers pass the demo platform; this
+// package cannot build it itself without an import cycle through the
+// root package's tests).
+func RunServeSweep(b server.Backend, clients, opsPerClient int) (*ServeReport, error) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	srv := server.New(b, server.Config{
+		MaxSessions:        clients + 16,
+		AdmissionWait:      10 * time.Second, // a loaded server queues the fleet, it does not shed it
+		SessionIdleTimeout: time.Minute,
+		FetchRows:          64,
+	})
+	h := srv.Handler()
+
+	// Ceiling sampler: goroutine count and live heap while the fleet runs.
+	var peakGoroutines int
+	var peakHeap uint64
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				if n := runtime.NumGoroutine(); n > peakGoroutines {
+					peakGoroutines = n
+				}
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	all := make([]*serveSamples, clients)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			s := &serveSamples{lat: map[string][]int64{}, errs: map[string]int{}, errMsg: map[string]string{}}
+			all[ci] = s
+			c, err := remoteclient.Loopback(h)
+			if err != nil {
+				fail(fmt.Errorf("client %d: handshake: %w", ci, err))
+				return
+			}
+			defer c.Close()
+			drill, err := c.Prepare(context.Background(), serveDrillSQL, translator.ModeText)
+			if err != nil {
+				fail(fmt.Errorf("client %d: prepare: %w", ci, err))
+				return
+			}
+			rec := func(op string, t0 time.Time, err error) {
+				s.lat[op] = append(s.lat[op], time.Since(t0).Nanoseconds())
+				if err != nil {
+					s.errs[op]++
+					if s.errMsg[op] == "" {
+						s.errMsg[op] = err.Error()
+					}
+				}
+			}
+			for i := 0; i < opsPerClient; i++ {
+				switch (ci + i) % 4 {
+				case 0: // metadata browse
+					t0 := time.Now()
+					_, err := c.Lookup(catalog.TableRef{Table: "CUSTOMERS"})
+					rec("browse", t0, err)
+				case 1: // aggregate report join
+					t0 := time.Now()
+					err := serveDrain(c.Query(context.Background(), serveReportSQL))
+					rec("report", t0, err)
+				case 2: // prepared drill-down
+					t0 := time.Now()
+					err := serveDrain(drill.Execute(context.Background(), 1000+ci%50))
+					rec("drill", t0, err)
+				case 3: // prepared-shape point lookup, ad hoc
+					t0 := time.Now()
+					err := serveDrain(c.Query(context.Background(), servePointSQL, 1000+(ci+i)%50))
+					rec("point", t0, err)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samplerStop)
+	<-samplerDone
+	if firstErr != nil {
+		srv.Close()
+		return nil, firstErr
+	}
+
+	stats := srv.Stats()
+	srv.Close()
+
+	// Drain check: every client goroutine, evaluation, and server-owned
+	// goroutine must be gone. GC pressure and timer goroutines settle
+	// asynchronously, so poll briefly before declaring a leak.
+	leaked := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leaked < 0 {
+		leaked = 0
+	}
+
+	// Merge per-client samples into per-class distributions.
+	merged := map[string][]int64{}
+	errs := map[string]int{}
+	errMsgs := map[string]string{}
+	for _, s := range all {
+		if s == nil {
+			continue
+		}
+		for op, v := range s.lat {
+			merged[op] = append(merged[op], v...)
+		}
+		for op, n := range s.errs {
+			errs[op] += n
+		}
+		for op, m := range s.errMsg {
+			if errMsgs[op] == "" {
+				errMsgs[op] = m
+			}
+		}
+	}
+	ops := make([]ServeOpPoint, 0, len(merged))
+	total := 0
+	for op, v := range merged {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		total += len(v)
+		ops = append(ops, ServeOpPoint{
+			Op:         op,
+			Count:      len(v),
+			Errors:     errs[op],
+			FirstError: errMsgs[op],
+			P50NS:      quantileNS(v, 0.50),
+			P99NS:      quantileNS(v, 0.99),
+			P999NS:     quantileNS(v, 0.999),
+			MaxNS:      v[len(v)-1],
+		})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Op < ops[j].Op })
+
+	return &ServeReport{
+		Experiment:        "P10 network front end: concurrent reporting clients over the wire protocol",
+		Clients:           clients,
+		OpsPerClient:      opsPerClient,
+		DurationNS:        elapsed.Nanoseconds(),
+		ThroughputOpsSec:  float64(total) / elapsed.Seconds(),
+		Ops:               ops,
+		GoroutineBaseline: baseline,
+		GoroutinePeak:     peakGoroutines,
+		GoroutinesLeaked:  leaked,
+		HeapPeakBytes:     peakHeap,
+		Server:            stats,
+	}, nil
+}
+
+// serveDrain consumes a streaming result to EOF and closes it, returning
+// the first error seen on the way.
+func serveDrain(rows *resultset.Rows, err error) error {
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	err = rows.Err()
+	rows.Close()
+	return err
+}
+
+// ReportServe prints the P10 table.
+func ReportServe(w io.Writer, r *ServeReport) {
+	fmt.Fprintf(w, "\nP10 — network front end under load (%d clients × %d ops, %.2fs, %.0f ops/s)\n",
+		r.Clients, r.OpsPerClient, time.Duration(r.DurationNS).Seconds(), r.ThroughputOpsSec)
+	fmt.Fprintf(w, "%-8s %8s %6s %12s %12s %12s %12s\n", "op", "count", "errs", "p50", "p99", "p999", "max")
+	for _, op := range r.Ops {
+		fmt.Fprintf(w, "%-8s %8d %6d %12s %12s %12s %12s\n", op.Op, op.Count, op.Errors,
+			time.Duration(op.P50NS), time.Duration(op.P99NS), time.Duration(op.P999NS), time.Duration(op.MaxNS))
+		if op.FirstError != "" {
+			fmt.Fprintf(w, "         first error: %s\n", op.FirstError)
+		}
+	}
+	fmt.Fprintf(w, "goroutines: baseline %d, peak %d, leaked after drain %d; heap peak %.1f MiB\n",
+		r.GoroutineBaseline, r.GoroutinePeak, r.GoroutinesLeaked, float64(r.HeapPeakBytes)/(1<<20))
+	fmt.Fprintf(w, "server: %d sessions, peak %d queries in flight, %d admission rejections, %d cursors reaped\n",
+		r.Server.SessionsOpened, r.Server.PeakInFlight, r.Server.AdmissionRejected, r.Server.CursorsReaped)
+}
+
+// WriteServeJSON runs the P10 sweep and writes it as machine-readable
+// JSON (conventionally BENCH_serve.json).
+func WriteServeJSON(path string, b server.Backend, clients, opsPerClient int) error {
+	r, err := RunServeSweep(b, clients, opsPerClient)
+	if err != nil {
+		return err
+	}
+	ReportServe(os.Stdout, r)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestServeSweepSmall pins the P10 harness itself: a scaled-down fleet
+// must complete error-free, record every op class with sane quantiles,
+// and leak nothing after the drain.
+func TestServeSweepSmall(t *testing.T) {
+	r, err := RunServeSweep(aqualogic.Demo(), 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ops) != 4 {
+		t.Fatalf("op classes recorded: %d, want 4 (%+v)", len(r.Ops), r.Ops)
+	}
+	total := 0
+	for _, op := range r.Ops {
+		total += op.Count
+		if op.Errors != 0 {
+			t.Errorf("op %s: %d errors under a healthy server", op.Op, op.Errors)
+		}
+		if op.P50NS <= 0 || op.P99NS < op.P50NS || op.P999NS < op.P99NS || op.MaxNS < op.P999NS {
+			t.Errorf("op %s: non-monotone quantiles %+v", op.Op, op)
+		}
+	}
+	if total != 64*4 {
+		t.Fatalf("recorded %d ops, want %d", total, 64*4)
+	}
+	if r.GoroutinesLeaked != 0 {
+		t.Fatalf("goroutines leaked after drain: %d", r.GoroutinesLeaked)
+	}
+	if r.GoroutinePeak <= r.GoroutineBaseline {
+		t.Fatalf("sampler never saw the fleet: baseline %d, peak %d", r.GoroutineBaseline, r.GoroutinePeak)
+	}
+	if r.Server.SessionsOpened < 64 || r.Server.PeakInFlight < 1 {
+		t.Fatalf("server counters implausible: %+v", r.Server)
+	}
+}

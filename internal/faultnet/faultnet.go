@@ -260,6 +260,25 @@ func (inj *Injector) perform(ctx context.Context, st *site, k Kind) error {
 	return nil
 }
 
+// Roll registers (on first use) and rolls an ad-hoc named fault point —
+// how surfaces outside the built-in metadata/data wrappers join the net
+// (the network server's srv/* request sites). The returned Kind is valid
+// only when inject is true; the caller then realizes it with Perform, or
+// handles it inline when the fault needs the caller's data (truncation).
+func (inj *Injector) Roll(name string, exclude ...Kind) (Kind, bool) {
+	return inj.roll(inj.site(name), inj.allowedFor(exclude...))
+}
+
+// Perform realizes one rolled fault at a named point: transient/permanent
+// return their typed errors, latency sleeps and returns nil, a stall hangs
+// until the context is cancelled (bounded by the watchdog), and a panic
+// panics — callers are expected to sit behind a recovery boundary, as the
+// server's handlers do. KindTruncate returns the transient error; the
+// caller is responsible for shortening its own payload first.
+func (inj *Injector) Perform(ctx context.Context, name string, k Kind) error {
+	return inj.perform(ctx, inj.site(name), k)
+}
+
 // Source wraps a metadata source in the chaos layer. Each table reference
 // is its own fault point ("meta/CATALOG.SCHEMA.TABLE").
 func (inj *Injector) Source(inner catalog.Source) catalog.Source {

@@ -215,6 +215,22 @@ type Metrics struct {
 	PanicsRecovered    Counter
 	ResourceLimitHits  Counter
 
+	// Server front-end counters (internal/server): wire-protocol sessions
+	// opened over the server's lifetime and open right now, sessions
+	// closed by the idle reaper, queries admitted and in flight (with the
+	// high-water mark), executions rejected by admission control, and
+	// server-side cursors opened / reaped from abandoned sessions (each
+	// reaped cursor is a cancelled evaluation that would otherwise have
+	// pinned a producer goroutine and its buffered rows).
+	SessionsOpened      Counter
+	SessionsActive      Gauge
+	SessionsReaped      Counter
+	QueriesInFlight     Gauge
+	PeakQueriesInFlight Gauge
+	AdmissionRejected   Counter
+	CursorsOpened       Counter
+	CursorsReaped       Counter
+
 	stageTime [NumStages]Histogram
 }
 
@@ -280,6 +296,15 @@ type Snapshot struct {
 	PanicsRecovered    int64
 	ResourceLimitHits  int64
 
+	SessionsOpened      int64
+	SessionsActive      int64
+	SessionsReaped      int64
+	QueriesInFlight     int64
+	PeakQueriesInFlight int64
+	AdmissionRejected   int64
+	CursorsOpened       int64
+	CursorsReaped       int64
+
 	Stages []StageSnapshot // pipeline order; stages never seen are omitted
 }
 
@@ -317,6 +342,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		SingleFlightShared: m.SingleFlightShared.Load(),
 		PanicsRecovered:    m.PanicsRecovered.Load(),
 		ResourceLimitHits:  m.ResourceLimitHits.Load(),
+
+		SessionsOpened:      m.SessionsOpened.Load(),
+		SessionsActive:      m.SessionsActive.Load(),
+		SessionsReaped:      m.SessionsReaped.Load(),
+		QueriesInFlight:     m.QueriesInFlight.Load(),
+		PeakQueriesInFlight: m.PeakQueriesInFlight.Load(),
+		AdmissionRejected:   m.AdmissionRejected.Load(),
+		CursorsOpened:       m.CursorsOpened.Load(),
+		CursorsReaped:       m.CursorsReaped.Load(),
 	}
 	if ttfr := m.TimeToFirstRow.Snapshot(); ttfr.Count > 0 {
 		s.TimeToFirstRowCount = ttfr.Count
@@ -364,6 +398,9 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.resilienceActive() {
 		s.RenderResilience(w)
 	}
+	if s.SessionsOpened+s.SessionsActive+s.AdmissionRejected+s.CursorsOpened > 0 {
+		s.RenderServer(w)
+	}
 	if len(s.Stages) > 0 {
 		fmt.Fprintf(w, "%-18s %-8s %-12s %-12s %s\n", "stage", "count", "total", "mean", "p99<=")
 		for _, st := range s.Stages {
@@ -382,6 +419,17 @@ func (s Snapshot) RenderCompileCache(w io.Writer) {
 	fmt.Fprintf(w, "compile cache: hits=%d misses=%d shared=%d evictions=%d invalidations=%d size=%d\n",
 		s.CompileCacheHits, s.CompileCacheMisses, s.CompileCacheShared,
 		s.CompileCacheEvictions, s.CompileCacheInvalidations, s.CompileCacheSize)
+}
+
+// RenderServer writes the network-server counter block (aqlshell's `\v`),
+// unconditionally — zeros included, so an idle server is also visible.
+func (s Snapshot) RenderServer(w io.Writer) {
+	fmt.Fprintf(w, "server sessions: open=%d opened=%d reaped=%d\n",
+		s.SessionsActive, s.SessionsOpened, s.SessionsReaped)
+	fmt.Fprintf(w, "server queries: in-flight=%d peak=%d admission-rejected=%d\n",
+		s.QueriesInFlight, s.PeakQueriesInFlight, s.AdmissionRejected)
+	fmt.Fprintf(w, "server cursors: opened=%d reaped=%d\n",
+		s.CursorsOpened, s.CursorsReaped)
 }
 
 // resilienceActive reports whether any resilience counter has moved (the

@@ -1,0 +1,428 @@
+// Package remoteclient is the thin-driver side of the wire protocol: the
+// paper's client-side JDBC driver reimagined for this codebase. A Client
+// speaks the internal/wire JSON protocol to an aqlserve server and
+// presents the same two surfaces the in-process platform does:
+//
+//   - the query surface (Query/QueryStreamMode returning *resultset.Rows,
+//     Prepare returning reusable statements, Explain, DefineView), and
+//   - the catalog surface (Client implements catalog.Source, including
+//     the typed NotFoundError/AmbiguousError shapes), so metadata-hungry
+//     tools browse a remote server exactly as they browse a local catalog.
+//
+// Result rows stream: execute opens a server-side cursor and the returned
+// Rows pulls chunks over fetch calls through a RowCursor, preserving the
+// platform's incremental delivery — first row before last row exists —
+// across the wire. Mid-stream failures arrive as typed errors after any
+// rows that preceded them (a truncated stream is never silent), and a
+// cancelled client context surfaces as a timeout-kind error wrapping
+// context.Canceled, distinguishable from server-side failures.
+//
+// Two transports exist: Dial speaks real HTTP to a remote address, and
+// Loopback binds a client directly to a server's http.Handler in process
+// — no sockets, no file descriptors — which is what lets the load harness
+// simulate thousands of concurrent clients against one server.
+package remoteclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/aqerr"
+	"repro/internal/catalog"
+	"repro/internal/resultset"
+	"repro/internal/translator"
+	"repro/internal/wire"
+	"repro/internal/xdm"
+
+	"encoding/json"
+)
+
+// Client is one wire session against an aqlserve server. It is safe for
+// concurrent use; all its state after the handshake is immutable.
+type Client struct {
+	hc      *http.Client
+	base    string
+	session string
+}
+
+// Dial connects to a server over real HTTP and opens a session.
+func Dial(baseURL string) (*Client, error) {
+	return connect(baseURL, &http.Client{})
+}
+
+// Loopback binds a client directly to a server handler in-process: every
+// request is a function call through an in-memory transport, so thousands
+// of concurrent clients cost goroutines, not sockets.
+func Loopback(h http.Handler) (*Client, error) {
+	return connect("http://loopback", &http.Client{Transport: loopbackTransport{h: h}})
+}
+
+func connect(base string, hc *http.Client) (*Client, error) {
+	c := &Client{hc: hc, base: strings.TrimSuffix(base, "/")}
+	var resp wire.HandshakeResponse
+	if err := c.post(context.Background(), "handshake", wire.PathHandshake,
+		wire.HandshakeRequest{Client: "remoteclient"}, &resp); err != nil {
+		return nil, err
+	}
+	c.session = resp.Session
+	return c, nil
+}
+
+// Session returns the server-issued session token.
+func (c *Client) Session() string { return c.session }
+
+// Close ends the session, closing its server-side cursors and prepared
+// statements. Closing an already-closed (or reaped) session succeeds.
+func (c *Client) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp wire.CloseSessionResponse
+	return c.post(ctx, "close session", wire.PathCloseSession,
+		wire.CloseSessionRequest{Session: c.session}, &resp)
+}
+
+// loopbackTransport serves each request by calling the handler directly.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rw := &memResponse{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rw, req)
+	if err := req.Context().Err(); err != nil {
+		// The handler returned because the caller's context died (a stall
+		// fault cancelled mid-request): surface the cancellation, as a real
+		// transport would.
+		return nil, err
+	}
+	return &http.Response{
+		Status:     http.StatusText(rw.code),
+		StatusCode: rw.code,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     rw.header,
+		Body:       io.NopCloser(bytes.NewReader(rw.buf.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter behind the
+// loopback transport.
+type memResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+
+func (m *memResponse) WriteHeader(code int) {
+	if !m.wrote {
+		m.wrote = true
+		m.code = code
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	m.wrote = true
+	return m.buf.Write(p)
+}
+
+// post performs one JSON request/response exchange. Transport failures
+// (including context cancellation) classify through aqerr.Wrap; protocol
+// failures decode the server's wire.Error back into a typed QueryError.
+func (c *Client) post(ctx context.Context, op, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return aqerr.Errorf(aqerr.KindInternal, op, "encode request: %v", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return aqerr.Errorf(aqerr.KindInternal, op, "build request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return aqerr.Wrap(op, err) // ctx cancellation lands here → timeout kind
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		if derr := json.NewDecoder(res.Body).Decode(&er); derr == nil && er.Error != nil {
+			return decodeError(er.Error)
+		}
+		return aqerr.Errorf(aqerr.KindUnknown, op, "server returned HTTP %d", res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return aqerr.Errorf(aqerr.KindTransient, op, "malformed response: %v", err)
+	}
+	return nil
+}
+
+// decodeError rebuilds a typed QueryError from its wire form, so
+// errors.As/Kind-based handling is identical on both sides of the wire.
+func decodeError(we *wire.Error) error {
+	return aqerr.New(aqerr.ParseKind(we.Kind), we.Op, errors.New(we.Msg))
+}
+
+// encodeArgs converts Go parameter values to typed wire atoms.
+func encodeArgs(op string, args []any) ([]*wire.Atom, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]*wire.Atom, len(args))
+	for i, a := range args {
+		v, err := xdm.FromGo(a)
+		if err != nil {
+			return nil, aqerr.Errorf(aqerr.KindPermanent, op, "parameter %d: %v", i+1, err)
+		}
+		out[i] = &wire.Atom{T: int(v.Type()), V: v.Lexical()}
+	}
+	return out, nil
+}
+
+// clientColumns decodes a wire result schema.
+func clientColumns(cols []wire.Column) []resultset.Column {
+	out := make([]resultset.Column, len(cols))
+	for i, c := range cols {
+		out[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
+			Type: catalog.SQLType(c.Type), Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
+	}
+	return out
+}
+
+// Query runs ad-hoc SQL in the default text result mode.
+func (c *Client) Query(ctx context.Context, sql string, args ...any) (*resultset.Rows, error) {
+	return c.QueryStreamMode(ctx, translator.ModeText, sql, args...)
+}
+
+// QueryStreamMode runs ad-hoc SQL in an explicit result mode, returning a
+// streaming result set whose rows arrive in fetch-sized chunks. ctx
+// governs the whole stream: cancelling it fails the next fetch with a
+// timeout-kind error wrapping the context error.
+func (c *Client) QueryStreamMode(ctx context.Context, mode translator.ResultMode, sql string, args ...any) (*resultset.Rows, error) {
+	wargs, err := encodeArgs("execute", args)
+	if err != nil {
+		return nil, err
+	}
+	return c.execute(ctx, wire.ExecuteRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode), Args: wargs})
+}
+
+func (c *Client) execute(ctx context.Context, req wire.ExecuteRequest) (*resultset.Rows, error) {
+	var resp wire.ExecuteResponse
+	if err := c.post(ctx, "execute", wire.PathExecute, req, &resp); err != nil {
+		return nil, err
+	}
+	cur := &remoteCursor{c: c, ctx: ctx, cursor: resp.Cursor, cols: clientColumns(resp.Columns)}
+	return resultset.NewStreaming(cur), nil
+}
+
+// Stmt is a prepared statement pinned in the server session.
+type Stmt struct {
+	c      *Client
+	id     int64
+	cols   []resultset.Column
+	params int
+}
+
+// Prepare compiles a statement server-side and pins it in the session's
+// prepared table. Each execution re-resolves through the server's compile
+// cache, so catalog changes (CREATE VIEW) transparently recompile.
+func (c *Client) Prepare(ctx context.Context, sql string, mode translator.ResultMode) (*Stmt, error) {
+	var resp wire.PrepareResponse
+	err := c.post(ctx, "prepare", wire.PathPrepare,
+		wire.PrepareRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: resp.Stmt, cols: clientColumns(resp.Columns), params: resp.ParamCount}, nil
+}
+
+// Columns returns the prepared statement's result schema.
+func (s *Stmt) Columns() []resultset.Column { return s.cols }
+
+// ParamCount returns the number of ? placeholders.
+func (s *Stmt) ParamCount() int { return s.params }
+
+// Execute runs the prepared statement with the given parameters.
+func (s *Stmt) Execute(ctx context.Context, args ...any) (*resultset.Rows, error) {
+	wargs, err := encodeArgs("execute", args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.execute(ctx, wire.ExecuteRequest{Session: s.c.session, Stmt: s.id, Args: wargs})
+}
+
+// Explain compiles a statement remotely and returns the rendered plan.
+func (c *Client) Explain(ctx context.Context, sql string, mode translator.ResultMode) (string, error) {
+	var resp wire.ExplainResponse
+	err := c.post(ctx, "explain", wire.PathExplain,
+		wire.ExplainRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, &resp)
+	return resp.Text, err
+}
+
+// DefineView registers a logical data service on the server.
+func (c *Client) DefineView(ctx context.Context, path, name, sql string) error {
+	var resp wire.CreateViewResponse
+	return c.post(ctx, "create view", wire.PathCreateView,
+		wire.CreateViewRequest{Session: c.session, Path: path, Name: name, SQL: sql}, &resp)
+}
+
+// ServerStats fetches the server's counter block and pipeline snapshot.
+func (c *Client) ServerStats(ctx context.Context) (wire.StatsResponse, error) {
+	var resp wire.StatsResponse
+	err := c.post(ctx, "stats", wire.PathStats, wire.StatsRequest{}, &resp)
+	return resp, err
+}
+
+// Lookup implements catalog.Source against the remote catalog.
+func (c *Client) Lookup(ref catalog.TableRef) (*catalog.TableMeta, error) {
+	return c.LookupContext(context.Background(), ref)
+}
+
+// LookupContext implements catalog.ContextSource, reconstructing the
+// typed not-found/ambiguous failures a local catalog would return.
+func (c *Client) LookupContext(ctx context.Context, ref catalog.TableRef) (*catalog.TableMeta, error) {
+	var resp wire.LookupResponse
+	err := c.post(ctx, "metadata lookup", wire.PathMetaLookup,
+		wire.LookupRequest{Session: c.session, Catalog: ref.Catalog, Schema: ref.Schema, Table: ref.Table}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.NotFound:
+		return nil, &catalog.NotFoundError{Ref: ref}
+	case len(resp.Ambiguous) > 0:
+		return nil, &catalog.AmbiguousError{Ref: ref, Schemas: resp.Ambiguous}
+	case resp.Meta == nil:
+		return nil, fmt.Errorf("remoteclient: empty metadata response for %s", ref)
+	}
+	return resp.Meta, nil
+}
+
+// Tables implements catalog.Source.
+func (c *Client) Tables() ([]*catalog.TableMeta, error) {
+	var resp wire.MetasResponse
+	err := c.post(context.Background(), "metadata tables", wire.PathMetaTables,
+		wire.MetasRequest{Session: c.session}, &resp)
+	return resp.Metas, err
+}
+
+// Procedures implements catalog.Source.
+func (c *Client) Procedures() ([]*catalog.TableMeta, error) {
+	var resp wire.MetasResponse
+	err := c.post(context.Background(), "metadata procedures", wire.PathMetaProcs,
+		wire.MetasRequest{Session: c.session}, &resp)
+	return resp.Metas, err
+}
+
+// remoteCursor is the fetch-chunked resultset.RowCursor behind remote
+// queries. Rows buffer one chunk at a time; EOF and errors are terminal
+// and sticky, and an in-band error is delivered only after the rows that
+// preceded it (truncation semantics match the in-process fault path).
+type remoteCursor struct {
+	c      *Client
+	ctx    context.Context
+	cursor int64
+	cols   []resultset.Column
+
+	buf     [][]*wire.Atom
+	pos     int
+	eof     bool
+	pending error
+	closed  bool
+}
+
+// Columns implements resultset.RowCursor.
+func (rc *remoteCursor) Columns() []resultset.Column { return rc.cols }
+
+// Next implements resultset.RowCursor: one decoded row per call, io.EOF
+// after the last.
+func (rc *remoteCursor) Next() ([]xdm.Atomic, error) {
+	for {
+		if rc.pos < len(rc.buf) {
+			row := rc.buf[rc.pos]
+			rc.pos++
+			return decodeRow(row, rc.cols)
+		}
+		if rc.pending != nil {
+			return nil, rc.pending
+		}
+		if rc.eof || rc.closed {
+			return nil, io.EOF
+		}
+		var resp wire.FetchResponse
+		if err := rc.c.post(rc.ctx, "fetch", wire.PathFetch,
+			wire.FetchRequest{Session: rc.c.session, Cursor: rc.cursor}, &resp); err != nil {
+			rc.pending = err
+			return nil, err
+		}
+		rc.buf, rc.pos = resp.Rows, 0
+		switch {
+		case resp.Error != nil:
+			rc.pending = decodeError(resp.Error)
+		case resp.EOF:
+			rc.eof = true
+		case len(resp.Rows) == 0:
+			// Defensive: a chunk with no rows and no terminal marker would
+			// spin this loop; treat it as a protocol error.
+			rc.pending = aqerr.Errorf(aqerr.KindInternal, "fetch", "empty fetch chunk without EOF")
+		}
+	}
+}
+
+// Close implements resultset.RowCursor, releasing the server-side cursor
+// (which cancels the remote evaluation). It uses its own deadline rather
+// than the stream context, so cancelling a query still cleans up its
+// server state.
+//
+// The two ways a cursor closes have different stakes. Mid-stream, the
+// close IS the cancellation — if it fails the server may keep evaluating,
+// so the error surfaces. After the stream already ended (EOF or a
+// delivered error), the server has released the query's admission slot
+// and the close only reclaims the session's cursor-table entry; session
+// close and the idle reaper reclaim it anyway, so a failure of that
+// hygiene call must not retroactively fail a fully-delivered query.
+func (rc *remoteCursor) Close() error {
+	if rc.closed {
+		return nil
+	}
+	rc.closed = true
+	rc.buf = nil
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp wire.CloseCursorResponse
+	err := rc.c.post(ctx, "close cursor", wire.PathCloseCursor,
+		wire.CloseCursorRequest{Session: rc.c.session, Cursor: rc.cursor}, &resp)
+	if rc.eof || rc.pending != nil {
+		return nil // best-effort cleanup after a terminal stream
+	}
+	return err
+}
+
+// decodeRow re-parses one wire row into atomic values (nil = SQL NULL).
+func decodeRow(row []*wire.Atom, cols []resultset.Column) ([]xdm.Atomic, error) {
+	out := make([]xdm.Atomic, len(cols))
+	for i := range cols {
+		if i >= len(row) || row[i] == nil {
+			continue
+		}
+		v, err := xdm.ParseAtomic(row[i].V, xdm.AtomicType(row[i].T))
+		if err != nil {
+			return nil, aqerr.Errorf(aqerr.KindInternal, "decode row", "column %d: %v", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

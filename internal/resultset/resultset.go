@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/aqerr"
 	"repro/internal/catalog"
 	"repro/internal/obsv"
 	"repro/internal/xdm"
@@ -100,6 +101,12 @@ func (r *Rows) Next() bool {
 }
 
 // endStream detaches and closes the cursor, keeping the first error seen.
+// The kept error is classified at this boundary: a caller-side
+// cancellation (the consumer's context expiring, or a transport the
+// consumer tore down) surfaces as a timeout-kind QueryError, while a
+// server-side failure keeps the typed kind it arrived with — so a stream
+// that stops early is never a silent short read, and the two ways it can
+// stop are distinguishable through Err.
 func (r *Rows) endStream(err error) {
 	if r.cur != nil {
 		cerr := r.cur.Close()
@@ -109,12 +116,15 @@ func (r *Rows) endStream(err error) {
 		r.cur = nil
 	}
 	if err != nil && r.err == nil {
-		r.err = err
+		r.err = aqerr.Wrap("stream", err)
 	}
 }
 
-// Err returns the first error hit while streaming rows, if any. Materialized
-// result sets never have one.
+// Err returns the first error hit while streaming rows, if any, as a
+// typed error: cancellations and deadline expiries carry
+// aqerr.KindTimeout, transport and backend failures their own kinds
+// (errors.Is still sees the underlying cause through the wrapper).
+// Materialized result sets never have one.
 func (r *Rows) Err() error { return r.err }
 
 // Materialize drains any remaining streamed rows into the scrollable buffer

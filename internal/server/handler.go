@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/aqerr"
+	"repro/internal/obsv"
+	"repro/internal/wire"
+)
+
+// Handler exposes the server over HTTP. Every endpoint is a POST of one
+// JSON request to one wire path; failures travel as a wire.Error body
+// with a kind-derived status code. Each handler sits behind a panic
+// recovery boundary (aqerr.Recover), so an injected srv/* panic — or a
+// real engine bug — becomes a typed internal error on one request, not a
+// dead server process.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle(mux, wire.PathHandshake, s.handshake)
+	handle(mux, wire.PathPrepare, s.prepare)
+	handle(mux, wire.PathExecute, s.execute)
+	handle(mux, wire.PathFetch, s.fetch)
+	handle(mux, wire.PathCloseCursor, s.closeCursor)
+	handle(mux, wire.PathCloseSession, func(ctx context.Context, req wire.CloseSessionRequest) (wire.CloseSessionResponse, error) {
+		return wire.CloseSessionResponse{}, s.closeSession(ctx, req)
+	})
+	handle(mux, wire.PathExplain, s.explain)
+	handle(mux, wire.PathCreateView, func(ctx context.Context, req wire.CreateViewRequest) (wire.CreateViewResponse, error) {
+		return wire.CreateViewResponse{}, s.createView(ctx, req)
+	})
+	handle(mux, wire.PathMetaLookup, s.lookupMeta)
+	handle(mux, wire.PathMetaTables, func(ctx context.Context, req wire.MetasRequest) (wire.MetasResponse, error) {
+		if err := s.fault(ctx, "srv/meta"); err != nil {
+			return wire.MetasResponse{}, aqerr.Wrap("metadata tables", err)
+		}
+		metas, err := s.b.Metadata().Tables()
+		return wire.MetasResponse{Metas: metas}, aqerr.Wrap("metadata tables", err)
+	})
+	handle(mux, wire.PathMetaProcs, func(ctx context.Context, req wire.MetasRequest) (wire.MetasResponse, error) {
+		if err := s.fault(ctx, "srv/meta"); err != nil {
+			return wire.MetasResponse{}, aqerr.Wrap("metadata procedures", err)
+		}
+		metas, err := s.b.Metadata().Procedures()
+		return wire.MetasResponse{Metas: metas}, aqerr.Wrap("metadata procedures", err)
+	})
+	handle(mux, wire.PathStats, func(ctx context.Context, req wire.StatsRequest) (wire.StatsResponse, error) {
+		return wire.StatsResponse{Server: s.Stats(), Pipeline: obsv.Global.Snapshot()}, nil
+	})
+	return mux
+}
+
+// handle registers one JSON-over-POST endpoint with the shared decode /
+// recover / encode discipline.
+func handle[Req, Resp any](mux *http.ServeMux, path string, fn func(ctx context.Context, req Req) (Resp, error)) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeWireError(w, aqerr.Errorf(aqerr.KindPermanent, "decode", "malformed request: %v", err))
+			return
+		}
+		resp, err := func() (resp Resp, err error) {
+			defer aqerr.Recover("serve "+path, &err)
+			return fn(r.Context(), req)
+		}()
+		if err != nil {
+			writeWireError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// writeWireError encodes a typed failure as a wire.Error body. The HTTP
+// status mirrors the kind so generic middleware can reason about it, but
+// clients rebuild the typed error from the body's kind string.
+func writeWireError(w http.ResponseWriter, err error) {
+	we := wireError("serve", err)
+	status := http.StatusBadRequest
+	switch aqerr.ParseKind(we.Kind) {
+	case aqerr.KindTransient:
+		status = http.StatusBadGateway
+	case aqerr.KindUnavailable:
+		status = http.StatusServiceUnavailable
+	case aqerr.KindTimeout:
+		status = http.StatusGatewayTimeout
+	case aqerr.KindResourceLimit:
+		status = http.StatusInsufficientStorage
+	case aqerr.KindInternal, aqerr.KindUnknown:
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: we})
+}

@@ -1,0 +1,768 @@
+// Package server is the network front end of the platform: the AquaLogic
+// DSP server process the paper's thin JDBC driver talks to. Everything the
+// repo previously did in-process behind the facade — metadata lookups,
+// SQL→XQuery compilation, streaming evaluation, §4 result decoding — is
+// exposed here over an HTTP/JSON wire protocol (internal/wire) with
+// per-session prepared-statement and cursor tables, connection/session
+// limits, admission control, and idle-session reaping.
+//
+// The server is deliberately a thin shell over a Backend (the aqualogic
+// Platform satisfies it): translation, planning, caching, resilience, and
+// streaming all stay where they are. What the server adds is the
+// multi-tenant discipline a wire boundary forces:
+//
+//   - Sessions. A handshake opens a session; prepared statements and open
+//     cursors are per-session state, bounded by MaxSessions. Sessions idle
+//     longer than SessionIdleTimeout are reaped — their cursors closed,
+//     which cancels the underlying evaluations, so an abandoned client
+//     cannot pin evaluator goroutines or buffered rows.
+//   - Admission control. A concurrency semaphore bounds evaluations in
+//     flight; executions beyond it wait briefly and are then rejected with
+//     a typed unavailable error rather than queueing without bound.
+//   - Backpressure. Rows leave the server only through fetch calls. The
+//     evaluator's bounded-channel cursor (PR 5) blocks the producer once
+//     its 64-row buffer fills, so a slow reader holds a query's whole
+//     memory footprint to one channel's worth of rows — and a reader that
+//     never returns is eventually reaped, which cancels the evaluation.
+//
+// Fault points named srv/* hook the request surface into the faultnet
+// chaos layer, and every counter the server keeps (sessions, in-flight
+// queries, admission rejections, cursors reaped) reports through obsv.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aqerr"
+	"repro/internal/catalog"
+	"repro/internal/faultnet"
+	"repro/internal/obsv"
+	"repro/internal/qcache"
+	"repro/internal/resultset"
+	"repro/internal/translator"
+	"repro/internal/wire"
+	"repro/internal/xdm"
+)
+
+// Backend is the query-processing surface the server fronts. The
+// aqualogic.Platform satisfies it; tests may substitute fakes.
+type Backend interface {
+	// CompileContext translates, checks, and plans a SELECT through the
+	// shared compile cache.
+	CompileContext(ctx context.Context, sql string, mode translator.ResultMode) (*qcache.CompiledQuery, error)
+	// QueryStreamMode compiles (cached), binds parameters, and starts a
+	// streaming evaluation.
+	QueryStreamMode(ctx context.Context, mode translator.ResultMode, sql string, args ...any) (*resultset.Rows, error)
+	// DefineView registers a logical data service (CREATE VIEW).
+	DefineView(path, name, sql string) error
+	// Metadata is the catalog source metadata endpoints serve from.
+	Metadata() catalog.Source
+}
+
+// Config bounds one server instance. Zero fields take the defaults below.
+type Config struct {
+	// MaxSessions caps concurrently open sessions (default 4096).
+	MaxSessions int
+	// MaxConcurrentQueries sizes the admission semaphore: evaluations in
+	// flight at once, across all sessions (default 256).
+	MaxConcurrentQueries int
+	// AdmissionWait is how long an execute waits for an admission slot
+	// before being rejected with a typed unavailable error (default 50ms).
+	AdmissionWait time.Duration
+	// SessionIdleTimeout reaps sessions (and their cursors: the attached
+	// evaluations are cancelled) that have not issued a request for this
+	// long (default 60s; negative disables reaping).
+	SessionIdleTimeout time.Duration
+	// FetchRows is the per-fetch row chunk cap when the client does not
+	// ask for a specific size (default 256).
+	FetchRows int
+	// QueryTimeout bounds each evaluation's lifetime from execute to last
+	// fetch (0 = unbounded). A cursor still open at the deadline surfaces
+	// a timeout-kind error on its next fetch.
+	QueryTimeout time.Duration
+	// Faults, when set, arms the srv/* fault points: every request site
+	// misbehaves on the injector's deterministic schedule.
+	Faults *faultnet.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 4096
+	}
+	if c.MaxConcurrentQueries == 0 {
+		c.MaxConcurrentQueries = 256
+	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = 50 * time.Millisecond
+	}
+	if c.SessionIdleTimeout == 0 {
+		c.SessionIdleTimeout = 60 * time.Second
+	}
+	if c.FetchRows <= 0 {
+		c.FetchRows = 256
+	}
+	return c
+}
+
+// Server owns the session table and the admission semaphore. Create with
+// New, expose with Handler, shut down with Close.
+type Server struct {
+	b   Backend
+	cfg Config
+
+	baseCtx context.Context // parent of every evaluation; Close cancels it
+	stop    context.CancelFunc
+
+	sem chan struct{} // admission slots
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+
+	nextSession atomic.Int64
+	reaperDone  chan struct{}
+
+	// Instance counters (the process-wide mirrors live in obsv.Global).
+	sessionsOpened    atomic.Int64
+	sessionsReaped    atomic.Int64
+	cursorsOpened     atomic.Int64
+	cursorsReaped     atomic.Int64
+	cursorsOpen       atomic.Int64
+	inFlight          atomic.Int64
+	peakInFlight      atomic.Int64
+	admissionRejected atomic.Int64
+}
+
+// New builds a server over a backend. The returned server is serving
+// state immediately; wire it to HTTP with Handler.
+func New(b Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		b:        b,
+		cfg:      cfg,
+		baseCtx:  ctx,
+		stop:     cancel,
+		sem:      make(chan struct{}, cfg.MaxConcurrentQueries),
+		sessions: make(map[string]*session),
+	}
+	if cfg.SessionIdleTimeout > 0 {
+		s.reaperDone = make(chan struct{})
+		go s.reapLoop()
+	}
+	return s
+}
+
+// Close shuts the server down: no new requests are accepted, every open
+// session is closed (cancelling its in-flight evaluations), and the idle
+// reaper exits. After Close returns no server-owned goroutine is running.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	open := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		open = append(open, ss)
+	}
+	s.sessions = map[string]*session{}
+	s.mu.Unlock()
+
+	for _, ss := range open {
+		ss.close(false)
+		obsv.Global.SessionsActive.Add(-1)
+	}
+	s.stop()
+	if s.reaperDone != nil {
+		<-s.reaperDone
+	}
+}
+
+// Stats snapshots the instance counters.
+func (s *Server) Stats() wire.ServerStats {
+	s.mu.Lock()
+	open := int64(len(s.sessions))
+	s.mu.Unlock()
+	return wire.ServerStats{
+		SessionsOpen:      open,
+		SessionsOpened:    s.sessionsOpened.Load(),
+		SessionsReaped:    s.sessionsReaped.Load(),
+		CursorsOpen:       s.cursorsOpen.Load(),
+		CursorsOpened:     s.cursorsOpened.Load(),
+		CursorsReaped:     s.cursorsReaped.Load(),
+		QueriesInFlight:   s.inFlight.Load(),
+		PeakInFlight:      s.peakInFlight.Load(),
+		AdmissionRejected: s.admissionRejected.Load(),
+	}
+}
+
+// reapLoop closes sessions idle past the configured timeout.
+func (s *Server) reapLoop() {
+	defer close(s.reaperDone)
+	interval := s.cfg.SessionIdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.reapIdle(time.Now())
+		}
+	}
+}
+
+// reapIdle closes every session whose last request is older than the idle
+// timeout. Reaping closes the session's cursors, which cancels their
+// evaluations — the leak guard for abandoned clients.
+func (s *Server) reapIdle(now time.Time) {
+	cutoff := now.Add(-s.cfg.SessionIdleTimeout).UnixNano()
+	s.mu.Lock()
+	var idle []*session
+	for id, ss := range s.sessions {
+		if ss.lastUsed.Load() < cutoff {
+			idle = append(idle, ss)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, ss := range idle {
+		ss.close(true)
+		s.sessionsReaped.Add(1)
+		obsv.Global.SessionsReaped.Inc()
+		obsv.Global.SessionsActive.Add(-1)
+	}
+}
+
+// admit takes one admission slot, waiting at most AdmissionWait. The
+// typed unavailable error it returns on a full server is the load-shed
+// signal clients back off on.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		t := time.NewTimer(s.cfg.AdmissionWait)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+		case <-t.C:
+			s.admissionRejected.Add(1)
+			obsv.Global.AdmissionRejected.Inc()
+			return aqerr.Errorf(aqerr.KindUnavailable, "admit",
+				"server at capacity (%d queries in flight)", s.cfg.MaxConcurrentQueries)
+		case <-ctx.Done():
+			s.admissionRejected.Add(1)
+			obsv.Global.AdmissionRejected.Inc()
+			return aqerr.Wrap("admit", ctx.Err())
+		}
+	}
+	n := s.inFlight.Add(1)
+	obsv.Global.QueriesInFlight.Add(1)
+	obsv.Global.PeakQueriesInFlight.SetMax(n)
+	for {
+		p := s.peakInFlight.Load()
+		if n <= p || s.peakInFlight.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return nil
+}
+
+// release returns one admission slot.
+func (s *Server) release() {
+	<-s.sem
+	s.inFlight.Add(-1)
+	obsv.Global.QueriesInFlight.Add(-1)
+}
+
+// fault rolls the named srv/* fault point and realizes the scheduled
+// fault, if any. Truncation has no meaning for unary request sites and is
+// realized as its transient error; the fetch path handles it inline
+// instead, where there are rows to truncate.
+func (s *Server) fault(ctx context.Context, site string) error {
+	if s.cfg.Faults == nil {
+		return nil
+	}
+	k, ok := s.cfg.Faults.Roll(site)
+	if !ok {
+		return nil
+	}
+	return s.cfg.Faults.Perform(ctx, site, k)
+}
+
+// session is one wire client's server-side state.
+type session struct {
+	id  string
+	srv *Server
+
+	lastUsed atomic.Int64 // unix nanos of the last request
+
+	mu      sync.Mutex
+	stmts   map[int64]*prepared
+	cursors map[int64]*cursor
+	nextID  int64
+	closed  bool
+}
+
+// prepared is one prepared-statement table entry. Only the statement text
+// and mode are pinned: each execution re-resolves the compiled artifact
+// through the shared compile cache, so a catalog change (CREATE VIEW
+// bumping the metadata generation) transparently recompiles instead of
+// executing against a stale plan.
+type prepared struct {
+	sql  string
+	mode translator.ResultMode
+}
+
+// cursor is one open server-side cursor: a streaming result set plus the
+// admission slot its evaluation occupies.
+type cursor struct {
+	rows   *resultset.Rows
+	cols   []wire.Column
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	eof      bool
+	failed   *wire.Error // sticky: re-reported on every later fetch
+	released bool        // admission slot returned
+}
+
+// handshake opens a session.
+func (s *Server) handshake(ctx context.Context, req wire.HandshakeRequest) (wire.HandshakeResponse, error) {
+	if err := s.fault(ctx, "srv/handshake"); err != nil {
+		return wire.HandshakeResponse{}, aqerr.Wrap("handshake", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return wire.HandshakeResponse{}, aqerr.Errorf(aqerr.KindUnavailable, "handshake", "server is shut down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.admissionRejected.Add(1)
+		obsv.Global.AdmissionRejected.Inc()
+		return wire.HandshakeResponse{}, aqerr.Errorf(aqerr.KindUnavailable, "handshake",
+			"session limit reached (%d open)", s.cfg.MaxSessions)
+	}
+	id := fmt.Sprintf("s%06x", s.nextSession.Add(1))
+	ss := &session{
+		id:      id,
+		srv:     s,
+		stmts:   make(map[int64]*prepared),
+		cursors: make(map[int64]*cursor),
+	}
+	ss.lastUsed.Store(time.Now().UnixNano())
+	s.sessions[id] = ss
+	s.sessionsOpened.Add(1)
+	obsv.Global.SessionsOpened.Inc()
+	obsv.Global.SessionsActive.Add(1)
+	return wire.HandshakeResponse{Session: id}, nil
+}
+
+// lookupSession resolves a session token, touching its idle clock. A
+// token the server no longer knows — never issued, closed, or reaped —
+// is an unavailable-kind error: the client must open a new session.
+func (s *Server) lookupSession(id string) (*session, error) {
+	s.mu.Lock()
+	ss, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, aqerr.Errorf(aqerr.KindUnavailable, "session", "unknown or expired session %q", id)
+	}
+	ss.lastUsed.Store(time.Now().UnixNano())
+	return ss, nil
+}
+
+// closeSession ends a session explicitly.
+func (s *Server) closeSession(ctx context.Context, req wire.CloseSessionRequest) error {
+	if err := s.fault(ctx, "srv/session-close"); err != nil {
+		return aqerr.Wrap("close session", err)
+	}
+	s.mu.Lock()
+	ss, ok := s.sessions[req.Session]
+	delete(s.sessions, req.Session)
+	s.mu.Unlock()
+	if !ok {
+		return nil // idempotent
+	}
+	ss.close(false)
+	obsv.Global.SessionsActive.Add(-1)
+	return nil
+}
+
+// close tears a session down: every open cursor is closed, cancelling its
+// evaluation and returning its admission slot. reaped marks the teardown
+// as the idle reaper's (for the cursor-leak counters).
+func (ss *session) close(reaped bool) {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.closed = true
+	cursors := make([]*cursor, 0, len(ss.cursors))
+	for _, c := range ss.cursors {
+		cursors = append(cursors, c)
+	}
+	ss.cursors = map[int64]*cursor{}
+	ss.stmts = map[int64]*prepared{}
+	ss.mu.Unlock()
+	for _, c := range cursors {
+		c.closeCursor(ss.srv)
+		if reaped {
+			ss.srv.cursorsReaped.Add(1)
+			obsv.Global.CursorsReaped.Inc()
+		}
+	}
+}
+
+// closeCursor releases one cursor exactly once: the streaming result set
+// closes (cancelling the producer through the cursor plumbing), the
+// evaluation context is cancelled, and the admission slot returns.
+func (c *cursor) closeCursor(s *Server) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rows.Close()
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	c.releaseLocked(s)
+	s.cursorsOpen.Add(-1)
+}
+
+// releaseLocked returns the admission slot once per cursor (EOF, error,
+// or close — whichever happens first).
+func (c *cursor) releaseLocked(s *Server) {
+	if !c.released {
+		c.released = true
+		s.release()
+	}
+}
+
+// prepare compiles a statement into the session's prepared table.
+func (s *Server) prepare(ctx context.Context, req wire.PrepareRequest) (wire.PrepareResponse, error) {
+	ss, err := s.lookupSession(req.Session)
+	if err != nil {
+		return wire.PrepareResponse{}, err
+	}
+	if err := s.fault(ctx, "srv/prepare"); err != nil {
+		return wire.PrepareResponse{}, aqerr.Wrap("prepare", err)
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return wire.PrepareResponse{}, err
+	}
+	cq, err := s.b.CompileContext(ctx, req.SQL, mode)
+	if err != nil {
+		return wire.PrepareResponse{}, aqerr.Wrap("prepare", err)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return wire.PrepareResponse{}, aqerr.Errorf(aqerr.KindUnavailable, "session", "session %q is closed", ss.id)
+	}
+	ss.nextID++
+	id := ss.nextID
+	ss.stmts[id] = &prepared{sql: req.SQL, mode: mode}
+	return wire.PrepareResponse{
+		Stmt:       id,
+		Columns:    wireColumns(resultColumns(cq)),
+		ParamCount: cq.Res.ParamCount,
+	}, nil
+}
+
+// execute starts an evaluation — of a prepared statement or of ad-hoc SQL
+// — under admission control, and registers the resulting cursor.
+func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.ExecuteResponse, error) {
+	ss, err := s.lookupSession(req.Session)
+	if err != nil {
+		return wire.ExecuteResponse{}, err
+	}
+	if err := s.fault(ctx, "srv/execute"); err != nil {
+		return wire.ExecuteResponse{}, aqerr.Wrap("execute", err)
+	}
+
+	sqlText, mode := req.SQL, translator.ModeText
+	if req.Stmt != 0 {
+		ss.mu.Lock()
+		st, ok := ss.stmts[req.Stmt]
+		ss.mu.Unlock()
+		if !ok {
+			return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindPermanent, "execute",
+				"unknown prepared statement %d", req.Stmt)
+		}
+		sqlText, mode = st.sql, st.mode
+	} else if mode, err = parseMode(req.Mode); err != nil {
+		return wire.ExecuteResponse{}, err
+	}
+
+	args := make([]any, len(req.Args))
+	for i, a := range req.Args {
+		if a == nil {
+			return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindPermanent, "execute",
+				"parameter %d: NULL parameters are not supported", i+1)
+		}
+		v, err := xdm.ParseAtomic(a.V, xdm.AtomicType(a.T))
+		if err != nil {
+			return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindPermanent, "execute", "parameter %d: %v", i+1, err)
+		}
+		args[i] = v
+	}
+
+	if err := s.admit(ctx); err != nil {
+		return wire.ExecuteResponse{}, err
+	}
+	// The evaluation outlives this request: it is parented on the server's
+	// base context (not the HTTP request's), bounded by QueryTimeout, and
+	// cancelled by cursor close or session reaping.
+	evalCtx, cancel := context.WithCancel(s.baseCtx)
+	if s.cfg.QueryTimeout > 0 {
+		evalCtx, cancel = context.WithTimeout(s.baseCtx, s.cfg.QueryTimeout)
+	}
+	rows, err := s.b.QueryStreamMode(evalCtx, mode, sqlText, args...)
+	if err != nil {
+		cancel()
+		s.release()
+		return wire.ExecuteResponse{}, aqerr.Wrap("execute", err)
+	}
+	cols := wireColumns(rows.Columns())
+	cur := &cursor{rows: rows, cols: cols, cancel: cancel}
+
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		cur.closeCursor(s)
+		s.cursorsOpen.Add(1) // closeCursor decremented a cursor never counted open
+		return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindUnavailable, "session", "session %q is closed", ss.id)
+	}
+	ss.nextID++
+	id := ss.nextID
+	ss.cursors[id] = cur
+	ss.mu.Unlock()
+
+	s.cursorsOpened.Add(1)
+	s.cursorsOpen.Add(1)
+	obsv.Global.CursorsOpened.Inc()
+	return wire.ExecuteResponse{Cursor: id, Columns: cols}, nil
+}
+
+// fetch pulls the next chunk of rows from a cursor. EOF and errors are
+// sticky: fetching past the end re-reports them instead of failing the
+// session. A truncation fault injected at this site returns the chunk's
+// prefix together with the transient error — partial data never travels
+// silently.
+func (s *Server) fetch(ctx context.Context, req wire.FetchRequest) (wire.FetchResponse, error) {
+	ss, err := s.lookupSession(req.Session)
+	if err != nil {
+		return wire.FetchResponse{}, err
+	}
+	ss.mu.Lock()
+	cur, ok := ss.cursors[req.Cursor]
+	ss.mu.Unlock()
+	if !ok {
+		return wire.FetchResponse{}, aqerr.Errorf(aqerr.KindPermanent, "fetch", "unknown cursor %d", req.Cursor)
+	}
+
+	var truncate bool
+	if s.cfg.Faults != nil {
+		if k, fired := s.cfg.Faults.Roll("srv/fetch"); fired {
+			if k == faultnet.KindTruncate {
+				truncate = true
+			} else if err := s.cfg.Faults.Perform(ctx, "srv/fetch", k); err != nil {
+				return wire.FetchResponse{}, aqerr.Wrap("fetch", err)
+			}
+		}
+	}
+
+	limit := req.MaxRows
+	if limit <= 0 || limit > s.cfg.FetchRows {
+		limit = s.cfg.FetchRows
+	}
+
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	if cur.failed != nil {
+		return wire.FetchResponse{Error: cur.failed}, nil
+	}
+	if cur.eof {
+		return wire.FetchResponse{EOF: true}, nil
+	}
+	resp := wire.FetchResponse{}
+	for len(resp.Rows) < limit {
+		if !cur.rows.Next() {
+			if rerr := cur.rows.Err(); rerr != nil {
+				cur.failed = wireError("fetch", rerr)
+				resp.Error = cur.failed
+			} else {
+				cur.eof = true
+				resp.EOF = true
+			}
+			cur.releaseLocked(s) // evaluation finished; free the slot early
+			break
+		}
+		row := make([]*wire.Atom, len(cur.cols))
+		for i := range cur.cols {
+			v, verr := cur.rows.Value(i)
+			if verr != nil {
+				cur.failed = wireError("fetch", verr)
+				resp.Error = cur.failed
+				cur.releaseLocked(s)
+				return resp, nil
+			}
+			if v != nil {
+				row[i] = &wire.Atom{T: int(v.Type()), V: v.Lexical()}
+			}
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	if truncate {
+		// A connection dropped mid-chunk: the prefix travels with the
+		// transient error, exactly like faultnet's data-surface truncation.
+		resp.Rows = resp.Rows[:len(resp.Rows)/2]
+		resp.EOF = false
+		ferr := &faultnet.Error{Site: "srv/fetch", Kind: faultnet.KindTruncate}
+		resp.Error = wireError("fetch", aqerr.Wrap("fetch", ferr))
+	}
+	return resp, nil
+}
+
+// closeCursor releases one cursor. Closing an unknown (or already closed)
+// cursor is a successful no-op, so double close is safe on a retrying
+// transport.
+func (s *Server) closeCursor(ctx context.Context, req wire.CloseCursorRequest) (wire.CloseCursorResponse, error) {
+	ss, err := s.lookupSession(req.Session)
+	if err != nil {
+		return wire.CloseCursorResponse{}, err
+	}
+	if err := s.fault(ctx, "srv/cursor-close"); err != nil {
+		return wire.CloseCursorResponse{}, aqerr.Wrap("close cursor", err)
+	}
+	ss.mu.Lock()
+	cur, ok := ss.cursors[req.Cursor]
+	delete(ss.cursors, req.Cursor)
+	ss.mu.Unlock()
+	if !ok {
+		return wire.CloseCursorResponse{Closed: false}, nil
+	}
+	cur.closeCursor(s)
+	return wire.CloseCursorResponse{Closed: true}, nil
+}
+
+// explain compiles a statement and renders its plan, streaming
+// decomposition, and generated XQuery.
+func (s *Server) explain(ctx context.Context, req wire.ExplainRequest) (wire.ExplainResponse, error) {
+	if _, err := s.lookupSession(req.Session); err != nil {
+		return wire.ExplainResponse{}, err
+	}
+	if err := s.fault(ctx, "srv/explain"); err != nil {
+		return wire.ExplainResponse{}, aqerr.Wrap("explain", err)
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return wire.ExplainResponse{}, err
+	}
+	cq, err := s.b.CompileContext(ctx, req.SQL, mode)
+	if err != nil {
+		return wire.ExplainResponse{}, aqerr.Wrap("explain", err)
+	}
+	text := "-- plan:\n"
+	for _, line := range cq.Plan.Describe() {
+		text += "--   " + line + "\n"
+	}
+	text += "-- streaming: " + cq.Plan.Stream.Describe() + "\n" + cq.XQuery()
+	return wire.ExplainResponse{Text: text}, nil
+}
+
+// createView registers a logical data service through the backend.
+func (s *Server) createView(ctx context.Context, req wire.CreateViewRequest) error {
+	if _, err := s.lookupSession(req.Session); err != nil {
+		return err
+	}
+	if err := s.fault(ctx, "srv/view"); err != nil {
+		return aqerr.Wrap("create view", err)
+	}
+	return s.b.DefineView(req.Path, req.Name, req.SQL)
+}
+
+// lookupMeta serves one metadata lookup, encoding the typed catalog
+// failures so the client can reconstruct them.
+func (s *Server) lookupMeta(ctx context.Context, req wire.LookupRequest) (wire.LookupResponse, error) {
+	if err := s.fault(ctx, "srv/meta"); err != nil {
+		return wire.LookupResponse{}, aqerr.Wrap("metadata lookup", err)
+	}
+	ref := catalog.TableRef{Catalog: req.Catalog, Schema: req.Schema, Table: req.Table}
+	meta, err := catalog.LookupContext(ctx, s.b.Metadata(), ref)
+	if err != nil {
+		var nf *catalog.NotFoundError
+		if errors.As(err, &nf) {
+			return wire.LookupResponse{NotFound: true}, nil
+		}
+		var amb *catalog.AmbiguousError
+		if errors.As(err, &amb) {
+			return wire.LookupResponse{Ambiguous: amb.Schemas}, nil
+		}
+		return wire.LookupResponse{}, aqerr.Wrap("metadata lookup", err)
+	}
+	return wire.LookupResponse{Meta: meta}, nil
+}
+
+// parseMode decodes the wire result-mode name ("" defaults to text, the
+// driver's default).
+func parseMode(mode string) (translator.ResultMode, error) {
+	switch mode {
+	case "", "text":
+		return translator.ModeText, nil
+	case "xml":
+		return translator.ModeXML, nil
+	default:
+		return 0, aqerr.Errorf(aqerr.KindPermanent, "prepare", "unknown result mode %q", mode)
+	}
+}
+
+// resultColumns projects a compiled query's result schema.
+func resultColumns(cq *qcache.CompiledQuery) []resultset.Column {
+	cols := make([]resultset.Column, len(cq.Res.Columns))
+	for i, c := range cq.Res.Columns {
+		cols[i] = resultset.Column{Label: c.Label, ElementName: c.ElementName,
+			Type: c.Type, Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
+	}
+	return cols
+}
+
+// wireColumns encodes a result schema for transit.
+func wireColumns(cols []resultset.Column) []wire.Column {
+	out := make([]wire.Column, len(cols))
+	for i, c := range cols {
+		out[i] = wire.Column{Label: c.Label, ElementName: c.ElementName,
+			Type: int(c.Type), Nullable: c.Nullable, Precision: c.Precision, Scale: c.Scale}
+	}
+	return out
+}
+
+// wireError flattens an error for transit, classifying unclassified ones
+// on the way (so every wire error carries a kind).
+func wireError(op string, err error) *wire.Error {
+	err = aqerr.Wrap(op, err)
+	var qe *aqerr.QueryError
+	if errors.As(err, &qe) {
+		msg := ""
+		if qe.Err != nil {
+			msg = qe.Err.Error()
+		}
+		return &wire.Error{Kind: qe.Kind.String(), Op: qe.Op, Msg: msg}
+	}
+	return &wire.Error{Kind: aqerr.KindUnknown.String(), Op: op, Msg: err.Error()}
+}

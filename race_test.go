@@ -1,9 +1,16 @@
 package aqualogic
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/remoteclient"
+	"repro/internal/server"
 )
 
 // TestPlatformConcurrentUse exercises the facade from many goroutines:
@@ -81,4 +88,93 @@ func TestPlatformConcurrentViews(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestServeConcurrentSessions hammers the network front end from many
+// loopback clients at once — prepare/execute/fetch/close interleaved with
+// mid-stream disconnects (a cursor abandoned after one row and closed out
+// of band) and metadata browsing — under -race. Afterward the server must
+// hold no open cursors, no in-flight admissions, and no extra goroutines:
+// the leak contract for a server facing thousands of flaky clients.
+func TestServeConcurrentSessions(t *testing.T) {
+	p := Demo()
+	srv := server.New(p, server.Config{
+		FetchRows:            3,
+		MaxConcurrentQueries: 8,
+		AdmissionWait:        5 * time.Second, // queue briefly instead of shedding
+		SessionIdleTimeout:   time.Minute,
+	})
+	h := srv.Handler()
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := remoteclient.Loopback(h)
+			if err != nil {
+				t.Errorf("worker %d: handshake: %v", g, err)
+				return
+			}
+			st, err := c.Prepare(context.Background(), "SELECT CITY FROM CUSTOMERS WHERE CUSTOMERID = ?", ModeText)
+			if err != nil {
+				t.Errorf("worker %d: prepare: %v", g, err)
+				return
+			}
+			for i := 0; i < 8; i++ {
+				switch (g + i) % 3 {
+				case 0: // full drain of a prepared execution
+					rows, err := st.Execute(context.Background(), 1000+(g+i)%50)
+					if err != nil {
+						t.Errorf("worker %d: execute: %v", g, err)
+						return
+					}
+					if _, err := marshalStreamed(rows); err != nil {
+						t.Errorf("worker %d: drain: %v", g, err)
+						return
+					}
+					rows.Close()
+				case 1: // mid-stream disconnect: one row, then walk away
+					rows, err := c.QueryStreamMode(context.Background(), ModeXML,
+						"SELECT C.CUSTOMERID FROM CUSTOMERS C, PAYMENTS P")
+					if err != nil {
+						t.Errorf("worker %d: big execute: %v", g, err)
+						return
+					}
+					if !rows.Next() {
+						t.Errorf("worker %d: no first row: %v", g, rows.Err())
+						return
+					}
+					rows.Close() // cancels the server-side evaluation
+				case 2: // metadata browse
+					if _, err := c.Lookup(catalog.TableRef{Table: "CUSTOMERS"}); err != nil {
+						t.Errorf("worker %d: lookup: %v", g, err)
+						return
+					}
+				}
+			}
+			// A third of the workers abandon their session without closing
+			// it (their cursors are already closed; the session itself is
+			// cheap and reaped later).
+			if g%3 != 0 {
+				if err := c.Close(); err != nil {
+					t.Errorf("worker %d: close: %v", g, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if st := srv.Stats(); st.CursorsOpen != 0 || st.QueriesInFlight != 0 {
+		t.Fatalf("server holds state after all clients finished: %+v", st)
+	}
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
