@@ -121,6 +121,14 @@ type (
 	FaultKind = faultnet.Kind
 	// EvalLimits caps evaluator resources (rows, tuples, recursion depth).
 	EvalLimits = xqeval.Limits
+	// ExecConfig configures the evaluator's morsel-style parallel
+	// execution (worker count, morsel size, minimum scan size); install it
+	// with Platform.ConfigureExec.
+	ExecConfig = xqeval.ExecConfig
+	// SourceStats is one data service's collected statistics (row count,
+	// per-column distinct estimates, average row width) — the cost model's
+	// input, populated lazily on first scan or eagerly by AnalyzeStats.
+	SourceStats = xqeval.SourceStats
 )
 
 // Error kinds a QueryError can carry.
@@ -219,6 +227,7 @@ func (p *Platform) EnableFaults(cfg FaultConfig) *FaultInjector {
 	p.cache = nil // rebuild the metadata stack with the chaos layer inside
 	p.qc = nil    // artifacts compiled over the old stack are stale
 	p.cacheMu.Unlock()
+	p.Engine.InvalidateSourceStats() // sources now misbehave; observations are stale
 	p.Engine.Use(inj.Middleware())
 	return inj
 }
@@ -236,12 +245,53 @@ func (p *Platform) EnableResilience(cfg ResilienceConfig) {
 	p.cache = nil // rebuild the metadata stack with retries + staleness
 	p.qc = nil    // rebuild the compile cache with CompileCacheEntries applied
 	p.cacheMu.Unlock()
+	p.Engine.InvalidateSourceStats() // the rebuilt stack may change what scans observe
 	p.Engine.Use(resilient.NewEngineGuard(cfg).Middleware())
 	if cfg.MaxRows > 0 {
 		lim := p.Engine.Limits()
 		lim.MaxRows = cfg.MaxRows
 		p.Engine.SetLimits(lim)
 	}
+}
+
+// ConfigureExec installs the evaluator's parallel-execution settings:
+// Workers caps the per-query morsel worker pool (0 = GOMAXPROCS, 1 =
+// serial), MorselSize the scan partition size, MinParallelItems the
+// smallest scan worth fanning out. Serial and parallel execution are
+// byte-identical; the knob trades coordination overhead for scan/join
+// throughput.
+func (p *Platform) ConfigureExec(cfg ExecConfig) {
+	p.Engine.SetExec(cfg)
+}
+
+// AnalyzeStats eagerly collects source statistics for every table-shaped
+// data service in the catalog — the explicit ANALYZE counterpart to the
+// lazy collection that happens on first scan. Statistics feed the
+// planner's cost model (EXPLAIN's cost annotations, hash-key selection);
+// collecting them advances the statistics generation, which retires
+// compiled artifacts costed against older numbers. Returns the number of
+// sources analyzed; a failing source is skipped and reported in err after
+// the rest have been attempted.
+func (p *Platform) AnalyzeStats(ctx context.Context) (int, error) {
+	tables, err := p.metaSource().Tables()
+	if err != nil {
+		return 0, err
+	}
+	analyzed := 0
+	var firstErr error
+	for _, tm := range tables {
+		if tm.Function == nil || !tm.Function.IsTable() {
+			continue
+		}
+		if _, err := p.Engine.CollectSourceStats(ctx, tm.Function.Namespace, tm.Function.Name); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("aqualogic: analyze %s: %w", tm.Function.Name, err)
+			}
+			continue
+		}
+		analyzed++
+	}
+	return analyzed, firstErr
 }
 
 // metaSource builds the metadata stack, inside out: application
@@ -278,7 +328,7 @@ func (p *Platform) queryCache() *qcache.Cache {
 	p.cacheMu.Lock()
 	defer p.cacheMu.Unlock()
 	if p.qc == nil {
-		cfg := qcache.Config{Generation: p.metadataGeneration}
+		cfg := qcache.Config{Generation: p.metadataGeneration, StatsGeneration: p.Engine.StatsGeneration}
 		if p.resilience != nil {
 			cfg.MaxEntries = p.resilience.CompileCacheEntries
 		}
@@ -558,6 +608,9 @@ func (p *Platform) DefineView(path, name, sql string) error {
 	if qc != nil {
 		qc.Invalidate()
 	}
+	// Catalog contents changed: collected statistics may describe sources
+	// the view now shadows or composes over.
+	p.Engine.InvalidateSourceStats()
 
 	query := res.Query
 	resCols := res.Columns

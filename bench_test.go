@@ -10,6 +10,7 @@ package aqualogic
 //	    BenchmarkJoinShapes     — ablation: generated join patterns
 //	    BenchmarkEngine         — the substrate's own evaluation cost
 //	P6  BenchmarkEvalJoinPlan   — evaluator planner: nested loop vs hash join
+//	P11 BenchmarkParallelScan   — morsel-parallel execution through the facade
 
 import (
 	"fmt"
@@ -223,6 +224,32 @@ func BenchmarkStreamDelivery(b *testing.B) {
 				if _, err := bench.RunStreamSweep([]int{rows}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScan is the P11 smoke axis: the demo join through the
+// full facade at several degrees of parallelism, with morsels sized so
+// even the 50-row demo scans fan out. CI's bench-smoke runs it once per
+// worker count to prove the parallel path stays executable; the real
+// speedup measurement is the P11 sweep (bench.RunEvalParallel).
+func BenchmarkParallelScan(b *testing.B) {
+	const sql = "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C, PAYMENTS P WHERE C.CUSTOMERID = P.CUSTID"
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := Demo()
+			p.ConfigureExec(ExecConfig{Workers: workers, MorselSize: 8, MinParallelItems: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := p.Query(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rows.Materialize(); err != nil {
+					b.Fatal(err)
+				}
+				rows.Close()
 			}
 		})
 	}

@@ -504,3 +504,87 @@ func TestServeChaos(t *testing.T) {
 		t.Fatalf("chaos left server state behind: %+v", st)
 	}
 }
+
+// TestChaosParallelExecution re-runs the fault soak with morsel-parallel
+// execution armed: ds/* faults now strike inside worker goroutines, where
+// the pool must cancel the siblings and surface exactly one typed error —
+// and every retried success must still be byte-identical to the
+// fault-free (parallel) run. Runs under -race via the chaos CI target.
+func TestChaosParallelExecution(t *testing.T) {
+	sizes := demo.Sizes{Customers: 12, PaymentsPerCustomer: 2, Orders: 12, ItemsPerOrder: 2}
+	parCfg := ExecConfig{Workers: 8, MorselSize: 4, MinParallelItems: 2}
+
+	// Fault-free parallel baseline for byte-identity.
+	app, _, engine := demo.Setup(sizes)
+	base := New(app, engine)
+	base.ConfigureExec(parCfg)
+	want := make(map[string]string, len(chaosCorpus()))
+	for _, sql := range chaosCorpus() {
+		rows, err := base.Query(sql, chaosArgs(strings.Count(sql, "?"))...)
+		if err == nil {
+			want[sql], err = drain(rows)
+		}
+		if err != nil {
+			t.Fatalf("baseline %q: %v", sql, err)
+		}
+	}
+
+	p, inj := chaosPlatform(sizes, FaultConfig{
+		Seed:         2027,
+		Rate:         0.2,
+		Latency:      200 * time.Microsecond,
+		StallTimeout: 5 * time.Millisecond,
+	})
+	p.ConfigureExec(parCfg)
+
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	var successes, failures int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, sql := range chaosCorpus() {
+					rows, err := p.Query(sql, chaosArgs(strings.Count(sql, "?"))...)
+					var got string
+					if err == nil {
+						got, err = drain(rows)
+					}
+					if err != nil {
+						if !typedFailure(err) {
+							t.Errorf("untyped chaos failure under parallel execution for %q: %v", sql, err)
+						}
+						mu.Lock()
+						failures++
+						mu.Unlock()
+						continue
+					}
+					if got != want[sql] {
+						t.Errorf("parallel chaos: %q diverged from fault-free run\ngot:  %s\nwant: %s", sql, got, want[sql])
+					}
+					mu.Lock()
+					successes++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if successes == 0 {
+		t.Fatalf("no retried successes under parallel chaos (%d failures)", failures)
+	}
+	var injected int64
+	for _, r := range inj.Report() {
+		injected += r.Total()
+	}
+	if injected == 0 {
+		t.Fatalf("parallel chaos injected nothing over %d runs", successes+failures)
+	}
+	t.Logf("parallel chaos: %d successes, %d typed failures, %d faults injected", successes, failures, injected)
+}

@@ -42,8 +42,11 @@ func main() {
 	fmt.Println("aqlshell — SQL over the AquaLogic-style demo deployment")
 	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
 	fmt.Println(`"\x SELECT ..." to see the XQuery, "\c SELECT ..." to see the query`)
-	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan,`)
-	fmt.Println(`"\s" for pipeline metrics, "\r" for resilience counters, "\q" for`)
+	fmt.Println(`contexts (Figure 4), "\p SELECT ..." for the evaluator's query plan`)
+	fmt.Println(`(with per-scan cardinality and hash-join cost annotations once source`)
+	fmt.Println(`statistics are observed — run a query first, or ANALYZE via the API),`)
+	fmt.Println(`"\s" for pipeline metrics (incl. stats hits and parallel workers),`)
+	fmt.Println(`"\r" for resilience counters, "\q" for`)
 	fmt.Println(`compile-cache counters, "\f n" to page results n rows at a time off`)
 	fmt.Println(`the live cursor (\f 0 to turn paging off), "quit" or "exit" to leave`)
 

@@ -149,25 +149,39 @@ func ReportEvalJoin(w io.Writer, sizes []int) error {
 }
 
 // EvalJoinReport is the JSON document WriteEvalJoinJSON produces
-// (BENCH_eval.json).
+// (BENCH_eval.json). It carries two sweeps: the P6 naive-vs-planned join
+// table, and the P11 workers axis (morsel-parallel execution of a
+// remote-call scan, every point byte-compared against the serial run).
 type EvalJoinReport struct {
-	Experiment string          `json:"experiment"`
-	SQL        string          `json:"sql"`
-	Points     []EvalJoinPoint `json:"points"`
+	Experiment         string              `json:"experiment"`
+	SQL                string              `json:"sql"`
+	Points             []EvalJoinPoint     `json:"points"`
+	ParallelExperiment string              `json:"parallel_experiment,omitempty"`
+	ParallelQuery      string              `json:"parallel_query,omitempty"`
+	ParallelPoints     []EvalParallelPoint `json:"parallel_points,omitempty"`
 }
 
-// WriteEvalJoinJSON runs the join-cardinality sweep and writes it as JSON
-// to path (conventionally BENCH_eval.json) — the machine-readable record
-// the planner's ≥5×-at-1k×1k acceptance bar is checked against.
+// WriteEvalJoinJSON runs the join-cardinality sweep and the parallel
+// workers sweep and writes both as JSON to path (conventionally
+// BENCH_eval.json) — the machine-readable record the planner's
+// ≥5×-at-1k×1k and the parallel executor's ≥3×-at-8-workers acceptance
+// bars are checked against.
 func WriteEvalJoinJSON(path string, sizes []int) error {
 	points, err := RunEvalJoin(sizes)
 	if err != nil {
 		return err
 	}
+	parPoints, err := RunEvalParallel(DefaultEvalParallelRows, DefaultEvalParallelWorkers)
+	if err != nil {
+		return err
+	}
 	doc := EvalJoinReport{
-		Experiment: "P6 evaluator join planning: naive nested loop vs hash join",
-		SQL:        EvalJoinSQL,
-		Points:     points,
+		Experiment:         "P6 evaluator join planning: naive nested loop vs hash join",
+		SQL:                EvalJoinSQL,
+		Points:             points,
+		ParallelExperiment: "P11 morsel-parallel execution: workers sweep over a remote-call scan (byte-identical to serial)",
+		ParallelQuery:      EvalParallelQuery,
+		ParallelPoints:     parPoints,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

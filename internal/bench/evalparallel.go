@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// evalparallel.go is the P11 workload: morsel-style parallel execution of a
+// scan that performs one simulated remote data-service call per row — the
+// shape the paper's distributed join strategies (§3.3) care about, where
+// per-row latency, not CPU, dominates. The sweep times the same compiled
+// query at several worker counts and byte-compares every parallel run
+// against workers=1, which is the plain serial path.
+//
+// The simulated remote call blocks in a real nanosleep syscall rather than
+// time.Sleep: a blocking syscall releases the goroutine's P to the runtime,
+// so worker overlap (and therefore speedup) is visible even on a single-CPU
+// host, exactly as it would be against a network data service.
+
+// EvalParallelQuery is the P11 query: an invariant scan whose per-row work
+// is one dependent remote call. Written directly in XQuery because the
+// interesting axis is the evaluator, not the translator.
+const EvalParallelQuery = `import schema namespace b = "ld:BenchParallel" at "BenchParallel.xsd";
+for $c in b:CUSTOMERS()
+return <RECORD>{$c/CUSTOMERID}{b:CUSTDETAIL($c/CUSTOMERID)}</RECORD>`
+
+// DefaultEvalParallelRows is the outer-scan cardinality sweep.
+var DefaultEvalParallelRows = []int{10_000, 100_000}
+
+// DefaultEvalParallelWorkers is the degree-of-parallelism sweep; it must
+// start at 1, the serial baseline every other point is compared against.
+var DefaultEvalParallelWorkers = []int{1, 2, 4, 8}
+
+// evalParallelCallNanos is the simulated per-row remote latency requested
+// from the kernel. The effective floor is higher (timer slack), which is
+// fine: the sweep reports measured wall time, not the nominal latency.
+const evalParallelCallNanos = 100_000
+
+// EvalParallelPoint is one row of the P11 table.
+type EvalParallelPoint struct {
+	// Workload names the swept query shape.
+	Workload string `json:"workload"`
+	// Rows is the outer-scan cardinality (one remote call per row).
+	Rows int `json:"rows"`
+	// Workers is the configured degree of parallelism; 1 is the serial path.
+	Workers int `json:"workers"`
+	// GoMaxProcs records the host parallelism the run had available —
+	// context for the speedup (remote-latency workloads overlap even at 1).
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Nanos is the measured wall time of one full evaluation.
+	Nanos int64 `json:"ns"`
+	// SerialNanos is the workers=1 wall time for the same cardinality,
+	// repeated on every point so each row is self-contained.
+	SerialNanos int64 `json:"serial_ns"`
+	// SpeedupVs1 is SerialNanos / Nanos.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// evalParallelEngine registers the P11 sources: CUSTOMERS with n rows, and
+// CUSTDETAIL, a per-row "remote" call that blocks in a nanosleep syscall
+// before returning a detail element derived from its argument.
+func evalParallelEngine(n int) *xqeval.Engine {
+	customers := make([]*xdm.Element, n)
+	for i := 0; i < n; i++ {
+		row := xdm.NewElement("CUSTOMERS")
+		row.AddChild(xdm.NewTextElement("CUSTOMERID", fmt.Sprintf("%d", 1000+i)))
+		row.AddChild(xdm.NewTextElement("CUSTOMERNAME", fmt.Sprintf("Customer %d", i)))
+		customers[i] = row
+	}
+	e := xqeval.New()
+	e.RegisterRows("ld:BenchParallel", "CUSTOMERS", customers)
+	e.RegisterContext("ld:BenchParallel", "CUSTDETAIL", func(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		ts := syscall.Timespec{Nsec: evalParallelCallNanos}
+		syscall.Nanosleep(&ts, nil)
+		id := ""
+		if len(args) == 1 && len(args[0]) == 1 {
+			if el, ok := args[0][0].(*xdm.Element); ok {
+				id = el.StringValue()
+			} else {
+				id = args[0][0].String()
+			}
+		}
+		det := xdm.NewElement("CUSTDETAIL")
+		det.AddChild(xdm.NewTextElement("CUSTID", id))
+		det.AddChild(xdm.NewTextElement("TIER", fmt.Sprintf("T%d", len(id)%3)))
+		return xdm.SequenceOf(det), nil
+	})
+	return e
+}
+
+// drainStreamed pulls a cursor dry, folding each chunk's serialization
+// into a rolling FNV-1a digest and dropping the rows immediately — the
+// consumption pattern of a real streaming client, and deliberately free of
+// a growing materialized result whose GC scans would otherwise dominate
+// the large points on a small host. The digest still pins byte-identity
+// across worker counts: same rows in the same order, same digest.
+func drainStreamed(cur *xqeval.Cursor) (digest uint64, rows int64, err error) {
+	defer cur.Close()
+	digest = 14695981039346656037 // FNV-1a offset basis
+	for {
+		chunk, err := cur.Next()
+		if err == io.EOF {
+			return digest, rows, nil
+		}
+		if err != nil {
+			return digest, rows, err
+		}
+		for _, b := range []byte(xdm.MarshalSequence(chunk)) {
+			digest ^= uint64(b)
+			digest *= 1099511628211 // FNV-1a prime
+		}
+		rows++
+	}
+}
+
+// RunEvalParallel sweeps rows × workers over the P11 remote-call scan. The
+// query is compiled once per cardinality through the stats-aware path
+// (CompileAST, the production pipeline), executed through the streaming
+// cursor — the pipeline the morsel merger feeds in production — and
+// re-run under each worker count; every run's output must be
+// byte-identical (same row digest and count) to the workers=1 run of the
+// same cardinality.
+func RunEvalParallel(rowSizes, workerCounts []int) ([]EvalParallelPoint, error) {
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		return nil, fmt.Errorf("eval parallel sweep: worker counts must start at 1 (the serial baseline), got %v", workerCounts)
+	}
+	q, err := xqeval.Compile(EvalParallelQuery)
+	if err != nil {
+		return nil, fmt.Errorf("eval parallel workload: %w", err)
+	}
+	ctx := context.Background()
+	gmp := runtime.GOMAXPROCS(0)
+
+	var out []EvalParallelPoint
+	for _, n := range rowSizes {
+		e := evalParallelEngine(n)
+		plan, err := e.CompileAST(q, nil)
+		if err != nil {
+			return nil, fmt.Errorf("eval parallel compile (%d rows): %w", n, err)
+		}
+		var baseDigest uint64
+		var baseRows, serialNanos int64
+		for _, w := range workerCounts {
+			e.SetExec(xqeval.ExecConfig{Workers: w})
+			runtime.GC() // level the GC debt left by earlier points
+			start := time.Now()
+			digest, rows, err := drainStreamed(e.EvalStream(ctx, plan, nil, nil))
+			if err != nil {
+				return nil, fmt.Errorf("eval parallel %d rows × %d workers: %w", n, w, err)
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			if w == 1 {
+				baseDigest, baseRows, serialNanos = digest, rows, elapsed
+			} else if digest != baseDigest || rows != baseRows {
+				return nil, fmt.Errorf("eval parallel %d rows × %d workers: output diverges from serial", n, w)
+			}
+			pt := EvalParallelPoint{
+				Workload: "remote-call scan", Rows: n, Workers: w,
+				GoMaxProcs: gmp, Nanos: elapsed, SerialNanos: serialNanos,
+			}
+			if elapsed > 0 {
+				pt.SpeedupVs1 = float64(serialNanos) / float64(elapsed)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// ReportEvalParallel prints the P11 table.
+func ReportEvalParallel(w io.Writer, rowSizes, workerCounts []int) error {
+	fmt.Fprintln(w, "P11 Parallel execution: morsel workers over a remote-call scan")
+	fmt.Fprintf(w, "rows    workers  gomaxprocs  elapsed      speedup vs 1\n")
+	points, err := RunEvalParallel(rowSizes, workerCounts)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(w, "%-7d %-8d %-11d %-12s %.1fx\n",
+			p.Rows, p.Workers, p.GoMaxProcs,
+			time.Duration(p.Nanos).Round(time.Millisecond), p.SpeedupVs1)
+	}
+	return nil
+}

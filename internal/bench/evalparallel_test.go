@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestRunEvalParallelSmall exercises the P11 sweep at a cardinality just
+// above the parallel threshold: the parallel run must byte-match serial
+// (RunEvalParallel errors on divergence) and every point must be timed.
+func TestRunEvalParallelSmall(t *testing.T) {
+	points, err := RunEvalParallel([]int{5000}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Nanos <= 0 || p.SerialNanos <= 0 {
+			t.Fatalf("point not timed: %+v", p)
+		}
+		if p.Rows != 5000 || p.GoMaxProcs < 1 {
+			t.Fatalf("point malformed: %+v", p)
+		}
+	}
+	if points[0].Workers != 1 || points[0].SpeedupVs1 != 1 {
+		t.Fatalf("baseline point malformed: %+v", points[0])
+	}
+}
+
+// TestRunEvalParallelRequiresBaseline locks the workers=1-first contract.
+func TestRunEvalParallelRequiresBaseline(t *testing.T) {
+	if _, err := RunEvalParallel([]int{100}, []int{2, 4}); err == nil {
+		t.Fatal("sweep without a workers=1 baseline must be rejected")
+	}
+}

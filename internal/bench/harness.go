@@ -37,7 +37,14 @@ func Report(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return ReportStream(w, DefaultStreamRows)
+	if err := ReportStream(w, DefaultStreamRows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	// A reduced P11 sweep: one cardinality just above the parallel
+	// threshold keeps the human-readable report quick; the full rows ×
+	// workers table is what -evaljson records.
+	return ReportEvalParallel(w, []int{8192}, DefaultEvalParallelWorkers)
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

@@ -184,6 +184,20 @@ type Metrics struct {
 	PlanInvariantsHoisted Counter
 	TuplesPruned          Counter
 
+	// Parallel-execution counters (internal/xqeval parallel.go):
+	// ParallelWorkers counts morsel workers spawned across all parallel
+	// segments, MorselsProcessed counts morsels flushed through the ordered
+	// merge, and MergeBacklog is the high-water mark of completed morsels
+	// waiting on the merge point (bounded by the speculation window).
+	// SourceStatsHits/Misses count the planner's statistics lookups
+	// (stats.go) — misses mean a plan was built before its sources were
+	// observed.
+	ParallelWorkers   Counter
+	MorselsProcessed  Counter
+	MergeBacklog      Gauge
+	SourceStatsHits   Counter
+	SourceStatsMisses Counter
+
 	// Compile-cache counters (internal/qcache): lookups of CompiledQuery
 	// artifacts at the compiled-query boundary. Hits reuse a compiled
 	// artifact, misses compile one, shared lookups coalesced onto another
@@ -279,6 +293,12 @@ type Snapshot struct {
 	InvariantsHoisted    int64
 	TuplesPruned         int64
 
+	ParallelWorkers   int64
+	MorselsProcessed  int64
+	MergeBacklog      int64
+	SourceStatsHits   int64
+	SourceStatsMisses int64
+
 	CompileCacheHits          int64
 	CompileCacheMisses        int64
 	CompileCacheShared        int64
@@ -325,6 +345,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		PredicatesPushed:  m.PlanPredicatesPushed.Load(),
 		InvariantsHoisted: m.PlanInvariantsHoisted.Load(),
 		TuplesPruned:      m.TuplesPruned.Load(),
+
+		ParallelWorkers:   m.ParallelWorkers.Load(),
+		MorselsProcessed:  m.MorselsProcessed.Load(),
+		MergeBacklog:      m.MergeBacklog.Load(),
+		SourceStatsHits:   m.SourceStatsHits.Load(),
+		SourceStatsMisses: m.SourceStatsMisses.Load(),
 
 		CompileCacheHits:          m.CompileCacheHits.Load(),
 		CompileCacheMisses:        m.CompileCacheMisses.Load(),
@@ -391,6 +417,13 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.PlansBuilt > 0 {
 		fmt.Fprintf(w, "planner: plans=%d hash joins=%d predicates pushed=%d invariants hoisted=%d tuples pruned=%d\n",
 			s.PlansBuilt, s.HashJoins, s.PredicatesPushed, s.InvariantsHoisted, s.TuplesPruned)
+	}
+	if s.SourceStatsHits+s.SourceStatsMisses > 0 {
+		fmt.Fprintf(w, "source stats: hits=%d misses=%d\n", s.SourceStatsHits, s.SourceStatsMisses)
+	}
+	if s.ParallelWorkers > 0 {
+		fmt.Fprintf(w, "parallel: workers=%d morsels=%d peak merge backlog=%d\n",
+			s.ParallelWorkers, s.MorselsProcessed, s.MergeBacklog)
 	}
 	if s.CompileCacheHits+s.CompileCacheMisses+s.CompileCacheShared > 0 {
 		s.RenderCompileCache(w)

@@ -63,6 +63,9 @@ type CompiledQuery struct {
 	// Generation is the catalog metadata epoch the artifact was keyed
 	// under (zero when the metadata source does not version itself).
 	Generation uint64
+	// StatsGen is the evaluator's source-statistics epoch the artifact's
+	// plan was costed under; a stats refresh retires the cache entry.
+	StatsGen uint64
 	// Res is the completed translation: AST, result schema, contexts.
 	Res *translator.Result
 	// Plan is the evaluator's immutable execution plan over Res.Query. It
@@ -165,6 +168,11 @@ type Config struct {
 	// Generation supplies the catalog metadata epoch for keying; nil pins
 	// generation zero (unversioned metadata).
 	Generation func() uint64
+	// StatsGeneration supplies the evaluator's source-statistics epoch
+	// (xqeval.Engine.StatsGeneration); nil pins it to zero. Keying on it
+	// retires artifacts whose plans were costed against stale statistics:
+	// the next Get recompiles and picks up the fresh numbers.
+	StatsGeneration func() uint64
 }
 
 // Stats is a point-in-time snapshot of one cache's counters.
@@ -177,8 +185,10 @@ type Stats struct {
 	// Size is the current entry count; MaxEntries the configured bound.
 	Size       int
 	MaxEntries int
-	// Generation is the metadata epoch current lookups key under.
-	Generation uint64
+	// Generation is the metadata epoch current lookups key under;
+	// StatsGeneration is the statistics epoch.
+	Generation      uint64
+	StatsGeneration uint64
 }
 
 // Key identifies one cached artifact.
@@ -186,6 +196,9 @@ type Key struct {
 	SQL        string // normalized form
 	Mode       translator.ResultMode
 	Generation uint64
+	// StatsGen is the source-statistics epoch the artifact's plan was
+	// costed under.
+	StatsGen uint64
 }
 
 // Cache is the shared compiled-query cache. It is safe for concurrent
@@ -235,6 +248,13 @@ func (c *Cache) generation() uint64 {
 	return c.cfg.Generation()
 }
 
+func (c *Cache) statsGeneration() uint64 {
+	if c.cfg.StatsGeneration == nil {
+		return 0
+	}
+	return c.cfg.StatsGeneration()
+}
+
 // Get returns the compiled artifact for sql in the given mode, compiling
 // (at most once per key, however many callers race) on a miss. hit
 // reports whether the artifact was reused — from the cache or from
@@ -254,10 +274,10 @@ func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode,
 		}
 		return cq, false, cerr
 	}
-	// The generation read happens before c.mu so a Generation func that
+	// The generation reads happen before c.mu so a Generation func that
 	// consults other locks (the platform's metadata stack) never nests
 	// inside the cache's.
-	key := Key{SQL: norm, Mode: mode, Generation: c.generation()}
+	key := Key{SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -294,6 +314,7 @@ func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode,
 	if err == nil {
 		cq.NormalizedSQL = norm
 		cq.Generation = key.Generation
+		cq.StatsGen = key.StatsGen
 		if c.epoch == epoch {
 			c.storeLocked(key, cq)
 		}
@@ -312,7 +333,7 @@ func (c *Cache) Peek(sql string, mode translator.ResultMode) (*CompiledQuery, bo
 	if err != nil || c.cfg.MaxEntries < 0 {
 		return nil, false
 	}
-	key := Key{SQL: norm, Mode: mode, Generation: c.generation()}
+	key := Key{SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -366,11 +387,13 @@ func (c *Cache) Invalidate() {
 // Stats snapshots the cache's counters.
 func (c *Cache) Stats() Stats {
 	gen := c.generation()
+	sgen := c.statsGeneration()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Size = c.lru.Len()
 	s.MaxEntries = c.cfg.MaxEntries
 	s.Generation = gen
+	s.StatsGeneration = sgen
 	return s
 }

@@ -1,0 +1,44 @@
+package qcache
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/translator"
+)
+
+// TestStatsGenerationRetiresArtifacts mirrors the catalog-generation test
+// for the evaluator's statistics epoch: an explicit stats refresh
+// (ANALYZE) must retire every artifact whose plan was costed against the
+// old numbers, while a steady epoch keeps serving the cached compile.
+func TestStatsGenerationRetiresArtifacts(t *testing.T) {
+	var sgen uint64
+	c := New(Config{StatsGeneration: func() uint64 { return sgen }})
+	calls := 0
+	get := func() {
+		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get()
+	get()
+	if calls != 1 {
+		t.Fatalf("same stats generation recompiled (%d)", calls)
+	}
+	cq, hit, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls))
+	if err != nil || !hit {
+		t.Fatalf("expected a hit: hit=%v err=%v", hit, err)
+	}
+	if cq.StatsGen != sgen {
+		t.Fatalf("artifact stats generation = %d, want %d", cq.StatsGen, sgen)
+	}
+
+	sgen++ // stats refreshed underneath (ANALYZE)
+	get()
+	if calls != 2 {
+		t.Fatalf("stats-generation bump did not retire the artifact (%d compiles)", calls)
+	}
+	if s := c.Stats(); s.StatsGeneration != sgen {
+		t.Fatalf("stats generation in Stats() = %d, want %d", s.StatsGeneration, sgen)
+	}
+}

@@ -51,9 +51,23 @@ type Client struct {
 	session string
 }
 
-// Dial connects to a server over real HTTP and opens a session.
+// dialClient is the single pooled HTTP client every Dial session shares.
+// Each verb is one POST, so without keep-alive pooling a busy client fleet
+// re-handshakes TCP per request; one transport with a per-host idle pool
+// amortizes connections across all sessions to the same server.
+var dialClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Dial connects to a server over real HTTP and opens a session. All dialed
+// clients share one pooled, keep-alive transport.
 func Dial(baseURL string) (*Client, error) {
-	return connect(baseURL, &http.Client{})
+	return connect(baseURL, dialClient)
 }
 
 // Loopback binds a client directly to a server handler in-process: every

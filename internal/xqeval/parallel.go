@@ -1,0 +1,329 @@
+package xqeval
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+	"repro/internal/xdm"
+)
+
+// parallel.go is the morsel-style parallel executor. An eligible segment —
+// eager plan, a single driving tuple, an invariant non-hash outer for whose
+// source is already materialized — partitions that source into fixed-size
+// morsels claimed by a bounded worker pool. Each worker runs the segment's
+// remaining ops (filters, dependent fors/lets, hash-join probes against the
+// shared read-only build tables) over its morsel, buffering results; the
+// calling goroutine merges buffers strictly in morsel order, so the emitted
+// stream is byte-identical to the serial path's and ORDER BY barriers see
+// tuples in the exact serial sequence (the ordered-merge requirement comes
+// for free). A window of in-flight morsels (2× workers) bounds speculation
+// ahead of the merge point, which is what keeps FETCH FIRST short-circuits
+// cheap: when the limiter's stop sentinel comes back through emit, at most
+// window × morsel-size items were processed beyond the limit, and the
+// shared context cancels every worker promptly.
+//
+// Row/tuple resource limits are charged against a single shared atomic
+// budget seeded from (and folded back into) the evaluation's counters, so
+// MaxRows/MaxTuples are never exceeded no matter how morsels interleave;
+// speculation can only make a limit trip earlier, never deliver more.
+
+// ExecConfig configures parallel query execution. The zero value resolves
+// to GOMAXPROCS workers; Workers=1 (or any negative value) forces the
+// serial path, which is byte-identical anyway.
+type ExecConfig struct {
+	// Workers caps the worker pool per parallel segment. 0 resolves to
+	// runtime.GOMAXPROCS(0); 1 or less disables parallel execution.
+	Workers int
+	// MorselSize is the number of outer-scan items per work unit
+	// (default 1024). Smaller morsels balance skewed per-item cost at more
+	// coordination overhead.
+	MorselSize int
+	// MinParallelItems is the smallest outer scan worth fanning out
+	// (default 4096); below it the serial path always wins.
+	MinParallelItems int
+}
+
+func (c ExecConfig) withDefaults() ExecConfig {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.MorselSize <= 0 {
+		c.MorselSize = 1024
+	}
+	if c.MinParallelItems <= 0 {
+		c.MinParallelItems = 4096
+	}
+	return c
+}
+
+// parCounters is the shared row/tuple budget across one parallel segment's
+// workers. Seeded from the evaluation's counters before the fan-out and
+// folded back after the join, it makes countRows/countTuple atomic in
+// worker scopes (scope.par) so resource limits hold exactly.
+type parCounters struct {
+	rows   atomic.Int64
+	tuples atomic.Int64
+}
+
+// canParallel reports whether one segment qualifies for morsel execution
+// under the engine's installed ExecConfig, returning the resolved config.
+// The shape requirements: exactly one driving tuple (so morsels partition
+// one scan, not a cross product), an invariant plain for as the first op
+// with its source already materialized by prepare (eager plans only), at
+// least MinParallelItems of it, a live evaluation (counters present), and
+// not already inside a parallel region (no nested fan-out).
+func (ex *flworExec) canParallel(ops []planOp, tuples []*scope) (ExecConfig, bool) {
+	if !ex.fp.eager || len(tuples) != 1 {
+		return ExecConfig{}, false
+	}
+	base := tuples[0]
+	if base.engine == nil || base.counters == nil || base.par != nil {
+		return ExecConfig{}, false
+	}
+	if len(ops) == 0 || ops[0].kind != opKindFor || !ops[0].invariant || ops[0].hash != nil {
+		return ExecConfig{}, false
+	}
+	st := &ex.states[ops[0].stateIdx]
+	if !st.done {
+		return ExecConfig{}, false
+	}
+	cfg := base.engine.Exec()
+	if cfg.Workers <= 1 || len(st.seq) < cfg.MinParallelItems {
+		return ExecConfig{}, false
+	}
+	return cfg, true
+}
+
+// morselResult is one morsel's buffered output: return values on the final
+// segment, surviving tuple scopes on a barrier segment, and the first
+// error the morsel hit (processing stops there, so vals/tups hold the
+// morsel's pre-error prefix).
+type morselResult struct {
+	vals []xdm.Sequence
+	tups []*scope
+	err  error
+}
+
+// runParallel fans ops[0]'s materialized source out to morsel workers.
+// With final=true each surviving tuple's return value is buffered and the
+// merger forwards buffers to emit in morsel order; otherwise the surviving
+// scopes are collected and returned (the caller's barrier input), fixed up
+// to the caller's context and counters since execution is single-threaded
+// again from there.
+func (ex *flworExec) runParallel(ops []planOp, base *scope, cfg ExecConfig, final bool, emit func(xdm.Sequence) error) ([]*scope, error) {
+	op := &ops[0]
+	seq := ex.states[op.stateIdx].seq
+	num := (len(seq) + cfg.MorselSize - 1) / cfg.MorselSize
+	workers := min(cfg.Workers, num)
+	window := min(workers*2, num)
+
+	parentCtx := base.goCtx
+	if parentCtx == nil {
+		parentCtx = context.Background()
+	}
+	workCtx, cancel := context.WithCancel(parentCtx)
+
+	par := &parCounters{}
+	par.rows.Store(base.counters.rows)
+	par.tuples.Store(base.counters.tuples)
+
+	results := make([]*morselResult, num)
+	done := make([]chan struct{}, num)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// tokens is the speculation window: a worker takes one to claim a
+	// morsel, the merger returns it when that morsel is flushed. Claims are
+	// strictly ascending, so every morsel the merger waits on was claimed
+	// and will close its done channel.
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	var claim, completed, workerSteps, workerPruned atomic.Int64
+
+	obsv.Global.ParallelWorkers.Add(int64(workers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc := &evalCounters{}
+			defer func() {
+				workerSteps.Add(wc.steps)
+				workerPruned.Add(wc.pruned)
+			}()
+			ws := *base
+			ws.goCtx = workCtx
+			ws.counters = wc
+			ws.par = par
+			for {
+				select {
+				case <-workCtx.Done():
+					return
+				case <-tokens:
+				}
+				m := int(claim.Add(1)) - 1
+				if m >= num {
+					return
+				}
+				r := &morselResult{}
+				ex.runMorsel(ops, &ws, seq, m*cfg.MorselSize, min((m+1)*cfg.MorselSize, len(seq)), final, r)
+				results[m] = r
+				close(done[m])
+				completed.Add(1)
+				if r.err != nil {
+					// Cancel siblings promptly; the merger selects the
+					// error to surface.
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+	// join tears the pool down and folds worker accounting back into the
+	// caller's counters — on every exit path, including mid-merge errors.
+	joined := false
+	join := func() {
+		if joined {
+			return
+		}
+		joined = true
+		cancel()
+		wg.Wait()
+		base.counters.rows = par.rows.Load()
+		base.counters.tuples = par.tuples.Load()
+		base.counters.steps += workerSteps.Load()
+		base.counters.pruned += workerPruned.Load()
+	}
+	defer join()
+
+	// Merge strictly in morsel order — the emitted stream is exactly the
+	// serial one.
+	var collected []*scope
+	for m := 0; m < num; m++ {
+		<-done[m]
+		r := results[m]
+		if r.err != nil {
+			join()
+			return nil, ex.selectError(results, m, r, final, emit)
+		}
+		if final {
+			for _, v := range r.vals {
+				if err := emit(v); err != nil {
+					// Includes the FETCH FIRST limiter's stop sentinel:
+					// propagate unwrapped after cancelling the pool.
+					join()
+					return nil, err
+				}
+			}
+		} else {
+			collected = append(collected, r.tups...)
+		}
+		results[m] = nil
+		obsv.Global.MorselsProcessed.Inc()
+		obsv.Global.MergeBacklog.SetMax(completed.Load() - int64(m+1))
+		tokens <- struct{}{}
+	}
+	join()
+	if !final {
+		// Execution is single-threaded past the fan-in: re-home the
+		// surviving scopes on the caller's context and counters (derived
+		// scopes copy these fields from the head they are bound off).
+		for _, t := range collected {
+			t.goCtx = base.goCtx
+			t.counters = base.counters
+			t.par = nil
+		}
+	}
+	return collected, nil
+}
+
+// runMorsel processes outer-scan items [start,end) through ops[1:],
+// buffering into r and stopping at the first error.
+func (ex *flworExec) runMorsel(ops []planOp, ws *scope, seq xdm.Sequence, start, end int, final bool, r *morselResult) {
+	var sink tupleSink
+	if final {
+		sink = func(t2 *scope) error {
+			if err := t2.checkCancel(); err != nil {
+				return err
+			}
+			v, err := evalExpr(ex.fp.flwor.Return, t2)
+			if err != nil {
+				return err
+			}
+			// Charge the shared budget before buffering: a row is never
+			// delivered without having been counted, so MaxRows holds
+			// across every interleaving.
+			if err := t2.countRows(len(v)); err != nil {
+				return err
+			}
+			r.vals = append(r.vals, v)
+			return nil
+		}
+	} else {
+		sink = func(t2 *scope) error {
+			r.tups = append(r.tups, t2)
+			return nil
+		}
+	}
+	op := &ops[0]
+	for idx := start; idx < end; idx++ {
+		if err := ws.checkCancel(); err != nil {
+			r.err = err
+			return
+		}
+		if err := ws.countTuple(); err != nil {
+			r.err = err
+			return
+		}
+		nt := ws.bind(op.forClause.Var, xdm.SequenceOf(seq[idx]))
+		if op.forClause.At != "" {
+			nt = nt.bind(op.forClause.At, xdm.SequenceOf(xdm.Integer(idx+1)))
+		}
+		if err := ex.feed(ops, 1, nt, sink); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+// selectError picks the error to surface when the merge hits an errored
+// morsel m. A genuine evaluation error cancels the pool, so later-claimed
+// morsels (and cancelled siblings at earlier indices) report context
+// errors that serial execution would never have produced; preferring the
+// first non-context error in morsel order recovers the serial-most
+// failure. When the erroring morsel is m itself on the final segment, its
+// buffered prefix is emitted first — the rows serial execution delivered
+// before failing. The pool is already joined; results reads are safe.
+func (ex *flworExec) selectError(results []*morselResult, m int, r *morselResult, final bool, emit func(xdm.Sequence) error) error {
+	chosen, idx := r.err, m
+	if isContextErr(chosen) {
+		for j := m + 1; j < len(results); j++ {
+			if rj := results[j]; rj != nil && rj.err != nil && !isContextErr(rj.err) {
+				chosen, idx = rj.err, j
+				break
+			}
+		}
+	}
+	if final && idx == m {
+		for _, v := range r.vals {
+			if err := emit(v); err != nil {
+				return err
+			}
+		}
+	}
+	return chosen
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

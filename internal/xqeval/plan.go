@@ -42,6 +42,26 @@ type Plan struct {
 	HashJoins         int
 	PredicatesPushed  int
 	InvariantsHoisted int
+	// StatsSources counts scans the cost model annotated with an estimated
+	// cardinality — zero when the plan was built without statistics (the
+	// structural fallback) or before any source had been observed.
+	StatsSources int
+}
+
+// StatsProvider supplies per-data-service statistics to the planner; the
+// Engine implements it (stats.go). A nil provider yields the structural
+// plan — identical decisions to the pre-statistics planner.
+type StatsProvider interface {
+	SourceStats(namespace, local string) (*SourceStats, bool)
+}
+
+// scanRef statically identifies a for-source as one registered data
+// service function: a zero-argument call through a prolog-bound prefix.
+// It is the key under which statistics are collected and looked up.
+type scanRef struct {
+	prefix    string
+	namespace string
+	local     string
 }
 
 // flworPlan is the pipeline for one FLWOR: streaming segments separated by
@@ -53,6 +73,12 @@ type flworPlan struct {
 	// numStates sizes the per-execution state array (invariant caches and
 	// hash tables, keyed by op stateIdx).
 	numStates int
+	// eager marks a stats-built plan: invariant states and hash tables are
+	// materialized up front (before the tuple loop) rather than lazily on
+	// the first tuple, enabling the empty-build early-out and the parallel
+	// executor's shared read-only build tables. Error *timing* may differ
+	// from the lazy path (§2.3.4 latitude); values never do.
+	eager bool
 }
 
 // planSegment is a run of streaming ops ending at an optional barrier
@@ -95,6 +121,13 @@ type planOp struct {
 
 	// hash turns an invariant for into a hash join.
 	hash *hashJoinSpec
+
+	// scan is set when the for-source is a statically resolvable data
+	// service call — the statistics key for lazy collection and cost
+	// lookup. estRows is the stats-estimated source cardinality, -1 when
+	// unknown (no provider, or source not yet observed).
+	scan    *scanRef
+	estRows int64
 }
 
 // hashJoinSpec executes an equi-join conjunct as a build/probe hash join:
@@ -109,15 +142,49 @@ type hashJoinSpec struct {
 	// existential comparison); the executor verifies every hash candidate
 	// under the exact operator semantics.
 	valueCmp bool
+
+	// Cost-model annotations (stats-built plans only; see pickHashConjunct).
+	// keyCol is the build-side key column when the build expression is a
+	// single-step path off the for variable; estBuild/estDistinct are the
+	// estimated build cardinality and key distinctness (-1/0 = unknown);
+	// statsPick records that statistics chose this key over at least one
+	// other hashable equi-conjunct.
+	keyCol      string
+	estBuild    int64
+	estDistinct int64
+	statsPick   bool
 }
 
-// NewPlan plans every FLWOR in the query body. The result is immutable and
-// safe for concurrent executions.
+// NewPlan plans every FLWOR in the query body structurally, with no
+// statistics input. The result is immutable and safe for concurrent
+// executions. The differential oracle compares this plan against the naive
+// pipeline, so its decisions stay purely syntactic.
 func NewPlan(q *xquery.Query) *Plan {
+	return buildPlan(q, nil)
+}
+
+// NewPlanStats plans with a statistics provider: scans resolved against
+// the prolog's schema imports are annotated with estimated cardinalities,
+// hash joins carry build-side cost estimates, and when a join offers
+// several hashable equi-conjuncts the highest-distinct key wins (an
+// order-preserving choice — unchosen conjuncts remain ordinary filters, so
+// the tuple stream is identical to the structural plan's). Stats-built
+// plans also evaluate invariant states eagerly, which lets empty build
+// sides short-circuit whole segments. A provider with no observations
+// degrades to exactly the structural plan, plus eagerness.
+func NewPlanStats(q *xquery.Query, sp StatsProvider) *Plan {
+	return buildPlan(q, sp)
+}
+
+func buildPlan(q *xquery.Query, sp StatsProvider) *Plan {
 	p := &Plan{Query: q, Stream: planStream(q.Body), flwors: map[*xquery.FLWOR]*flworPlan{}}
+	pc := &planCtx{sp: sp, prefixes: map[string]string{}}
+	for _, imp := range q.Prolog.SchemaImports {
+		pc.prefixes[imp.Prefix] = imp.Namespace
+	}
 	xquery.WalkExprs(q.Body, func(e xquery.Expr) bool {
 		if f, ok := e.(*xquery.FLWOR); ok {
-			fp := planFLWOR(f, p)
+			fp := planFLWOR(f, p, pc)
 			fp.id = len(p.ordered) + 1
 			p.flwors[f] = fp
 			p.ordered = append(p.ordered, fp)
@@ -129,6 +196,45 @@ func NewPlan(q *xquery.Query) *Plan {
 	obsv.Global.PlanPredicatesPushed.Add(int64(p.PredicatesPushed))
 	obsv.Global.PlanInvariantsHoisted.Add(int64(p.InvariantsHoisted))
 	return p
+}
+
+// planCtx carries per-query planning inputs: the prolog's prefix bindings
+// (to resolve scan sources) and the optional statistics provider.
+type planCtx struct {
+	prefixes map[string]string
+	sp       StatsProvider
+}
+
+// resolveScan recognizes a for-source of the form prefix:LOCAL() — a
+// zero-argument data service call through a prolog-bound prefix.
+func (pc *planCtx) resolveScan(e xquery.Expr) *scanRef {
+	fc, ok := e.(*xquery.FuncCall)
+	if !ok || len(fc.Args) != 0 {
+		return nil
+	}
+	i := strings.IndexByte(fc.Name, ':')
+	if i < 0 {
+		return nil
+	}
+	prefix, local := fc.Name[:i], fc.Name[i+1:]
+	ns, ok := pc.prefixes[prefix]
+	if !ok {
+		return nil
+	}
+	return &scanRef{prefix: prefix, namespace: ns, local: local}
+}
+
+// sourceStats looks up statistics for a resolved scan; nil when no
+// provider is installed or the source has not been observed.
+func (pc *planCtx) sourceStats(ref *scanRef) *SourceStats {
+	if pc.sp == nil || ref == nil {
+		return nil
+	}
+	st, ok := pc.sp.SourceStats(ref.namespace, ref.local)
+	if !ok {
+		return nil
+	}
+	return st
 }
 
 // pipeEntry is one non-where clause during planning, with the set of local
@@ -148,8 +254,8 @@ type pendingCond struct {
 	consumed bool // absorbed into a hash join
 }
 
-func planFLWOR(f *xquery.FLWOR, p *Plan) *flworPlan {
-	fp := &flworPlan{flwor: f}
+func planFLWOR(f *xquery.FLWOR, p *Plan, pc *planCtx) *flworPlan {
+	fp := &flworPlan{flwor: f, eager: pc.sp != nil}
 
 	entries, conds, rewrite := layoutFLWOR(f)
 
@@ -179,7 +285,7 @@ func planFLWOR(f *xquery.FLWOR, p *Plan) *flworPlan {
 		}
 		switch c := ent.clause.(type) {
 		case *xquery.For:
-			op := planOp{kind: opKindFor, forClause: c, stateIdx: -1}
+			op := planOp{kind: opKindFor, forClause: c, stateIdx: -1, estRows: -1}
 			if rewrite && !xquery.UsesVars(c.In, localBefore) {
 				op.invariant = true
 				op.hoisted = sawFor
@@ -188,8 +294,14 @@ func planFLWOR(f *xquery.FLWOR, p *Plan) *flworPlan {
 				if op.hoisted {
 					p.InvariantsHoisted++
 				}
+				op.scan = pc.resolveScan(c.In)
+				st := pc.sourceStats(op.scan)
+				if st != nil {
+					op.estRows = st.Rows
+					p.StatsSources++
+				}
 				if c.At == "" {
-					if spec := findHashConjunct(c, conds, j, localBefore); spec != nil {
+					if spec := pickHashConjunct(c, conds, j, localBefore, st); spec != nil {
 						op.hash = spec
 						p.HashJoins++
 					}
@@ -314,12 +426,22 @@ func placeConjunct(conj xquery.Expr, entries []pipeEntry, localAll map[string]bo
 	return origin
 }
 
-// findHashConjunct looks among the conjuncts placed at slot j for the first
-// equi-join the for clause can execute as a hash join: one comparison side
+// pickHashConjunct looks among the conjuncts placed at slot j for
+// equi-joins the for clause can execute as a hash join: one comparison side
 // referencing exactly the for variable, the other referencing only earlier
 // bindings (at least one, so it is a genuine join and not a constant
-// filter). The matched conjunct is consumed.
-func findHashConjunct(c *xquery.For, conds []pendingCond, j int, localBefore map[string]bool) *hashJoinSpec {
+// filter). Without statistics the first match wins — the original
+// structural rule. With statistics and several candidates, the key with the
+// highest estimated distinctness wins (fewest expected matches per probe);
+// every unchosen candidate remains an ordinary filter, so the choice never
+// changes which tuples flow or in what order. The chosen conjunct is
+// consumed.
+func pickHashConjunct(c *xquery.For, conds []pendingCond, j int, localBefore map[string]bool, st *SourceStats) *hashJoinSpec {
+	type candidate struct {
+		pc   *pendingCond
+		spec *hashJoinSpec
+	}
+	var cands []candidate
 	for i := range conds {
 		pc := &conds[i]
 		if pc.slot != j || pc.consumed {
@@ -334,10 +456,44 @@ func findHashConjunct(c *xquery.For, conds []pendingCond, j int, localBefore map
 			continue
 		}
 		spec.valueCmp = b.Op == "eq"
-		pc.consumed = true
-		return spec
+		spec.keyCol = joinKeyColumn(spec.buildExpr, c.Var)
+		spec.estBuild = -1
+		if st != nil {
+			spec.estBuild = st.Rows
+			spec.estDistinct = st.DistinctFor(spec.keyCol)
+		}
+		cands = append(cands, candidate{pc, spec})
 	}
-	return nil
+	if len(cands) == 0 {
+		return nil
+	}
+	best := 0
+	if st != nil && len(cands) > 1 {
+		for i := 1; i < len(cands); i++ {
+			if cands[i].spec.estDistinct > cands[best].spec.estDistinct {
+				best = i
+			}
+		}
+		cands[best].spec.statsPick = best != 0
+	}
+	cands[best].pc.consumed = true
+	return cands[best].spec
+}
+
+// joinKeyColumn extracts the build-side key column when the expression is a
+// bare single-step child path off the for variable ($v/COL) — the shape
+// every translator-generated equi-join takes. Other shapes cost-annotate
+// with an unknown key.
+func joinKeyColumn(e xquery.Expr, forVar string) string {
+	p, ok := e.(*xquery.Path)
+	if !ok || len(p.Steps) != 1 || p.Steps[0].Name == "*" || len(p.Steps[0].Predicates) != 0 {
+		return ""
+	}
+	v, ok := p.Base.(*xquery.Var)
+	if !ok || v.Name != forVar {
+		return ""
+	}
+	return p.Steps[0].Name
 }
 
 func classifyJoinSides(b *xquery.Binary, forVar string, localBefore map[string]bool) *hashJoinSpec {
@@ -398,8 +554,12 @@ func mergeVarSets(a, b map[string]bool) map[string]bool {
 // Describe renders the plan as indented text lines for EXPLAIN output:
 // one summary line, then each FLWOR's pipeline in execution order.
 func (p *Plan) Describe() []string {
-	lines := []string{fmt.Sprintf("flwors: %d, hash joins: %d, predicates pushed: %d, invariants hoisted: %d",
-		len(p.ordered), p.HashJoins, p.PredicatesPushed, p.InvariantsHoisted)}
+	stats := "none"
+	if p.StatsSources > 0 {
+		stats = fmt.Sprintf("%d scans", p.StatsSources)
+	}
+	lines := []string{fmt.Sprintf("flwors: %d, hash joins: %d, predicates pushed: %d, invariants hoisted: %d, stats: %s",
+		len(p.ordered), p.HashJoins, p.PredicatesPushed, p.InvariantsHoisted, stats)}
 	for _, fp := range p.ordered {
 		lines = append(lines, fmt.Sprintf("flwor %d:", fp.id))
 		for _, seg := range fp.segments {
@@ -421,11 +581,33 @@ func describeOp(op planOp) string {
 		if op.hash != nil {
 			fmt.Fprintf(&b, "hash join $%s in %s", op.forClause.Var, exprText(op.forClause.In))
 			fmt.Fprintf(&b, " [build %s probe %s]", exprText(op.hash.buildExpr), exprText(op.hash.probeExpr))
+			if h := op.hash; h.estBuild >= 0 {
+				key := h.keyCol
+				if key == "" {
+					key = "?"
+				}
+				fmt.Fprintf(&b, " [cost: ~%d build rows, key %s ~%d distinct", h.estBuild, key, h.estDistinct)
+				if h.estDistinct > 0 {
+					matches := h.estBuild / h.estDistinct
+					if matches < 1 {
+						matches = 1
+					}
+					fmt.Fprintf(&b, ", ~%d matches/probe", matches)
+				}
+				if h.statsPick {
+					b.WriteString(", stats-picked key")
+				}
+				b.WriteString("]")
+			}
 			return b.String()
 		}
 		fmt.Fprintf(&b, "for $%s in %s", op.forClause.Var, exprText(op.forClause.In))
 		if op.invariant {
-			b.WriteString(" [invariant]")
+			if op.estRows >= 0 {
+				fmt.Fprintf(&b, " [invariant, ~%d rows]", op.estRows)
+			} else {
+				b.WriteString(" [invariant]")
+			}
 		}
 		return b.String()
 	case opKindLet:

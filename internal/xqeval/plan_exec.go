@@ -49,52 +49,131 @@ func execPlannedFLWOR(fp *flworPlan, env *scope) (xdm.Sequence, error) {
 // return value to emit as it is produced. The final segment streams
 // straight from the tuple sink into emit — this is the cursor boundary
 // EvalStream pulls from; earlier segments materialize for their barrier.
+//
+// Stats-built (eager) plans materialize each segment's invariant states and
+// hash tables before its tuple loop, which enables two things the lazy path
+// cannot do: an empty invariant source or build side proves the segment
+// emits nothing, so the whole tuple loop is skipped; and with the shared
+// state read-only from then on, an eligible segment can fan its outer scan
+// out to morsel workers (parallel.go) without synchronizing on it.
 func execPlannedFLWORTo(fp *flworPlan, env *scope, emit func(xdm.Sequence) error) error {
 	ex := &flworExec{fp: fp, states: make([]opState, fp.numStates)}
 	tuples := []*scope{env}
 	for si, seg := range fp.segments {
-		if si < len(fp.segments)-1 {
-			var next []*scope
+		final := si == len(fp.segments)-1
+		dead := false
+		if fp.eager && len(tuples) > 0 {
+			var err error
+			dead, err = ex.prepare(seg.ops, tuples[0])
+			if err != nil {
+				return err
+			}
+		}
+		if final {
+			if dead {
+				return nil
+			}
+			if cfg, ok := ex.canParallel(seg.ops, tuples); ok {
+				_, err := ex.runParallel(seg.ops, tuples[0], cfg, true, emit)
+				return err
+			}
 			for _, t := range tuples {
 				err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
-					next = append(next, t2)
-					return nil
+					if err := t2.checkCancel(); err != nil {
+						return err
+					}
+					v, err := evalExpr(fp.flwor.Return, t2)
+					if err != nil {
+						return err
+					}
+					if err := t2.countRows(len(v)); err != nil {
+						return err
+					}
+					return emit(v)
 				})
 				if err != nil {
 					return err
 				}
 			}
-			if seg.barrier != nil {
+			return nil
+		}
+		var next []*scope
+		if !dead {
+			if cfg, ok := ex.canParallel(seg.ops, tuples); ok {
 				var err error
-				next, err = applyClause(seg.barrier, next)
+				next, err = ex.runParallel(seg.ops, tuples[0], cfg, false, nil)
 				if err != nil {
 					return err
+				}
+			} else {
+				for _, t := range tuples {
+					err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
+						next = append(next, t2)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
 				}
 			}
-			tuples = next
-			continue
 		}
-		for _, t := range tuples {
-			err := ex.feed(seg.ops, 0, t, func(t2 *scope) error {
-				if err := t2.checkCancel(); err != nil {
-					return err
-				}
-				v, err := evalExpr(fp.flwor.Return, t2)
-				if err != nil {
-					return err
-				}
-				if err := t2.countRows(len(v)); err != nil {
-					return err
-				}
-				return emit(v)
-			})
+		if seg.barrier != nil {
+			var err error
+			next, err = applyClause(seg.barrier, next)
 			if err != nil {
 				return err
 			}
 		}
-		return nil
+		tuples = next
 	}
-	return nil // unreachable: there is always a final segment
+	return nil
+}
+
+// prepare eagerly fills every invariant state in one segment's ops,
+// evaluating against t (soundly: invariance means the expressions see
+// identical bindings from every tuple). It reports dead=true as soon as an
+// invariant for's source — hash build side included — is empty: no tuple
+// can survive that op, so the caller skips the segment's tuple loop
+// entirely. Freshly scanned sources feed the statistics store on the way
+// past (stats.go).
+func (ex *flworExec) prepare(ops []planOp, t *scope) (dead bool, err error) {
+	for i := range ops {
+		op := &ops[i]
+		if !op.invariant {
+			continue
+		}
+		st := &ex.states[op.stateIdx]
+		switch op.kind {
+		case opKindFor:
+			if !st.done {
+				s, err := evalExpr(op.forClause.In, t)
+				if err != nil {
+					return false, err
+				}
+				maybeObserveScan(t, op, s)
+				st.seq, st.done = s, true
+			}
+			if op.hash != nil && st.hash == nil {
+				h, err := buildHashTable(op, t, st.seq)
+				if err != nil {
+					return false, err
+				}
+				st.hash = h
+			}
+			if len(st.seq) == 0 {
+				return true, nil
+			}
+		case opKindLet:
+			if !st.done {
+				s, err := evalExpr(op.letClause.Expr, t)
+				if err != nil {
+					return false, err
+				}
+				st.seq, st.done = s, true
+			}
+		}
+	}
+	return false, nil
 }
 
 // feed pushes one tuple through ops[i:], calling out for each survivor.
@@ -151,6 +230,7 @@ func (ex *flworExec) feed(ops []planOp, i int, t *scope, out tupleSink) error {
 				if err != nil {
 					return err
 				}
+				maybeObserveScan(t, op, s)
 				st.seq, st.done = s, true
 			}
 			seq = st.seq
