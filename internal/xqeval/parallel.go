@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/aqerr"
 	"repro/internal/obsv"
 	"repro/internal/xdm"
 )
@@ -26,10 +27,26 @@ import (
 // window × morsel-size items were processed beyond the limit, and the
 // shared context cancels every worker promptly.
 //
-// Row/tuple resource limits are charged against a single shared atomic
-// budget seeded from (and folded back into) the evaluation's counters, so
-// MaxRows/MaxTuples are never exceeded no matter how morsels interleave;
-// speculation can only make a limit trip earlier, never deliver more.
+// Resource limits are enforced in two stages. Workers charge a shared
+// atomic budget (parCounters) seeded from the evaluation's counters, which
+// bounds the total work speculation can buffer: once the budget trips,
+// every later speculative charge trips too. But the budget is only a bound,
+// not a verdict — it both overcharges (morsels ahead of the merge point
+// that a FETCH FIRST short-circuit or an earlier error will discard) and
+// undercharges (a late-indexed morsel can run before an earlier one has
+// charged) relative to serial order. So a worker-side trip is tentative
+// (speculativeLimit), and the merger keeps the authoritative serial
+// counters: exactly what serial execution would have charged for everything
+// merged so far. Any morsel whose recorded charges would cross a limit at
+// its serial position — and any morsel that tripped speculatively or was
+// truncated by a sibling's cancellation — is re-run single-threaded against
+// those counters (everything it reads is immutable, so the re-run IS the
+// serial execution of that morsel, at the cost of re-invoking its source
+// calls). The result: rows delivered, the error surfaced, and the counters
+// folded back into the caller are all byte-identical to the serial path,
+// on success, on limit trips, on evaluation errors, and under FETCH FIRST
+// — the only latitude left is external cancellation, whose timing is
+// inherently racy in both paths.
 
 // ExecConfig configures parallel query execution. The zero value resolves
 // to GOMAXPROCS workers; Workers=1 (or any negative value) forces the
@@ -64,12 +81,39 @@ func (c ExecConfig) withDefaults() ExecConfig {
 }
 
 // parCounters is the shared row/tuple budget across one parallel segment's
-// workers. Seeded from the evaluation's counters before the fan-out and
-// folded back after the join, it makes countRows/countTuple atomic in
-// worker scopes (scope.par) so resource limits hold exactly.
+// workers. Seeded from the evaluation's counters before the fan-out, it
+// bounds the total work speculation can buffer; it is deliberately NOT
+// folded back into the caller — the merge loop's serial counters are the
+// authoritative values, so charges by discarded morsels are refunded.
 type parCounters struct {
 	rows   atomic.Int64
 	tuples atomic.Int64
+}
+
+// speculativeLimit wraps a MaxRows/MaxTuples error raised against the
+// shared speculative budget. The budget counts every worker's charges in
+// whatever order they land, so a trip proves only that parallel
+// speculation hit the cap — not that serial execution would have. The
+// merger treats it as a checkpoint: the morsel is re-run single-threaded
+// against the authoritative serial counters, and only a trip in that
+// re-run surfaces. A speculativeLimit therefore never crosses the
+// executor's boundary.
+type speculativeLimit struct{ err error }
+
+func (e *speculativeLimit) Error() string { return e.err.Error() }
+func (e *speculativeLimit) Unwrap() error { return e.err }
+
+// speculativeLimitErr builds a tentative budget-trip error. It bypasses
+// limitErr on purpose: obsv's ResourceLimitHits counts evaluations a guard
+// actually aborted, and a tentative trip may yet be refuted at the merge
+// point (the authoritative re-run goes through limitErr if it trips).
+func speculativeLimitErr(format string, args ...any) error {
+	return &speculativeLimit{aqerr.Errorf(aqerr.KindResourceLimit, "evaluate", format, args...)}
+}
+
+func isSpeculativeLimit(err error) bool {
+	var s *speculativeLimit
+	return errors.As(err, &s)
 }
 
 // canParallel reports whether one segment qualifies for morsel execution
@@ -104,11 +148,18 @@ func (ex *flworExec) canParallel(ops []planOp, tuples []*scope) (ExecConfig, boo
 // morselResult is one morsel's buffered output: return values on the final
 // segment, surviving tuple scopes on a barrier segment, and the first
 // error the morsel hit (processing stops there, so vals/tups hold the
-// morsel's pre-error prefix).
+// morsel's pre-error prefix). The charge ledger — how many tuples the
+// morsel charged in total, and the running tuple count at the moment each
+// val was buffered — is what lets the merge loop advance the authoritative
+// serial counters exactly, including through a mid-morsel FETCH FIRST stop.
 type morselResult struct {
 	vals []xdm.Sequence
 	tups []*scope
 	err  error
+
+	rowsCharged   int64
+	tuplesCharged int64
+	tupleAt       []int64
 }
 
 // runParallel fans ops[0]'s materialized source out to morsel workers.
@@ -141,8 +192,8 @@ func (ex *flworExec) runParallel(ops []planOp, base *scope, cfg ExecConfig, fina
 	}
 	// tokens is the speculation window: a worker takes one to claim a
 	// morsel, the merger returns it when that morsel is flushed. Claims are
-	// strictly ascending, so every morsel the merger waits on was claimed
-	// and will close its done channel.
+	// strictly ascending, so the set of claimed morsels is always a prefix
+	// of [0, num).
 	tokens := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		tokens <- struct{}{}
@@ -179,15 +230,27 @@ func (ex *flworExec) runParallel(ops []planOp, base *scope, cfg ExecConfig, fina
 				results[m] = r
 				close(done[m])
 				completed.Add(1)
-				if r.err != nil {
-					// Cancel siblings promptly; the merger selects the
-					// error to surface.
+				if r.err != nil && !isSpeculativeLimit(r.err) {
+					// A genuine error: cancel siblings promptly; the merger
+					// decides what surfaces. Tentative budget trips must NOT
+					// cancel — a tripped budget makes every later speculative
+					// charge trip immediately, so the remaining morsels drain
+					// cheaply while the merger re-checks serially.
 					cancel()
 					return
 				}
 			}
 		}()
 	}
+
+	// serRows/serTuples are the authoritative serial counters: exactly what
+	// the serial path would have charged for everything merged so far. They
+	// advance only at the merge point, so charges by morsels that are
+	// discarded (past a FETCH FIRST stop, beyond an error) are refunded for
+	// free, and join folds them — never the speculative budget — back into
+	// the caller's counters.
+	serRows := base.counters.rows
+	serTuples := base.counters.tuples
 
 	// join tears the pool down and folds worker accounting back into the
 	// caller's counters — on every exit path, including mid-merge errors.
@@ -199,39 +262,158 @@ func (ex *flworExec) runParallel(ops []planOp, base *scope, cfg ExecConfig, fina
 		joined = true
 		cancel()
 		wg.Wait()
-		base.counters.rows = par.rows.Load()
-		base.counters.tuples = par.tuples.Load()
+		base.counters.rows = serRows
+		base.counters.tuples = serTuples
 		base.counters.steps += workerSteps.Load()
 		base.counters.pruned += workerPruned.Load()
 	}
 	defer join()
 
+	// flush hands one morsel's buffered rows to emit in order, advancing
+	// the serial counters per row so an early stop (the FETCH FIRST
+	// limiter's sentinel coming back through emit, a cursor-side abort)
+	// leaves them exactly where serial execution would have stopped
+	// charging.
+	flush := func(r *morselResult, tupleBase int64) error {
+		for i, v := range r.vals {
+			serRows += int64(len(v))
+			if i < len(r.tupleAt) {
+				serTuples = tupleBase + r.tupleAt[i]
+			}
+			if err := emit(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// Merge strictly in morsel order — the emitted stream is exactly the
 	// serial one.
 	var collected []*scope
 	for m := 0; m < num; m++ {
-		<-done[m]
-		r := results[m]
-		if r.err != nil {
-			join()
-			return nil, ex.selectError(results, m, r, final, emit)
+		if !joined {
+			select {
+			case <-done[m]:
+			case <-workCtx.Done():
+				// The pool is winding down — external cancellation, or a
+				// sibling worker cancelled after a genuine error. Unclaimed
+				// morsels will never close their done channel, so blocking
+				// on done[m] could hang a cancelled query forever. Settle
+				// the workers instead: after the join every claimed morsel's
+				// result is final, and the merge continues deterministically
+				// over what was actually produced.
+				join()
+			}
 		}
-		if final {
-			for _, v := range r.vals {
-				if err := emit(v); err != nil {
-					// Includes the FETCH FIRST limiter's stop sentinel:
-					// propagate unwrapped after cancelling the pool.
+		r := results[m]
+		if r == nil {
+			// Only reachable after join. Claims are strictly ascending and a
+			// worker abandons the claim loop only on cancellation, so a nil
+			// slot means the pool observed cancellation before any worker
+			// reached morsel m — and any genuine worker error would sit at a
+			// claimed, hence earlier, already-merged slot. The cancellation
+			// is therefore external; surface the caller's context error.
+			if err := parentCtx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled
+		}
+
+		tupleBase := serTuples
+		rerun := false
+		switch {
+		case r.err != nil && isSpeculativeLimit(r.err):
+			// Tentative budget trip — only the serial counters can tell
+			// whether it is real.
+			rerun = true
+		case r.err != nil && isContextErr(r.err):
+			// Truncated by the pool's cancellation, not by its own work.
+			// Under external cancellation the re-run aborts on its first
+			// cancel check and surfaces the context error; under a
+			// sibling's cancel (parent still live) it completes the morsel
+			// exactly as serial execution would have, so the rows delivered
+			// ahead of the sibling's error match the serial prefix.
+			rerun = true
+		default:
+			// Clean result or genuine error: the buffered prefix is exactly
+			// what serial execution produced — unless the morsel's charges
+			// cross a resource limit at its serial position. The worker
+			// checked them against the shared budget, which can run behind
+			// serial order (a late morsel may charge before an earlier one
+			// has), so the crossing must be re-found serially to trip at
+			// the exact row serial execution trips at.
+			lim := base.limits
+			rerun = (lim.MaxRows > 0 && serRows+r.rowsCharged > lim.MaxRows) ||
+				(lim.MaxTuples > 0 && serTuples+r.tuplesCharged > lim.MaxTuples)
+		}
+
+		switch {
+		case rerun:
+			// Re-run the morsel single-threaded against the authoritative
+			// serial counters. Everything it reads — the source sequence,
+			// invariant states, hash build tables — is immutable, so this
+			// is the serial execution of the morsel, concurrent-safe even
+			// while sibling workers are still speculating.
+			rc := &evalCounters{rows: serRows, tuples: serTuples}
+			rs := *base
+			rs.goCtx = parentCtx
+			rs.counters = rc
+			rs.par = nil
+			rr := &morselResult{}
+			ex.runMorsel(ops, &rs, seq, m*cfg.MorselSize, min((m+1)*cfg.MorselSize, len(seq)), final, rr)
+			base.counters.steps += rc.steps
+			base.counters.pruned += rc.pruned
+			if final {
+				if err := flush(rr, tupleBase); err != nil {
+					// Includes the FETCH FIRST stop sentinel, which serial
+					// execution hits before any error later in the morsel.
+					join()
+					return nil, err
+				}
+			} else {
+				collected = append(collected, rr.tups...)
+			}
+			serRows, serTuples = rc.rows, rc.tuples
+			if rr.err != nil {
+				// Authoritative: the exact error, after the exact row
+				// prefix, that serial execution produces.
+				join()
+				return nil, rr.err
+			}
+
+		case r.err != nil:
+			// Genuine error with charges inside every limit: the buffered
+			// prefix is the serial prefix. Deliver it, then the error —
+			// unless a FETCH FIRST stop lands first, which serial execution
+			// would also have hit first.
+			if final {
+				if err := flush(r, tupleBase); err != nil {
 					join()
 					return nil, err
 				}
 			}
-		} else {
-			collected = append(collected, r.tups...)
+			serTuples = tupleBase + r.tuplesCharged
+			join()
+			return nil, r.err
+
+		default:
+			if final {
+				if err := flush(r, tupleBase); err != nil {
+					join()
+					return nil, err
+				}
+			} else {
+				collected = append(collected, r.tups...)
+			}
+			serTuples = tupleBase + r.tuplesCharged
 		}
+
 		results[m] = nil
 		obsv.Global.MorselsProcessed.Inc()
 		obsv.Global.MergeBacklog.SetMax(completed.Load() - int64(m+1))
-		tokens <- struct{}{}
+		if !joined {
+			tokens <- struct{}{}
+		}
 	}
 	join()
 	if !final {
@@ -248,8 +430,18 @@ func (ex *flworExec) runParallel(ops []planOp, base *scope, cfg ExecConfig, fina
 }
 
 // runMorsel processes outer-scan items [start,end) through ops[1:],
-// buffering into r and stopping at the first error.
+// buffering into r and stopping at the first error. ws.counters doubles as
+// the charge ledger: the deltas accumulated here are what the merge loop
+// replays against the authoritative serial counters. The same code serves
+// the worker pass (ws.par set, charges checked against the shared budget)
+// and the merge-time authoritative re-run (ws.par nil, charges checked
+// serially).
 func (ex *flworExec) runMorsel(ops []planOp, ws *scope, seq xdm.Sequence, start, end int, final bool, r *morselResult) {
+	rows0, tups0 := ws.counters.rows, ws.counters.tuples
+	defer func() {
+		r.rowsCharged = ws.counters.rows - rows0
+		r.tuplesCharged = ws.counters.tuples - tups0
+	}()
 	var sink tupleSink
 	if final {
 		sink = func(t2 *scope) error {
@@ -260,12 +452,13 @@ func (ex *flworExec) runMorsel(ops []planOp, ws *scope, seq xdm.Sequence, start,
 			if err != nil {
 				return err
 			}
-			// Charge the shared budget before buffering: a row is never
-			// delivered without having been counted, so MaxRows holds
-			// across every interleaving.
+			// Charge before buffering — a row is never buffered without
+			// having been counted — and record the tuple watermark so the
+			// merger can advance the serial counters row by row.
 			if err := t2.countRows(len(v)); err != nil {
 				return err
 			}
+			r.tupleAt = append(r.tupleAt, ws.counters.tuples-tups0)
 			r.vals = append(r.vals, v)
 			return nil
 		}
@@ -294,34 +487,6 @@ func (ex *flworExec) runMorsel(ops []planOp, ws *scope, seq xdm.Sequence, start,
 			return
 		}
 	}
-}
-
-// selectError picks the error to surface when the merge hits an errored
-// morsel m. A genuine evaluation error cancels the pool, so later-claimed
-// morsels (and cancelled siblings at earlier indices) report context
-// errors that serial execution would never have produced; preferring the
-// first non-context error in morsel order recovers the serial-most
-// failure. When the erroring morsel is m itself on the final segment, its
-// buffered prefix is emitted first — the rows serial execution delivered
-// before failing. The pool is already joined; results reads are safe.
-func (ex *flworExec) selectError(results []*morselResult, m int, r *morselResult, final bool, emit func(xdm.Sequence) error) error {
-	chosen, idx := r.err, m
-	if isContextErr(chosen) {
-		for j := m + 1; j < len(results); j++ {
-			if rj := results[j]; rj != nil && rj.err != nil && !isContextErr(rj.err) {
-				chosen, idx = rj.err, j
-				break
-			}
-		}
-	}
-	if final && idx == m {
-		for _, v := range r.vals {
-			if err := emit(v); err != nil {
-				return err
-			}
-		}
-	}
-	return chosen
 }
 
 func isContextErr(err error) bool {

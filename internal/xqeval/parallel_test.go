@@ -227,6 +227,250 @@ fn:subsequence(for $r in p:T() return <ROW>{$r/ID}</ROW>, 1, 5)`)
 	}
 }
 
+// parallelStreamSetup builds an engine whose compiled query streams rows
+// through the translator's RECORDSET shape (so the cursor pulls the
+// parallel executor through the real row-stream path), with the FLWOR body
+// wrapped by extra XQuery supplied via wrap (e.g. a FETCH FIRST
+// fn:subsequence).
+func parallelStreamSetup(t testing.TB, n int, wrapOpen, wrapClose string) (*xqeval.Engine, *xqeval.Plan) {
+	t.Helper()
+	rows := make([]*xdm.Element, n)
+	for i := 0; i < n; i++ {
+		row := xdm.NewElement("T")
+		row.AddChild(xdm.NewTextElement("ID", strconv.Itoa(i)))
+		rows[i] = row
+	}
+	e := xqeval.New()
+	e.RegisterRows("ld:ParTest", "T", rows)
+	q, err := xqeval.Compile(`import schema namespace p = "ld:ParTest" at "ParTest.xsd";
+<RECORDSET>{` + wrapOpen + `for $r in p:T() return <ROW>{$r/ID}</ROW>` + wrapClose + `}</RECORDSET>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.CompileAST(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetExec(parallelExec(8))
+	return e, plan
+}
+
+// TestParallelFetchFirstUnderRowLimit pins the limits × FETCH FIRST
+// interaction: with MaxRows strictly between the fetch limit and the
+// speculation ceiling, workers overrun the shared budget while the merge
+// point never reaches it. Serial execution succeeds (the limiter stops the
+// pipeline before MaxRows), so parallel execution must too — the
+// speculative trip is refuted at the merge point, never surfaced.
+func TestParallelFetchFirstUnderRowLimit(t *testing.T) {
+	ctx := context.Background()
+	rows := make([]*xdm.Element, 5000)
+	for i := range rows {
+		row := xdm.NewElement("T")
+		row.AddChild(xdm.NewTextElement("ID", strconv.Itoa(i)))
+		rows[i] = row
+	}
+	e := xqeval.New()
+	e.RegisterRows("ld:ParTest", "T", rows)
+	// Per-row latency lets the speculating workers charge well past MaxRows
+	// before the merge point has flushed the fetch limit's 20 rows.
+	e.RegisterContext("ld:ParTest", "SLOW", func(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		time.Sleep(20 * time.Microsecond)
+		return args[0], nil
+	})
+	q, err := xqeval.Compile(`import schema namespace p = "ld:ParTest" at "ParTest.xsd";
+<RECORDSET>{fn:subsequence(for $r in p:T() return <ROW>{p:SLOW($r/ID)}</ROW>, 1, 20)}</RECORDSET>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.CompileAST(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetLimits(xqeval.Limits{MaxRows: 40})
+
+	e.SetExec(parallelExec(1))
+	serial, err := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+	if err != nil {
+		t.Fatalf("serial FETCH FIRST under MaxRows must succeed: %v", err)
+	}
+	for i := 0; i < 20; i++ { // the race is scheduling-dependent; iterate
+		e.SetExec(parallelExec(8))
+		par, err := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+		if err != nil {
+			t.Fatalf("iter %d: parallel FETCH FIRST under MaxRows must succeed like serial: %v", i, err)
+		}
+		if got, want := xdm.MarshalSequence(par), xdm.MarshalSequence(serial); got != want {
+			t.Fatalf("iter %d: parallel diverges from serial\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestParallelRowLimitPrefixMatchesSerial trips MaxRows for real and
+// checks full serial fidelity: the streamed prefix delivered before the
+// error and the typed error itself must both match the serial run —
+// morsels whose charges straddle the limit are re-run against the
+// authoritative serial counters, so the trip lands on the exact serial
+// row.
+func TestParallelRowLimitPrefixMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	e, plan := parallelStreamSetup(t, 200, "", "")
+	e.SetLimits(xqeval.Limits{MaxRows: 17})
+
+	e.SetExec(parallelExec(1))
+	serialPrefix, serr := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+	if serr == nil {
+		t.Fatal("serial MaxRows=17 over 200 rows must error")
+	}
+	for i := 0; i < 20; i++ {
+		e.SetExec(parallelExec(8))
+		parPrefix, perr := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+		if perr == nil {
+			t.Fatalf("iter %d: parallel MaxRows=17 must error like serial", i)
+		}
+		var qe *aqerr.QueryError
+		if !errors.As(perr, &qe) || qe.Kind != aqerr.KindResourceLimit {
+			t.Fatalf("iter %d: limit error not typed KindResourceLimit: %v", i, perr)
+		}
+		if got, want := xdm.MarshalSequence(parPrefix), xdm.MarshalSequence(serialPrefix); got != want {
+			t.Fatalf("iter %d: pre-error prefix diverges from serial\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestParallelErrorPrefixMatchesSerial streams a query whose source
+// rejects one row deep in the scan: the rows delivered before the error,
+// and the error itself, must be byte-identical to the serial run even
+// though the failing worker cancels its siblings mid-morsel (the merge
+// point re-runs poisoned morsels serially instead of discarding them).
+func TestParallelErrorPrefixMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	rows := make([]*xdm.Element, 500)
+	for i := range rows {
+		row := xdm.NewElement("T")
+		row.AddChild(xdm.NewTextElement("ID", strconv.Itoa(i)))
+		rows[i] = row
+	}
+	e := xqeval.New()
+	e.RegisterRows("ld:ParTest", "T", rows)
+	e.RegisterContext("ld:ParTest", "CHECKED", func(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		if len(args) == 1 && len(args[0]) == 1 {
+			if el, ok := args[0][0].(*xdm.Element); ok && el.StringValue() == "137" {
+				return nil, errors.New("checked source rejected row 137")
+			}
+		}
+		return args[0], nil
+	})
+	q, err := xqeval.Compile(`import schema namespace p = "ld:ParTest" at "ParTest.xsd";
+<RECORDSET>{for $r in p:T() return <ROW>{p:CHECKED($r/ID)}</ROW>}</RECORDSET>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.CompileAST(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e.SetExec(parallelExec(1))
+	serialPrefix, serr := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+	if serr == nil {
+		t.Fatal("serial run must surface the source error")
+	}
+	for i := 0; i < 10; i++ {
+		e.SetExec(parallelExec(8))
+		parPrefix, perr := drainCursor(e.EvalStream(ctx, plan, nil, nil))
+		if perr == nil || !strings.Contains(perr.Error(), "rejected row 137") {
+			t.Fatalf("iter %d: parallel surfaced the wrong error: %v (serial: %v)", i, perr, serr)
+		}
+		if got, want := xdm.MarshalSequence(parPrefix), xdm.MarshalSequence(serialPrefix); got != want {
+			t.Fatalf("iter %d: pre-error prefix diverges from serial\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestParallelTupleAccountingMatchesSerial checks the merge point refunds
+// speculative charges: after a FETCH FIRST short-circuit, the evaluation's
+// folded-back tuple counter (surfaced via Cursor.Stats) must equal the
+// serial run's exactly, not include the window of morsels workers
+// processed past the stop.
+func TestParallelTupleAccountingMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	e, plan := parallelStreamSetup(t, 5000, "fn:subsequence(", ", 1, 20)")
+
+	e.SetExec(parallelExec(1))
+	cur := e.EvalStream(ctx, plan, nil, nil)
+	if _, err := drainCursor(cur); err != nil {
+		t.Fatal(err)
+	}
+	_, serialTuples := cur.Stats()
+
+	e.SetExec(parallelExec(8))
+	pcur := e.EvalStream(ctx, plan, nil, nil)
+	if _, err := drainCursor(pcur); err != nil {
+		t.Fatal(err)
+	}
+	if _, parTuples := pcur.Stats(); parTuples != serialTuples {
+		t.Fatalf("parallel tuple accounting diverges after FETCH FIRST: parallel=%d serial=%d (speculative charges not refunded)", parTuples, serialTuples)
+	}
+}
+
+// TestParallelCancellationNoHang is the deadlock regression for external
+// cancellation: when the context dies while some workers sit between
+// morsels, they can exit with later morsels never claimed, and a merge
+// loop blocking solely on those morsels' done channels would hang forever.
+// Cancellation is raced against the scan repeatedly; every evaluation must
+// return within the watchdog.
+func TestParallelCancellationNoHang(t *testing.T) {
+	rows := make([]*xdm.Element, 2000)
+	for i := range rows {
+		row := xdm.NewElement("T")
+		row.AddChild(xdm.NewTextElement("ID", strconv.Itoa(i)))
+		rows[i] = row
+	}
+	e := xqeval.New()
+	e.RegisterRows("ld:ParTest", "T", rows)
+	e.RegisterContext("ld:ParTest", "SLOW", func(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+		return args[0], nil
+	})
+	q, err := xqeval.Compile(`import schema namespace p = "ld:ParTest" at "ParTest.xsd";
+for $r in p:T()
+return p:SLOW($r/ID)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.CompileAST(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetExec(xqeval.ExecConfig{Workers: 8, MorselSize: 4, MinParallelItems: 2})
+
+	for i := 0; i < 30; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		// Vary the cancellation point across the scan so some iterations
+		// catch workers idle between morsels.
+		timer := time.AfterFunc(time.Duration(i)*200*time.Microsecond, cancel)
+		ret := make(chan error, 1)
+		go func() {
+			_, err := e.EvalPlanWithTrace(ctx, plan, nil, nil)
+			ret <- err
+		}()
+		select {
+		case err := <-ret:
+			if err == nil {
+				t.Fatalf("iter %d: cancelled evaluation must error", i)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("iter %d: cancelled parallel evaluation hung", i)
+		}
+		timer.Stop()
+		cancel()
+	}
+}
+
 // TestParallelMidStreamClose closes a parallel streaming cursor with most
 // of the scan still pending: Close must cancel the workers, wait for the
 // producer, and return with no goroutine left running (the race detector
