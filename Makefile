@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race chaos fuzz bench bench-smoke serve-smoke clean
+.PHONY: ci vet build test race chaos soak fuzz bench bench-smoke serve-smoke clean
 
-ci: vet build race chaos serve-smoke bench-smoke fuzz
+ci: vet build race chaos soak serve-smoke bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,18 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run='TestChaos' .
 
+# Network chaos soak: the netchaos TCP proxy unit suite plus the full
+# remote stack (resilient client over real HTTP/TCP) under injected
+# connection resets, slow links, black holes, and mid-response
+# truncation — every query byte-identical to the oracle or a typed
+# error, zero leaked goroutines, all under the race detector. Also
+# gates the overload-resilience harness and the replay/hedging
+# regression net.
+soak:
+	$(GO) test -race -count=1 ./internal/netchaos/
+	$(GO) test -race -count=1 -run='TestNetChaosDifferential|TestShedVsCancel|TestExecuteReplay|TestFetchSeqReplay|TestFetchAgainstRestarted|TestHedgedFetch' .
+	$(GO) test -race -count=1 -run='TestOverloadSweepSmall' ./internal/bench/
+
 # Fuzz smoke: run each native fuzz target briefly. Corpus crashers found
 # by longer runs land in testdata/fuzz/ and replay as regular tests.
 fuzz:
@@ -35,7 +47,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParallelDifferential -fuzztime=$(FUZZTIME) ./internal/xqeval/
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json -servejson BENCH_serve.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json -servejson BENCH_serve.json -overloadjson BENCH_overload.json
 
 # Serve smoke: the network front end end-to-end — loopback and real-TCP
 # conformance against the in-process oracle, the wire session-state

@@ -33,6 +33,11 @@ func main() {
 	idle := flag.Duration("session-idle", 0, "idle-session reap timeout (0 = default 60s)")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 = unbounded)")
 	fetchRows := flag.Int("fetch-rows", 0, "rows per fetch chunk (0 = default 256)")
+	admissionWait := flag.Duration("admission-wait", 0, "max queue wait before a shed (0 = default 50ms)")
+	costPerSlot := flag.Int64("cost-per-slot", 0, "predicted cost per admission slot (0 = default 10000, negative = count-only admission)")
+	maxWeight := flag.Int64("max-query-weight", 0, "admission-weight clamp per query (0 = default max-queries/4)")
+	admissionQueue := flag.Int("admission-queue", 0, "bounded admission queue length (0 = default 4×max-queries)")
+	brownoutDecay := flag.Duration("brownout-decay", 0, "brownout level step-down interval after pressure stops (0 = default 250ms)")
 	resilience := flag.Bool("resilient", true, "enable the retry/breaker/stale-cache layer")
 	faultRate := flag.Float64("fault-rate", 0, "faultnet injection probability in [0,1] (0 = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "faultnet deterministic schedule seed")
@@ -56,6 +61,11 @@ func main() {
 	srv := server.New(p, server.Config{
 		MaxSessions:          rc.MaxSessions,
 		MaxConcurrentQueries: rc.MaxConcurrentQueries,
+		AdmissionWait:        *admissionWait,
+		CostPerSlot:          *costPerSlot,
+		MaxQueryWeight:       *maxWeight,
+		AdmissionQueue:       *admissionQueue,
+		BrownoutDecay:        *brownoutDecay,
 		SessionIdleTimeout:   rc.SessionIdleTimeout,
 		QueryTimeout:         rc.QueryTimeout,
 		FetchRows:            *fetchRows,

@@ -15,21 +15,38 @@
 // cursor — rows print as the evaluation produces them, and abandoning a
 // page cancels the rest of the query; \f 0 restores whole-result
 // formatting). Type "quit" or "exit" to leave.
+//
+// With -server <url> the shell connects to a running aqlserve process
+// through the resilient remote client instead of the in-process demo:
+// SQL and EXPLAIN travel the wire, \s renders the remote server's
+// pipeline metrics, and \r renders the remote resilience picture — the
+// server's admission/brownout/shed gauges from /v1/stats alongside this
+// client's own breaker, retry, and hedge state.
 package main
 
 import (
 	"bufio"
+	"context"
 	"database/sql"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	aqualogic "repro"
 	_ "repro/internal/driver"
+	"repro/internal/remoteclient"
 )
 
 func main() {
+	serverURL := flag.String("server", "", "aqlserve URL (e.g. http://127.0.0.1:7117); empty runs the in-process demo")
+	flag.Parse()
+	if *serverURL != "" {
+		runRemote(*serverURL)
+		return
+	}
 	p := aqualogic.Demo()
 	p.RegisterDriver("demo")
 	db, err := sql.Open("aqualogic", "demo")
@@ -175,6 +192,151 @@ func runQueryPaged(db *sql.DB, query string, pageSize int, in *bufio.Scanner) er
 			if !in.Scan() || strings.EqualFold(strings.TrimSpace(in.Text()), "q") {
 				fmt.Printf("(%d row(s), rest of the query cancelled)\n", n)
 				return rows.Close()
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d row(s))\n", n)
+	return nil
+}
+
+// runRemote is the shell's wire mode: the same REPL against a running
+// aqlserve process through the resilient remote client. Translation
+// introspection (\x, \c, \p) is a compile-side feature and stays with
+// the in-process mode; everything observable about a remote deployment
+// — queries, EXPLAIN, server metrics, the resilience picture — is here.
+func runRemote(url string) {
+	c, err := remoteclient.Dial(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqlshell: connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	fmt.Printf("aqlshell — connected to %s (session %s)\n", url, c.Session())
+	fmt.Println(`type SQL, "EXPLAIN SELECT ..." for the remote plan, "\s" for remote`)
+	fmt.Println(`pipeline metrics, "\r" for the resilience picture (server admission/`)
+	fmt.Println(`brownout/shed state plus this client's breaker and retries), "\f n"`)
+	fmt.Println(`to page results, "quit" or "exit" to leave`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fetchSize := 0
+	for {
+		fmt.Print("sql> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+			return
+		case line == `\f`:
+			if fetchSize > 0 {
+				fmt.Printf("fetch size: %d rows per page\n", fetchSize)
+			} else {
+				fmt.Println("paging off")
+			}
+		case strings.HasPrefix(line, `\f `):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, `\f `)))
+			if err != nil || n < 0 {
+				fmt.Println(`usage: \f <rows-per-page>   (0 turns paging off)`)
+				continue
+			}
+			fetchSize = n
+		case line == `\s`:
+			resp, err := c.ServerStats(statsCtx())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			resp.Pipeline.Render(os.Stdout)
+		case line == `\r`:
+			renderRemoteResilience(c)
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+			text, err := c.Explain(context.Background(), strings.TrimSpace(line[len("EXPLAIN "):]), aqualogic.ModeText)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(text)
+		default:
+			if err := runRemoteQuery(c, line, fetchSize, scanner); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}
+
+func statsCtx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = cancel // bounded by the timeout; the verb returns long before
+	return ctx
+}
+
+// renderRemoteResilience is the wire-mode \r: the server's overload
+// posture (weighted admission, queue, sheds by reason, brownout level,
+// idempotent replays) next to this client's own defenses.
+func renderRemoteResilience(c *remoteclient.Client) {
+	resp, err := c.ServerStats(statsCtx())
+	if err != nil {
+		fmt.Println("error:", err)
+		fmt.Printf("client breaker: %s\n", c.BreakerState())
+		return
+	}
+	s := resp.Server
+	fmt.Printf("server admission: weighted in-flight %d/%d (peak %d), queue depth %d (peak %d)\n",
+		s.WeightedInFlight, s.WeightedCapacity, s.WeightedPeak, s.QueueDepth, s.QueuePeak)
+	fmt.Printf("server shed: queue-full=%d queue-timeout=%d brownout=%d (level %d)\n",
+		s.ShedQueueFull, s.ShedQueueTimeout, s.ShedBrownout, s.BrownoutLevel)
+	fmt.Printf("server replays: execute=%d fetch=%d; sessions open=%d cursors open=%d\n",
+		s.ExecReplays, s.FetchReplays, s.SessionsOpen, s.CursorsOpen)
+	resp.Pipeline.RenderResilience(os.Stdout)
+	fmt.Printf("client breaker: %s\n", c.BreakerState())
+}
+
+// runRemoteQuery streams a remote result set to the terminal, paging
+// when asked; abandoning a page closes the cursor, which cancels the
+// rest of the evaluation server-side.
+func runRemoteQuery(c *remoteclient.Client, query string, pageSize int, in *bufio.Scanner) error {
+	rows, err := c.Query(context.Background(), query)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	cols := rows.Columns()
+	labels := make([]string, len(cols))
+	for i, col := range cols {
+		labels[i] = col.Label
+	}
+	fmt.Println(strings.Join(labels, " | "))
+	n := 0
+	for rows.Next() {
+		rec := make([]string, len(cols))
+		for i := range cols {
+			s, ok, err := rows.String(i)
+			switch {
+			case err != nil:
+				return err
+			case !ok:
+				rec[i] = "NULL"
+			default:
+				rec[i] = s
+			}
+		}
+		fmt.Println(strings.Join(rec, " | "))
+		n++
+		if pageSize > 0 && n%pageSize == 0 {
+			fmt.Printf("-- %d row(s) so far; Enter for next %d, q to stop -- ", n, pageSize)
+			if !in.Scan() || strings.EqualFold(strings.TrimSpace(in.Text()), "q") {
+				fmt.Printf("(%d row(s), rest of the query cancelled)\n", n)
+				rows.Close()
+				return nil
 			}
 		}
 	}

@@ -40,6 +40,9 @@ func main() {
 	serveJSON := flag.String("servejson", "", "also write the P10 network-front-end load sweep as JSON to this path (e.g. BENCH_serve.json)")
 	serveClients := flag.Int("serveclients", bench.DefaultServeClients, "concurrent simulated clients for the P10 sweep")
 	serveOps := flag.Int("serveops", bench.DefaultServeOps, "operations per client for the P10 sweep")
+	overloadJSON := flag.String("overloadjson", "", "also write the P12 overload-resilience sweep as JSON to this path (e.g. BENCH_overload.json)")
+	overloadCap := flag.Int("overloadcap", bench.DefaultOverloadCapacity, "weighted admission capacity for the P12 sweep")
+	overloadOps := flag.Int("overloadops", bench.DefaultOverloadOps, "operations per client for the P12 sweep")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -87,5 +90,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote network-front-end load sweep to %s\n", *serveJSON)
+	}
+	if *overloadJSON != "" {
+		if err := bench.WriteOverloadJSON(*overloadJSON, aqualogic.Demo(), *overloadCap, *overloadOps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote overload-resilience sweep to %s\n", *overloadJSON)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/obsv"
 )
@@ -95,6 +96,12 @@ type QueryError struct {
 	// "data service PAYMENTS", "evaluate").
 	Op  string
 	Err error
+	// RetryAfter is an optional backoff hint attached to shed responses
+	// (KindUnavailable from admission control): how long the origin
+	// suggests waiting before retrying. Zero means no hint. Clients treat
+	// a hinted unavailable as retriable; an unhinted one (session gone,
+	// breaker open) as retriable only from scratch.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -185,6 +192,17 @@ func Wrap(op string, err error) error {
 	default:
 		return err
 	}
+}
+
+// RetryAfterHint extracts the deepest RetryAfter hint in err's chain, or
+// zero when no QueryError in the chain carries one.
+func RetryAfterHint(err error) time.Duration {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if qe, ok := e.(*QueryError); ok && qe.RetryAfter > 0 {
+			return qe.RetryAfter
+		}
+	}
+	return 0
 }
 
 // Recover converts an in-flight panic into a KindInternal QueryError —

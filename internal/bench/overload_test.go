@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestOverloadSweepSmall pins the P12 harness and the overload contract
+// it measures, at a scale safe for CI: under 2× sustained load every op
+// either completes or sheds with a typed error (zero untyped), sheds
+// fail fast relative to the admission deadline, and the drain leaks
+// nothing. The 3× accepted-p99 bound is recorded, not asserted here —
+// a loaded CI box adds scheduler noise the experiment run does not have —
+// but a collapse past 10× still fails.
+func TestOverloadSweepSmall(t *testing.T) {
+	r, err := RunOverloadSweep(aqualogic.Demo(), DefaultOverloadCapacity, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []OverloadPhase{r.Uncontended, r.Overload} {
+		if p.Untyped != 0 {
+			t.Errorf("phase %s: %d untyped failures (first: %s)", p.Name, p.Untyped, p.FirstUntyped)
+		}
+		if p.Accepted+p.Shed+p.Untyped != p.Ops {
+			t.Errorf("phase %s: ops unaccounted: %d+%d+%d != %d",
+				p.Name, p.Accepted, p.Shed, p.Untyped, p.Ops)
+		}
+	}
+	if r.Uncontended.Shed != 0 {
+		t.Errorf("uncontended phase shed %d ops", r.Uncontended.Shed)
+	}
+	if r.Overload.Shed == 0 {
+		t.Error("overload phase shed nothing — admission control never engaged")
+	}
+	// Fast-fail: a shed answers well inside the admission deadline plus
+	// scheduling slack; it must never cost what a served query costs.
+	if limit := r.AdmissionWaitNS + (100 * time.Millisecond).Nanoseconds(); r.Overload.ShedP99NS > limit {
+		t.Errorf("shed p99 %s exceeds admission deadline %s + slack",
+			time.Duration(r.Overload.ShedP99NS), time.Duration(r.AdmissionWaitNS))
+	}
+	if r.AcceptedP99Ratio > 10 {
+		t.Errorf("accepted p99 collapsed under overload: %.1fx uncontended", r.AcceptedP99Ratio)
+	}
+	if r.HeavyWeight < 2 {
+		t.Errorf("cost calibration produced no discrimination: heavy weight %d", r.HeavyWeight)
+	}
+	if r.GoroutinesLeaked != 0 {
+		t.Fatalf("goroutines leaked after drain: %d", r.GoroutinesLeaked)
+	}
+}

@@ -1,0 +1,290 @@
+// Package netchaos is the network-level arm of the chaos layer: a TCP
+// proxy that sits between a real client and a real server and injects
+// the failures only a socket can produce — connections reset at accept,
+// reads and writes slowed to a crawl, black holes that accept bytes and
+// answer nothing, and responses cut off mid-stream. Where faultnet
+// attacks the platform's internal surfaces (metadata lookups, data
+// service calls, server request handlers), netchaos attacks the wire
+// itself, underneath HTTP, so the remote client's defenses — typed
+// transport classification, retries with replay keys, breakers — are
+// exercised by byte-level damage no in-process fault can model.
+//
+// Fault decisions ride faultnet's deterministic schedule machinery: the
+// proxy registers three fault points with the shared Injector —
+// "net/accept" rolled once per accepted connection, "net/c2s" and
+// "net/s2c" rolled once per forwarded chunk — so a soak under a fixed
+// seed and a fixed rate sequence replays the same abuse.
+//
+// Kind mapping at the socket level:
+//
+//	KindPermanent  connection reset (RST, not FIN) — at accept or mid-stream
+//	KindTransient  mid-stream close of both directions
+//	KindLatency    the chunk is delayed by the spike duration (slow link)
+//	KindStall      black hole: bytes stop flowing until the stall watchdog
+//	               or proxy shutdown, then the connection severs
+//	KindTruncate   half the chunk is forwarded, then the connection severs
+//	               (mid-response truncation; rolled only server→client)
+//	KindPanic      never rolled at net sites — there is no process to crash
+package netchaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Target is the upstream server's host:port (required).
+	Target string
+	// Listen is the address to bind (default "127.0.0.1:0").
+	Listen string
+	// Faults drives the fault schedule. nil is valid: the proxy forwards
+	// everything untouched — the control arm of a chaos sweep.
+	Faults *faultnet.Injector
+	// ChunkBytes is the copy granularity, the unit latency and
+	// truncation faults act on (default 512).
+	ChunkBytes int
+	// DialTimeout bounds the upstream dial (default 5s).
+	DialTimeout time.Duration
+}
+
+// Proxy is one listening chaos proxy. Close is idempotent, severs every
+// live connection, and does not return until every proxy goroutine has
+// exited — a closed proxy leaks nothing.
+type Proxy struct {
+	ln     net.Listener
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	accepted atomic.Int64
+	severed  atomic.Int64
+}
+
+// New binds the listener and starts accepting. The proxy is live on
+// Addr() when New returns.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("netchaos: Target required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 512
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Proxy{ln: ln, cfg: cfg, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening host:port.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// Severed returns how many connections a fault tore down.
+func (p *Proxy) Severed() int64 { return p.severed.Load() }
+
+// Close stops accepting, severs every live connection, and waits for
+// all proxy goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.cancel()
+	err := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// track registers live connections for Close; it fails (closing the
+// conns) when the proxy is already shutting down.
+func (p *Proxy) track(conns ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		return false
+	}
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (p *Proxy) untrack(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range conns {
+		delete(p.conns, c)
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// reset tears a connection down with an RST instead of a graceful FIN —
+// what a crashed peer or a middlebox kill looks like to the other side.
+func reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// serve proxies one accepted connection: an accept-time fault may kill
+// or delay it before the upstream dial; after that, two pumps forward
+// bytes chunk by chunk, each rolling per-chunk faults on its own site.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		return
+	}
+	if p.cfg.Faults != nil {
+		if k, fired := p.cfg.Faults.Roll("net/accept", faultnet.KindTruncate, faultnet.KindPanic); fired {
+			switch k {
+			case faultnet.KindTransient, faultnet.KindPermanent:
+				p.severed.Add(1)
+				p.untrack(client)
+				reset(client)
+				return
+			case faultnet.KindStall:
+				// Black hole: the TCP handshake succeeded, nothing answers.
+				_ = p.cfg.Faults.Perform(p.ctx, "net/accept", k)
+				p.severed.Add(1)
+				p.untrack(client)
+				_ = client.Close()
+				return
+			case faultnet.KindLatency:
+				_ = p.cfg.Faults.Perform(p.ctx, "net/accept", k)
+			}
+		}
+	}
+	upstream, err := net.DialTimeout("tcp", p.cfg.Target, p.cfg.DialTimeout)
+	if err != nil {
+		p.untrack(client)
+		_ = client.Close()
+		return
+	}
+	if !p.track(upstream) {
+		p.untrack(client)
+		_ = client.Close()
+		return
+	}
+	var once sync.Once
+	sever := func(rst bool) {
+		once.Do(func() {
+			p.untrack(client, upstream)
+			if rst {
+				reset(client)
+				reset(upstream)
+			} else {
+				_ = client.Close()
+				_ = upstream.Close()
+			}
+		})
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.pump(upstream, client, "net/c2s", []faultnet.Kind{faultnet.KindTruncate, faultnet.KindPanic}, sever)
+	}()
+	p.pump(client, upstream, "net/s2c", []faultnet.Kind{faultnet.KindPanic}, sever)
+}
+
+// pump copies src→dst in chunks, rolling the site's fault schedule once
+// per chunk. Any fault that stops the flow severs both directions: a
+// half-dead proxy connection would otherwise hang the HTTP client on a
+// response that can never complete.
+func (p *Proxy) pump(dst, src net.Conn, site string, exclude []faultnet.Kind, sever func(rst bool)) {
+	defer sever(false)
+	buf := make([]byte, p.cfg.ChunkBytes)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			payload := buf[:n]
+			if p.cfg.Faults != nil {
+				if k, fired := p.cfg.Faults.Roll(site, exclude...); fired {
+					switch k {
+					case faultnet.KindLatency:
+						// A slow link: the chunk arrives late, intact.
+						if p.cfg.Faults.Perform(p.ctx, site, k) != nil {
+							return // proxy shutting down mid-delay
+						}
+					case faultnet.KindStall:
+						// Black hole mid-stream: bytes stop, the connection
+						// stays up until the watchdog or shutdown, then severs.
+						_ = p.cfg.Faults.Perform(p.ctx, site, k)
+						p.severed.Add(1)
+						return
+					case faultnet.KindTruncate:
+						// Mid-response truncation: a prefix of the chunk
+						// lands, then the connection dies.
+						_, _ = dst.Write(payload[:len(payload)/2])
+						p.severed.Add(1)
+						return
+					case faultnet.KindTransient:
+						p.severed.Add(1)
+						return
+					case faultnet.KindPermanent:
+						p.severed.Add(1)
+						sever(true)
+						return
+					}
+				}
+			}
+			if _, werr := dst.Write(payload); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return // EOF or peer reset: propagate the close to both sides
+		}
+	}
+}

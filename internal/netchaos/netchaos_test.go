@@ -1,0 +1,244 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// echoServer accepts connections and echoes bytes until its listener
+// closes (proxy shutdown severs its connections, ending the copies).
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close(); <-done }
+}
+
+// blastServer writes payload to every connection, then closes it —
+// one-directional traffic so only the server→client pump rolls faults.
+func blastServer(t *testing.T, payload []byte) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = c.Write(payload)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close(); <-done }
+}
+
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPassThrough pins the control arm: with no injector, the proxy is
+// byte-transparent in both directions and Close leaks nothing.
+func TestPassThrough(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	addr, stop := echoServer(t)
+	defer stop()
+	px, err := New(Config{Target: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("aqualogic"), 11111) // ~100KB, many chunks
+	go func() {
+		_, _ = conn.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bytes diverged through pass-through proxy")
+	}
+	_ = conn.Close()
+	if err := px.Close(); err != nil {
+		t.Fatalf("proxy close: %v", err)
+	}
+	if px.Accepted() != 1 || px.Severed() != 0 {
+		t.Fatalf("pass-through counters: accepted=%d severed=%d", px.Accepted(), px.Severed())
+	}
+	stop()
+	checkGoroutines(t, baseline)
+}
+
+// dialOutcome probes one connection through the proxy: true when an
+// 8-byte echo round-trips, false when any fault severed it.
+func dialOutcome(t *testing.T, addr string) bool {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("12345678")); err != nil {
+		return false
+	}
+	buf := make([]byte, 8)
+	_, err = io.ReadFull(conn, buf)
+	return err == nil
+}
+
+// TestDeterministicResetSchedule pins the schedule contract: the same
+// seed over the same sequential connection sequence produces the same
+// reset pattern, and a 50% rate actually expresses both outcomes.
+func TestDeterministicResetSchedule(t *testing.T) {
+	run := func() []bool {
+		addr, stop := echoServer(t)
+		defer stop()
+		// Each connection rolls three sites (accept, c2s, s2c), so the
+		// per-connection survival rate is (1-Rate)³ — 0.25 keeps both
+		// outcomes likely across 16 connections.
+		inj := faultnet.New(faultnet.Config{Seed: 7, Rate: 0.25, Kinds: []faultnet.Kind{faultnet.KindPermanent}})
+		px, err := New(Config{Target: addr, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Close()
+		out := make([]bool, 16)
+		for i := range out {
+			out[i] = dialOutcome(t, px.Addr())
+		}
+		return out
+	}
+	first, second := run(), run()
+	passed, reset := 0, 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedule not deterministic: conn %d differs (%v vs %v)", i, first, second)
+		}
+		if first[i] {
+			passed++
+		} else {
+			reset++
+		}
+	}
+	if passed == 0 || reset == 0 {
+		t.Fatalf("reset rate expressed only one outcome: %d passed, %d reset", passed, reset)
+	}
+}
+
+// TestTruncateMidResponse pins mid-response truncation: the client
+// receives a strict prefix of the server's payload and then a prompt
+// connection error — never the full payload, never a hang.
+func TestTruncateMidResponse(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	addr, stop := blastServer(t, payload)
+	defer stop()
+	inj := faultnet.New(faultnet.Config{Seed: 3, Rate: 1,
+		Kinds: []faultnet.Kind{faultnet.KindTruncate}})
+	px, err := New(Config{Target: addr, Faults: inj, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(conn)
+	if len(got) >= len(payload) {
+		t.Fatalf("truncation never fired: received %d of %d bytes", len(got), len(payload))
+	}
+	if px.Severed() == 0 {
+		t.Fatal("no connection recorded as severed")
+	}
+}
+
+// TestBlackHoleReleasedByClose pins the stall fault and shutdown
+// hygiene: a black-holed connection transfers nothing, and Close()
+// unblocks it promptly instead of waiting out the stall watchdog.
+func TestBlackHoleReleasedByClose(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	addr, stop := echoServer(t)
+	defer stop()
+	inj := faultnet.New(faultnet.Config{Seed: 1, Rate: 1, StallTimeout: 30 * time.Second,
+		Kinds: []faultnet.Kind{faultnet.KindStall}})
+	px, err := New(Config{Target: addr, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, _ = conn.Write([]byte("hello?"))
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("black hole answered: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	start := time.Now()
+	if err := px.Close(); err != nil {
+		t.Fatalf("proxy close: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("close waited out the stall (%v) instead of cancelling it", d)
+	}
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("black-holed read returned data")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("black-holed connection still blocked after proxy close")
+	}
+	stop()
+	checkGoroutines(t, baseline)
+}

@@ -245,6 +245,31 @@ type Metrics struct {
 	CursorsOpened       Counter
 	CursorsReaped       Counter
 
+	// Overload-resilience counters. Server side: cost-aware admission holds
+	// a weighted semaphore (weights in slots, one slot = CostPerSlot of
+	// predicted work), a bounded FIFO queue in front of it, and a brownout
+	// level that halves the admissible weight ceiling per step; sheds are
+	// counted by reason. Replays are idempotent retries served from cursor
+	// state (execute by idempotency key, fetch by chunk sequence number)
+	// instead of re-evaluated. Client side: remoteclient retry attempts
+	// beyond the first and how many operations they rescued, plus hedged
+	// fetch duplicates and how often the hedge beat the primary.
+	WeightedInFlight     Gauge
+	WeightedPeak         Gauge
+	AdmissionQueueDepth  Gauge
+	AdmissionQueuePeak   Gauge
+	ShedQueueFull        Counter
+	ShedQueueTimeout     Counter
+	ShedBrownout         Counter
+	BrownoutLevel        Gauge
+	BrownoutEngaged      Counter
+	ExecReplays          Counter
+	FetchReplays         Counter
+	RemoteRetries        Counter
+	RemoteRetrySuccesses Counter
+	FetchHedges          Counter
+	HedgeWins            Counter
+
 	stageTime [NumStages]Histogram
 }
 
@@ -325,6 +350,22 @@ type Snapshot struct {
 	CursorsOpened       int64
 	CursorsReaped       int64
 
+	WeightedInFlight     int64
+	WeightedPeak         int64
+	AdmissionQueueDepth  int64
+	AdmissionQueuePeak   int64
+	ShedQueueFull        int64
+	ShedQueueTimeout     int64
+	ShedBrownout         int64
+	BrownoutLevel        int64
+	BrownoutEngaged      int64
+	ExecReplays          int64
+	FetchReplays         int64
+	RemoteRetries        int64
+	RemoteRetrySuccesses int64
+	FetchHedges          int64
+	HedgeWins            int64
+
 	Stages []StageSnapshot // pipeline order; stages never seen are omitted
 }
 
@@ -377,6 +418,22 @@ func (m *Metrics) Snapshot() Snapshot {
 		AdmissionRejected:   m.AdmissionRejected.Load(),
 		CursorsOpened:       m.CursorsOpened.Load(),
 		CursorsReaped:       m.CursorsReaped.Load(),
+
+		WeightedInFlight:     m.WeightedInFlight.Load(),
+		WeightedPeak:         m.WeightedPeak.Load(),
+		AdmissionQueueDepth:  m.AdmissionQueueDepth.Load(),
+		AdmissionQueuePeak:   m.AdmissionQueuePeak.Load(),
+		ShedQueueFull:        m.ShedQueueFull.Load(),
+		ShedQueueTimeout:     m.ShedQueueTimeout.Load(),
+		ShedBrownout:         m.ShedBrownout.Load(),
+		BrownoutLevel:        m.BrownoutLevel.Load(),
+		BrownoutEngaged:      m.BrownoutEngaged.Load(),
+		ExecReplays:          m.ExecReplays.Load(),
+		FetchReplays:         m.FetchReplays.Load(),
+		RemoteRetries:        m.RemoteRetries.Load(),
+		RemoteRetrySuccesses: m.RemoteRetrySuccesses.Load(),
+		FetchHedges:          m.FetchHedges.Load(),
+		HedgeWins:            m.HedgeWins.Load(),
 	}
 	if ttfr := m.TimeToFirstRow.Snapshot(); ttfr.Count > 0 {
 		s.TimeToFirstRowCount = ttfr.Count
@@ -461,6 +518,11 @@ func (s Snapshot) RenderServer(w io.Writer) {
 		s.SessionsActive, s.SessionsOpened, s.SessionsReaped)
 	fmt.Fprintf(w, "server queries: in-flight=%d peak=%d admission-rejected=%d\n",
 		s.QueriesInFlight, s.PeakQueriesInFlight, s.AdmissionRejected)
+	fmt.Fprintf(w, "server admission: weighted in-flight=%d peak=%d queue depth=%d peak=%d brownout level=%d (engaged %d)\n",
+		s.WeightedInFlight, s.WeightedPeak, s.AdmissionQueueDepth, s.AdmissionQueuePeak,
+		s.BrownoutLevel, s.BrownoutEngaged)
+	fmt.Fprintf(w, "server shed: queue-full=%d queue-timeout=%d brownout=%d, replays: exec=%d fetch=%d\n",
+		s.ShedQueueFull, s.ShedQueueTimeout, s.ShedBrownout, s.ExecReplays, s.FetchReplays)
 	fmt.Fprintf(w, "server cursors: opened=%d reaped=%d\n",
 		s.CursorsOpened, s.CursorsReaped)
 }
@@ -483,4 +545,6 @@ func (s Snapshot) RenderResilience(w io.Writer) {
 		s.Retries, s.RetrySuccesses, s.BreakerOpens, s.BreakerFastFails)
 	fmt.Fprintf(w, "metadata degradation: stale serves=%d, single-flight shared=%d\n",
 		s.StaleServes, s.SingleFlightShared)
+	fmt.Fprintf(w, "remote client: retries=%d (rescued: %d), hedged fetches=%d (hedge won: %d)\n",
+		s.RemoteRetries, s.RemoteRetrySuccesses, s.FetchHedges, s.HedgeWins)
 }

@@ -76,6 +76,18 @@ type CompiledQuery struct {
 	// Trace holds the compile-time stage spans (lex … serialize, compile);
 	// EXPLAIN renders it instead of re-translating.
 	Trace *obsv.Trace
+	// CostScore is the plan's admission score (Plan.CostEstimate), computed
+	// once at compile time so cost-aware admission is cache-hot: the server
+	// weighs a statement without touching the plan again.
+	CostScore int64
+}
+
+// Cost returns the artifact's admission score, always ≥ 1.
+func (cq *CompiledQuery) Cost() int64 {
+	if cq == nil || cq.CostScore < 1 {
+		return 1
+	}
+	return cq.CostScore
 }
 
 // XQuery serializes the generated query — the textual form the legacy
@@ -120,7 +132,7 @@ func Compile(ctx context.Context, tr *translator.Translator, engine *xqeval.Engi
 	}
 	sp.Add("external", int64(res.ParamCount))
 	sp.End()
-	return &CompiledQuery{SQL: sql, Mode: res.Mode, Res: res, Plan: plan, Trace: trace}, nil
+	return &CompiledQuery{SQL: sql, Mode: res.Mode, Res: res, Plan: plan, Trace: trace, CostScore: plan.CostEstimate()}, nil
 }
 
 // Normalize lexes SQL into its canonical key form: keywords and plain

@@ -21,6 +21,17 @@
 // Loopback binds a client directly to a server's http.Handler in process
 // — no sockets, no file descriptors — which is what lets the load harness
 // simulate thousands of concurrent clients against one server.
+//
+// Every client carries a resilience net (see Options): transport
+// failures classify as typed transient errors and idempotent verbs
+// retry with backoff, honoring server Retry-After hints; a per-server
+// circuit breaker fails fast when the transport itself is down; every
+// execute carries an idempotency key and every fetch a sequence number,
+// so a retried or hedged duplicate replays the server's cached chunk
+// byte-identically instead of skipping or doubling rows. Each verb also
+// forwards the caller's remaining context deadline as an explicit
+// budget header, so the server never keeps working on a request its
+// caller has already abandoned.
 package remoteclient
 
 import (
@@ -30,11 +41,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aqerr"
 	"repro/internal/catalog"
+	"repro/internal/obsv"
+	"repro/internal/resilient"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/wire"
@@ -44,11 +59,16 @@ import (
 )
 
 // Client is one wire session against an aqlserve server. It is safe for
-// concurrent use; all its state after the handshake is immutable.
+// concurrent use; all its configuration after the handshake is
+// immutable (the breaker and exec-key counter are internally
+// synchronized).
 type Client struct {
 	hc      *http.Client
 	base    string
 	session string
+	opts    Options
+	br      *resilient.Breaker
+	execSeq atomic.Int64
 }
 
 // dialClient is the single pooled HTTP client every Dial session shares.
@@ -64,24 +84,39 @@ var dialClient = &http.Client{
 	},
 }
 
-// Dial connects to a server over real HTTP and opens a session. All dialed
-// clients share one pooled, keep-alive transport.
+// Dial connects to a server over real HTTP and opens a session with
+// default resilience Options. All dialed clients share one pooled,
+// keep-alive transport.
 func Dial(baseURL string) (*Client, error) {
-	return connect(baseURL, dialClient)
+	return DialOptions(baseURL, Options{})
+}
+
+// DialOptions is Dial with explicit resilience knobs.
+func DialOptions(baseURL string, opts Options) (*Client, error) {
+	return connect(baseURL, dialClient, opts)
 }
 
 // Loopback binds a client directly to a server handler in-process: every
 // request is a function call through an in-memory transport, so thousands
 // of concurrent clients cost goroutines, not sockets.
 func Loopback(h http.Handler) (*Client, error) {
-	return connect("http://loopback", &http.Client{Transport: loopbackTransport{h: h}})
+	return LoopbackOptions(h, Options{})
 }
 
-func connect(base string, hc *http.Client) (*Client, error) {
-	c := &Client{hc: hc, base: strings.TrimSuffix(base, "/")}
-	var resp wire.HandshakeResponse
-	if err := c.post(context.Background(), "handshake", wire.PathHandshake,
-		wire.HandshakeRequest{Client: "remoteclient"}, &resp); err != nil {
+// LoopbackOptions is Loopback with explicit resilience knobs.
+func LoopbackOptions(h http.Handler, opts Options) (*Client, error) {
+	return connect("http://loopback", &http.Client{Transport: loopbackTransport{h: h}}, opts)
+}
+
+func connect(base string, hc *http.Client, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{hc: hc, base: strings.TrimSuffix(base, "/"), opts: opts}
+	c.br = resilient.NewBreaker("server "+c.base, opts.BreakerThreshold, opts.BreakerCooldown)
+	// A lost handshake response leaks a session until the idle reaper
+	// collects it, which is why retrying it here is safe.
+	resp, err := postRetry[wire.HandshakeResponse](context.Background(), c, "handshake", wire.PathHandshake,
+		wire.HandshakeRequest{Client: "remoteclient"}, true)
+	if err != nil {
 		return nil, err
 	}
 	c.session = resp.Session
@@ -96,9 +131,9 @@ func (c *Client) Session() string { return c.session }
 func (c *Client) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	var resp wire.CloseSessionResponse
-	return c.post(ctx, "close session", wire.PathCloseSession,
-		wire.CloseSessionRequest{Session: c.session}, &resp)
+	_, err := postRetry[wire.CloseSessionResponse](ctx, c, "close session", wire.PathCloseSession,
+		wire.CloseSessionRequest{Session: c.session}, true)
+	return err
 }
 
 // loopbackTransport serves each request by calling the handler directly.
@@ -153,9 +188,17 @@ func (m *memResponse) Write(p []byte) (int, error) {
 	return m.buf.Write(p)
 }
 
-// post performs one JSON request/response exchange. Transport failures
-// (including context cancellation) classify through aqerr.Wrap; protocol
-// failures decode the server's wire.Error back into a typed QueryError.
+// post performs one JSON request/response exchange. Protocol failures
+// decode the server's wire.Error back into a typed QueryError. Transport
+// failures are classified here, and the split matters to every caller up
+// to Rows.Err(): the caller's own context expiry surfaces as a
+// timeout-kind error still matching errors.Is(ctx.Err()), while every
+// other way an exchange can die without a server verdict — refused or
+// reset connections, a response body cut off mid-stream — is a typed
+// transient error, never an untyped one a retry loop or breaker would
+// have to string-match. The caller's remaining deadline also travels as
+// an explicit budget header, so the server can stop (or never start)
+// work the client will not wait for.
 func (c *Client) post(ctx context.Context, op, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -166,9 +209,17 @@ func (c *Client) post(ctx context.Context, op, path string, in, out any) error {
 		return aqerr.Errorf(aqerr.KindInternal, op, "build request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(wire.BudgetHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	res, err := c.hc.Do(req)
 	if err != nil {
-		return aqerr.Wrap(op, err) // ctx cancellation lands here → timeout kind
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return aqerr.Wrap(op, err) // the caller gave up → timeout kind
+		}
+		return aqerr.New(aqerr.KindTransient, op, err) // server never answered
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
@@ -176,7 +227,9 @@ func (c *Client) post(ctx context.Context, op, path string, in, out any) error {
 		if derr := json.NewDecoder(res.Body).Decode(&er); derr == nil && er.Error != nil {
 			return decodeError(er.Error)
 		}
-		return aqerr.Errorf(aqerr.KindUnknown, op, "server returned HTTP %d", res.StatusCode)
+		// A non-OK status whose error body did not survive the trip: the
+		// server's verdict is unknown, the transport is suspect.
+		return aqerr.Errorf(aqerr.KindTransient, op, "server returned HTTP %d with unreadable error body", res.StatusCode)
 	}
 	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
 		return aqerr.Errorf(aqerr.KindTransient, op, "malformed response: %v", err)
@@ -185,9 +238,14 @@ func (c *Client) post(ctx context.Context, op, path string, in, out any) error {
 }
 
 // decodeError rebuilds a typed QueryError from its wire form, so
-// errors.As/Kind-based handling is identical on both sides of the wire.
+// errors.As/Kind-based handling — including the Retry-After hint on a
+// shed — is identical on both sides of the wire.
 func decodeError(we *wire.Error) error {
-	return aqerr.New(aqerr.ParseKind(we.Kind), we.Op, errors.New(we.Msg))
+	qe := aqerr.New(aqerr.ParseKind(we.Kind), we.Op, errors.New(we.Msg))
+	if we.RetryAfterMS > 0 {
+		qe.RetryAfter = time.Duration(we.RetryAfterMS) * time.Millisecond
+	}
+	return qe
 }
 
 // encodeArgs converts Go parameter values to typed wire atoms.
@@ -234,8 +292,19 @@ func (c *Client) QueryStreamMode(ctx context.Context, mode translator.ResultMode
 }
 
 func (c *Client) execute(ctx context.Context, req wire.ExecuteRequest) (*resultset.Rows, error) {
-	var resp wire.ExecuteResponse
-	if err := c.post(ctx, "execute", wire.PathExecute, req, &resp); err != nil {
+	// The exec key makes this verb idempotent: a retry after a lost
+	// response replays the already-opened cursor instead of running the
+	// query twice. The explicit budget lets the server clamp evaluation —
+	// and bound the admission queue wait — to what the caller will
+	// actually wait for.
+	req.ExecKey = "x" + strconv.FormatInt(c.execSeq.Add(1), 10)
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.BudgetMS = ms
+		}
+	}
+	resp, err := postRetry[wire.ExecuteResponse](ctx, c, "execute", wire.PathExecute, req, true)
+	if err != nil {
 		return nil, err
 	}
 	cur := &remoteCursor{c: c, ctx: ctx, cursor: resp.Cursor, cols: clientColumns(resp.Columns)}
@@ -254,9 +323,10 @@ type Stmt struct {
 // prepared table. Each execution re-resolves through the server's compile
 // cache, so catalog changes (CREATE VIEW) transparently recompile.
 func (c *Client) Prepare(ctx context.Context, sql string, mode translator.ResultMode) (*Stmt, error) {
-	var resp wire.PrepareResponse
-	err := c.post(ctx, "prepare", wire.PathPrepare,
-		wire.PrepareRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, &resp)
+	// Retry-safe: a duplicate prepare pins a second copy of the statement,
+	// reclaimed with the session — never a semantic change.
+	resp, err := postRetry[wire.PrepareResponse](ctx, c, "prepare", wire.PathPrepare,
+		wire.PrepareRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -280,24 +350,23 @@ func (s *Stmt) Execute(ctx context.Context, args ...any) (*resultset.Rows, error
 
 // Explain compiles a statement remotely and returns the rendered plan.
 func (c *Client) Explain(ctx context.Context, sql string, mode translator.ResultMode) (string, error) {
-	var resp wire.ExplainResponse
-	err := c.post(ctx, "explain", wire.PathExplain,
-		wire.ExplainRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, &resp)
+	resp, err := postRetry[wire.ExplainResponse](ctx, c, "explain", wire.PathExplain,
+		wire.ExplainRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, true)
 	return resp.Text, err
 }
 
-// DefineView registers a logical data service on the server.
+// DefineView registers a logical data service on the server. It is the
+// one verb with a durable side effect, so it is never retried: a lost
+// response must surface to the caller, not risk a second registration.
 func (c *Client) DefineView(ctx context.Context, path, name, sql string) error {
-	var resp wire.CreateViewResponse
-	return c.post(ctx, "create view", wire.PathCreateView,
-		wire.CreateViewRequest{Session: c.session, Path: path, Name: name, SQL: sql}, &resp)
+	_, err := postRetry[wire.CreateViewResponse](ctx, c, "create view", wire.PathCreateView,
+		wire.CreateViewRequest{Session: c.session, Path: path, Name: name, SQL: sql}, false)
+	return err
 }
 
 // ServerStats fetches the server's counter block and pipeline snapshot.
 func (c *Client) ServerStats(ctx context.Context) (wire.StatsResponse, error) {
-	var resp wire.StatsResponse
-	err := c.post(ctx, "stats", wire.PathStats, wire.StatsRequest{}, &resp)
-	return resp, err
+	return postRetry[wire.StatsResponse](ctx, c, "stats", wire.PathStats, wire.StatsRequest{}, true)
 }
 
 // Lookup implements catalog.Source against the remote catalog.
@@ -308,9 +377,8 @@ func (c *Client) Lookup(ref catalog.TableRef) (*catalog.TableMeta, error) {
 // LookupContext implements catalog.ContextSource, reconstructing the
 // typed not-found/ambiguous failures a local catalog would return.
 func (c *Client) LookupContext(ctx context.Context, ref catalog.TableRef) (*catalog.TableMeta, error) {
-	var resp wire.LookupResponse
-	err := c.post(ctx, "metadata lookup", wire.PathMetaLookup,
-		wire.LookupRequest{Session: c.session, Catalog: ref.Catalog, Schema: ref.Schema, Table: ref.Table}, &resp)
+	resp, err := postRetry[wire.LookupResponse](ctx, c, "metadata lookup", wire.PathMetaLookup,
+		wire.LookupRequest{Session: c.session, Catalog: ref.Catalog, Schema: ref.Schema, Table: ref.Table}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -327,17 +395,15 @@ func (c *Client) LookupContext(ctx context.Context, ref catalog.TableRef) (*cata
 
 // Tables implements catalog.Source.
 func (c *Client) Tables() ([]*catalog.TableMeta, error) {
-	var resp wire.MetasResponse
-	err := c.post(context.Background(), "metadata tables", wire.PathMetaTables,
-		wire.MetasRequest{Session: c.session}, &resp)
+	resp, err := postRetry[wire.MetasResponse](context.Background(), c, "metadata tables", wire.PathMetaTables,
+		wire.MetasRequest{Session: c.session}, true)
 	return resp.Metas, err
 }
 
 // Procedures implements catalog.Source.
 func (c *Client) Procedures() ([]*catalog.TableMeta, error) {
-	var resp wire.MetasResponse
-	err := c.post(context.Background(), "metadata procedures", wire.PathMetaProcs,
-		wire.MetasRequest{Session: c.session}, &resp)
+	resp, err := postRetry[wire.MetasResponse](context.Background(), c, "metadata procedures", wire.PathMetaProcs,
+		wire.MetasRequest{Session: c.session}, true)
 	return resp.Metas, err
 }
 
@@ -351,6 +417,7 @@ type remoteCursor struct {
 	cursor int64
 	cols   []resultset.Column
 
+	seq     int64 // last successfully consumed fetch sequence number
 	buf     [][]*wire.Atom
 	pos     int
 	eof     bool
@@ -376,12 +443,27 @@ func (rc *remoteCursor) Next() ([]xdm.Atomic, error) {
 		if rc.eof || rc.closed {
 			return nil, io.EOF
 		}
-		var resp wire.FetchResponse
-		if err := rc.c.post(rc.ctx, "fetch", wire.PathFetch,
-			wire.FetchRequest{Session: rc.c.session, Cursor: rc.cursor}, &resp); err != nil {
+		seq := rc.seq + 1
+		resp, err := rc.fetchChunk(seq)
+		if err != nil {
 			rc.pending = err
 			return nil, err
 		}
+		if resp.Error != nil && rc.c.opts.MaxRetries > 0 && aqerr.Transient(decodeError(resp.Error)) {
+			// An in-band transient error may have damaged only this
+			// transmission (a chunk truncated mid-flight travels as its
+			// prefix plus the error). One same-sequence replay recovers the
+			// server's intact cached chunk; a genuinely failed cursor
+			// replays the identical error and it is delivered below.
+			obsv.Global.RemoteRetries.Inc()
+			if r2, err2 := rc.fetchChunk(seq); err2 == nil {
+				if r2.Error == nil {
+					obsv.Global.RemoteRetrySuccesses.Inc()
+				}
+				resp = r2
+			}
+		}
+		rc.seq = seq
 		rc.buf, rc.pos = resp.Rows, 0
 		switch {
 		case resp.Error != nil:
@@ -392,6 +474,57 @@ func (rc *remoteCursor) Next() ([]xdm.Atomic, error) {
 			// Defensive: a chunk with no rows and no terminal marker would
 			// spin this loop; treat it as a protocol error.
 			rc.pending = aqerr.Errorf(aqerr.KindInternal, "fetch", "empty fetch chunk without EOF")
+		}
+	}
+}
+
+// fetchChunk pulls one sequenced chunk, optionally hedged: when the
+// first request has not answered within HedgeDelay, an identical
+// request (same sequence number, so the server replays rather than
+// advances) races it and the first answer wins. The loser is cancelled
+// and drains into a buffered channel, so a hedge never leaks a
+// goroutine past the pull that spawned it.
+func (rc *remoteCursor) fetchChunk(seq int64) (wire.FetchResponse, error) {
+	c := rc.c
+	req := wire.FetchRequest{Session: c.session, Cursor: rc.cursor, Seq: seq}
+	if c.opts.HedgeDelay <= 0 {
+		return postRetry[wire.FetchResponse](rc.ctx, c, "fetch", wire.PathFetch, req, true)
+	}
+	hctx, cancel := context.WithCancel(rc.ctx)
+	defer cancel()
+	type outcome struct {
+		resp   wire.FetchResponse
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	launch := func(hedged bool) {
+		resp, err := postRetry[wire.FetchResponse](hctx, c, "fetch", wire.PathFetch, req, true)
+		ch <- outcome{resp: resp, err: err, hedged: hedged}
+	}
+	go launch(false)
+	timer := time.NewTimer(c.opts.HedgeDelay)
+	defer timer.Stop()
+	outstanding, hedgeLaunched := 1, false
+	for {
+		select {
+		case o := <-ch:
+			outstanding--
+			if o.err == nil || outstanding == 0 {
+				if o.err == nil && o.hedged {
+					obsv.Global.HedgeWins.Inc()
+				}
+				return o.resp, o.err
+			}
+			// The first arrival failed while its twin is still in flight:
+			// let the twin's outcome decide.
+		case <-timer.C:
+			if !hedgeLaunched {
+				hedgeLaunched = true
+				outstanding++
+				obsv.Global.FetchHedges.Inc()
+				go launch(true)
+			}
 		}
 	}
 }
@@ -416,9 +549,8 @@ func (rc *remoteCursor) Close() error {
 	rc.buf = nil
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	var resp wire.CloseCursorResponse
-	err := rc.c.post(ctx, "close cursor", wire.PathCloseCursor,
-		wire.CloseCursorRequest{Session: rc.c.session, Cursor: rc.cursor}, &resp)
+	_, err := postRetry[wire.CloseCursorResponse](ctx, rc.c, "close cursor", wire.PathCloseCursor,
+		wire.CloseCursorRequest{Session: rc.c.session, Cursor: rc.cursor}, true)
 	if rc.eof || rc.pending != nil {
 		return nil // best-effort cleanup after a terminal stream
 	}

@@ -1,0 +1,141 @@
+package remoteclient
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/aqerr"
+	"repro/internal/obsv"
+	"repro/internal/resilient"
+)
+
+// Options tunes the client-side resilience net every Client carries.
+// Zero fields take the defaults below; Dial and Loopback use all
+// defaults, DialOptions and LoopbackOptions take explicit knobs.
+//
+// Retries apply only to idempotent verbs. The catalog and stats verbs
+// are read-only; execute is idempotent because every request carries an
+// exec key the server replays the same cursor for; fetch is idempotent
+// because every chunk carries a sequence number the server replays
+// byte-identically. CREATE VIEW is the one non-idempotent verb and is
+// never retried.
+type Options struct {
+	// MaxRetries is the number of re-attempts after the first failure of
+	// an idempotent verb (default 3; negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; attempt n waits
+	// ~BaseBackoff·2ⁿ⁻¹ with deterministic jitter. A server Retry-After
+	// hint overrides the schedule for that attempt (default 2ms).
+	BaseBackoff time.Duration
+	// BreakerThreshold is the consecutive transport-fault count that
+	// opens this client's per-server circuit breaker (default 5;
+	// negative disables it). Only failures with no server verdict —
+	// refused connections, resets, damaged response bodies — count;
+	// any typed server reply, including a shed, proves the server alive
+	// and closes the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the open breaker waits before letting
+	// a half-open probe through (default 100ms).
+	BreakerCooldown time.Duration
+	// HedgeDelay arms hedged fetches: when a fetch chunk has not
+	// answered after this long, a duplicate request (same sequence
+	// number, so the server replays rather than advances) races it and
+	// the first answer wins. Zero disables hedging (the default): it
+	// trades duplicate server work for tail latency, which is not a
+	// trade to make silently.
+	HedgeDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 2 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 100 * time.Millisecond
+	}
+	return o
+}
+
+// retryable reports whether an idempotent verb should re-attempt after
+// err: transport-level transient failures, and typed sheds carrying a
+// Retry-After hint (the server explicitly invited the retry). Unhinted
+// unavailables (open breaker, session gone) are not retried in place —
+// per the aqerr contract they are retriable only from scratch.
+func retryable(err error) bool {
+	return aqerr.Transient(err) || aqerr.RetryAfterHint(err) > 0
+}
+
+// breakerFault filters one verb outcome for the per-server breaker.
+// Only transient-kind failures — the classification post gives every
+// exchange that died without a server verdict — count as faults. Any
+// other outcome (success, typed shed, permanent error, caller
+// cancellation) proves nothing is wrong with the path to the server and
+// resets the consecutive-fault count.
+func breakerFault(err error) error {
+	if err == nil || !aqerr.Transient(err) {
+		return nil
+	}
+	return err
+}
+
+// postRetry is the resilient form of Client.post: breaker gate, then up
+// to 1+MaxRetries attempts for idempotent verbs, backing off between
+// attempts (honoring a server Retry-After hint over the local
+// schedule). Each attempt decodes into a fresh response value so a
+// half-decoded failure never pollutes the retry's result.
+func postRetry[Resp any](ctx context.Context, c *Client, op, path string, in any, idempotent bool) (Resp, error) {
+	var zero Resp
+	if err := c.br.Allow(); err != nil {
+		return zero, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			obsv.Global.RemoteRetries.Inc()
+			delay := aqerr.RetryAfterHint(lastErr)
+			if delay <= 0 {
+				delay = resilient.Backoff(c.opts.BaseBackoff, attempt, op+" "+c.base)
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
+				return zero, aqerr.Wrap(op, err)
+			}
+		}
+		var resp Resp
+		err := c.post(ctx, op, path, in, &resp)
+		c.br.Record(breakerFault(err))
+		if err == nil {
+			if attempt > 0 {
+				obsv.Global.RemoteRetrySuccesses.Inc()
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if !idempotent || attempt >= c.opts.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			return zero, err
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BreakerState reports the client's per-server circuit breaker position
+// for status displays (aqlshell's \r).
+func (c *Client) BreakerState() resilient.BreakerState { return c.br.State() }

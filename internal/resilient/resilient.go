@@ -173,6 +173,21 @@ func Do[T any](ctx context.Context, cfg Config, op string, fn func(context.Conte
 		fmt.Errorf("retries exhausted after %d attempts: %w", cfg.MaxRetries+1, lastErr))
 }
 
+// Backoff returns attempt n's (n ≥ 1) retry delay for op: the same
+// exponential schedule with deterministic ±50% jitter Do uses, exported
+// for callers that manage their own retry loops (the remote client's wire
+// verbs, whose retry decision — idempotency, Retry-After hints — is
+// richer than Do's transient-only rule).
+func Backoff(base time.Duration, attempt int, op string) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	return backoffFor(base, attempt, hashOp(op))
+}
+
 func sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/aqerr"
 	"repro/internal/obsv"
@@ -64,9 +66,20 @@ func handle[Req, Resp any](mux *http.ServeMux, path string, fn func(ctx context.
 			writeWireError(w, aqerr.Errorf(aqerr.KindPermanent, "decode", "malformed request: %v", err))
 			return
 		}
+		// Honor the client's deadline budget on every verb: the request
+		// context is clamped to the remaining budget, so server-side work
+		// the caller has already given up on is cancelled, not completed.
+		ctx := r.Context()
+		if ms := r.Header.Get(wire.BudgetHeader); ms != "" {
+			if n, perr := strconv.ParseInt(ms, 10, 64); perr == nil && n > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(n)*time.Millisecond)
+				defer cancel()
+			}
+		}
 		resp, err := func() (resp Resp, err error) {
 			defer aqerr.Recover("serve "+path, &err)
-			return fn(r.Context(), req)
+			return fn(ctx, req)
 		}()
 		if err != nil {
 			writeWireError(w, err)

@@ -73,7 +73,26 @@ type Config struct {
 	MaxConcurrentQueries int
 	// AdmissionWait is how long an execute waits for an admission slot
 	// before being rejected with a typed unavailable error (default 50ms).
+	// A client that sent a shorter deadline budget waits only that long.
 	AdmissionWait time.Duration
+	// CostPerSlot converts a compiled query's cost estimate (predicted
+	// tuple visits) into admission slots: weight = 1 + (cost-1)/CostPerSlot,
+	// so statements under one slot's worth of work weigh 1. Zero takes the
+	// default (10000); negative disables cost weighting entirely — every
+	// query weighs 1, the legacy count-only admission.
+	CostPerSlot int64
+	// MaxQueryWeight clamps one query's admission weight so a single
+	// monster statement cannot starve the server (default
+	// MaxConcurrentQueries/4, minimum 1).
+	MaxQueryWeight int64
+	// AdmissionQueue bounds how many executions may wait for admission at
+	// once; arrivals beyond it shed immediately (default
+	// 4×MaxConcurrentQueries).
+	AdmissionQueue int
+	// BrownoutDecay is how long the brownout level takes to step down one
+	// notch after pressure (queue overflow / queue timeout) stops
+	// (default 250ms).
+	BrownoutDecay time.Duration
 	// SessionIdleTimeout reaps sessions (and their cursors: the attached
 	// evaluations are cancelled) that have not issued a request for this
 	// long (default 60s; negative disables reaping).
@@ -106,6 +125,21 @@ func (c Config) withDefaults() Config {
 	if c.FetchRows <= 0 {
 		c.FetchRows = 256
 	}
+	if c.CostPerSlot == 0 {
+		c.CostPerSlot = 10000
+	}
+	if c.MaxQueryWeight <= 0 {
+		c.MaxQueryWeight = int64(c.MaxConcurrentQueries) / 4
+		if c.MaxQueryWeight < 1 {
+			c.MaxQueryWeight = 1
+		}
+	}
+	if c.AdmissionQueue == 0 {
+		c.AdmissionQueue = 4 * c.MaxConcurrentQueries
+	}
+	if c.BrownoutDecay == 0 {
+		c.BrownoutDecay = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -118,7 +152,7 @@ type Server struct {
 	baseCtx context.Context // parent of every evaluation; Close cancels it
 	stop    context.CancelFunc
 
-	sem chan struct{} // admission slots
+	adm *admission // cost-weighted admission slots + queue + brownout
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -136,6 +170,8 @@ type Server struct {
 	inFlight          atomic.Int64
 	peakInFlight      atomic.Int64
 	admissionRejected atomic.Int64
+	execReplays       atomic.Int64
+	fetchReplays      atomic.Int64
 }
 
 // New builds a server over a backend. The returned server is serving
@@ -148,7 +184,7 @@ func New(b Backend, cfg Config) *Server {
 		cfg:      cfg,
 		baseCtx:  ctx,
 		stop:     cancel,
-		sem:      make(chan struct{}, cfg.MaxConcurrentQueries),
+		adm:      newAdmission(cfg),
 		sessions: make(map[string]*session),
 	}
 	if cfg.SessionIdleTimeout > 0 {
@@ -190,6 +226,7 @@ func (s *Server) Stats() wire.ServerStats {
 	s.mu.Lock()
 	open := int64(len(s.sessions))
 	s.mu.Unlock()
+	wif, wpeak, qdepth, qpeak, shedFull, shedTimeout, shedBrownout, level := s.adm.snapshot()
 	return wire.ServerStats{
 		SessionsOpen:      open,
 		SessionsOpened:    s.sessionsOpened.Load(),
@@ -200,6 +237,18 @@ func (s *Server) Stats() wire.ServerStats {
 		QueriesInFlight:   s.inFlight.Load(),
 		PeakInFlight:      s.peakInFlight.Load(),
 		AdmissionRejected: s.admissionRejected.Load(),
+
+		WeightedInFlight: wif,
+		WeightedCapacity: s.adm.capacity,
+		WeightedPeak:     wpeak,
+		QueueDepth:       qdepth,
+		QueuePeak:        qpeak,
+		ShedQueueFull:    shedFull,
+		ShedQueueTimeout: shedTimeout,
+		ShedBrownout:     shedBrownout,
+		BrownoutLevel:    level,
+		ExecReplays:      s.execReplays.Load(),
+		FetchReplays:     s.fetchReplays.Load(),
 	}
 }
 
@@ -247,27 +296,16 @@ func (s *Server) reapIdle(now time.Time) {
 	}
 }
 
-// admit takes one admission slot, waiting at most AdmissionWait. The
-// typed unavailable error it returns on a full server is the load-shed
-// signal clients back off on.
-func (s *Server) admit(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		t := time.NewTimer(s.cfg.AdmissionWait)
-		defer t.Stop()
-		select {
-		case s.sem <- struct{}{}:
-		case <-t.C:
-			s.admissionRejected.Add(1)
-			obsv.Global.AdmissionRejected.Inc()
-			return aqerr.Errorf(aqerr.KindUnavailable, "admit",
-				"server at capacity (%d queries in flight)", s.cfg.MaxConcurrentQueries)
-		case <-ctx.Done():
-			s.admissionRejected.Add(1)
-			obsv.Global.AdmissionRejected.Inc()
-			return aqerr.Wrap("admit", ctx.Err())
-		}
+// admit takes weight admission slots through the cost-aware semaphore,
+// waiting at most AdmissionWait (or the client's remaining deadline
+// budget, whichever is shorter). The typed unavailable error it returns
+// on a shed — with its Retry-After hint — is the load signal clients
+// back off on.
+func (s *Server) admit(ctx context.Context, weight int64, budget time.Duration) error {
+	if err := s.adm.admit(ctx, weight, budget); err != nil {
+		s.admissionRejected.Add(1)
+		obsv.Global.AdmissionRejected.Inc()
+		return err
 	}
 	n := s.inFlight.Add(1)
 	obsv.Global.QueriesInFlight.Add(1)
@@ -281,9 +319,9 @@ func (s *Server) admit(ctx context.Context) error {
 	return nil
 }
 
-// release returns one admission slot.
-func (s *Server) release() {
-	<-s.sem
+// release returns a query's admission slots.
+func (s *Server) release(weight int64) {
+	s.adm.release(weight)
 	s.inFlight.Add(-1)
 	obsv.Global.QueriesInFlight.Add(-1)
 }
@@ -313,8 +351,11 @@ type session struct {
 	mu      sync.Mutex
 	stmts   map[int64]*prepared
 	cursors map[int64]*cursor
-	nextID  int64
-	closed  bool
+	// execKeys maps an execute idempotency token to the cursor it opened:
+	// a retried execute replays the cursor instead of re-evaluating.
+	execKeys map[string]int64
+	nextID   int64
+	closed   bool
 }
 
 // prepared is one prepared-statement table entry. Only the statement text
@@ -328,16 +369,23 @@ type prepared struct {
 }
 
 // cursor is one open server-side cursor: a streaming result set plus the
-// admission slot its evaluation occupies.
+// admission slots its evaluation occupies.
 type cursor struct {
-	rows   *resultset.Rows
-	cols   []wire.Column
-	cancel context.CancelFunc
+	rows    *resultset.Rows
+	cols    []wire.Column
+	cancel  context.CancelFunc
+	weight  int64  // admission slots held until release
+	execKey string // idempotency token that opened this cursor, if any
 
 	mu       sync.Mutex
 	eof      bool
 	failed   *wire.Error // sticky: re-reported on every later fetch
-	released bool        // admission slot returned
+	released bool        // admission slots returned
+	// Sequenced-fetch replay state: the last chunk produced and its
+	// sequence number. A retried or hedged fetch re-presenting lastSeq
+	// gets lastResp byte-identically instead of advancing the cursor.
+	lastSeq  int64
+	lastResp wire.FetchResponse
 }
 
 // handshake opens a session.
@@ -358,10 +406,11 @@ func (s *Server) handshake(ctx context.Context, req wire.HandshakeRequest) (wire
 	}
 	id := fmt.Sprintf("s%06x", s.nextSession.Add(1))
 	ss := &session{
-		id:      id,
-		srv:     s,
-		stmts:   make(map[int64]*prepared),
-		cursors: make(map[int64]*cursor),
+		id:       id,
+		srv:      s,
+		stmts:    make(map[int64]*prepared),
+		cursors:  make(map[int64]*cursor),
+		execKeys: make(map[string]int64),
 	}
 	ss.lastUsed.Store(time.Now().UnixNano())
 	s.sessions[id] = ss
@@ -418,6 +467,7 @@ func (ss *session) close(reaped bool) {
 	}
 	ss.cursors = map[int64]*cursor{}
 	ss.stmts = map[int64]*prepared{}
+	ss.execKeys = map[string]int64{}
 	ss.mu.Unlock()
 	for _, c := range cursors {
 		c.closeCursor(ss.srv)
@@ -443,12 +493,12 @@ func (c *cursor) closeCursor(s *Server) {
 	s.cursorsOpen.Add(-1)
 }
 
-// releaseLocked returns the admission slot once per cursor (EOF, error,
+// releaseLocked returns the admission slots once per cursor (EOF, error,
 // or close — whichever happens first).
 func (c *cursor) releaseLocked(s *Server) {
 	if !c.released {
 		c.released = true
-		s.release()
+		s.release(c.weight)
 	}
 }
 
@@ -485,7 +535,11 @@ func (s *Server) prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pre
 }
 
 // execute starts an evaluation — of a prepared statement or of ad-hoc SQL
-// — under admission control, and registers the resulting cursor.
+// — under cost-aware admission control, and registers the resulting
+// cursor. A request re-presenting an idempotency key the session has
+// already executed replays the original cursor instead of evaluating
+// again: a response lost on the wire costs the retrying client nothing
+// and never duplicates work.
 func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.ExecuteResponse, error) {
 	ss, err := s.lookupSession(req.Session)
 	if err != nil {
@@ -493,6 +547,25 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 	}
 	if err := s.fault(ctx, "srv/execute"); err != nil {
 		return wire.ExecuteResponse{}, aqerr.Wrap("execute", err)
+	}
+
+	if req.ExecKey != "" {
+		ss.mu.Lock()
+		if id, ok := ss.execKeys[req.ExecKey]; ok {
+			cur := ss.cursors[id]
+			ss.mu.Unlock()
+			if cur != nil {
+				s.execReplays.Add(1)
+				obsv.Global.ExecReplays.Inc()
+				return wire.ExecuteResponse{Cursor: id, Columns: cur.cols}, nil
+			}
+			// The cursor this key opened is already closed: the original
+			// response was evidently acted on, so a late retry is a
+			// protocol-level duplicate, not a lost response.
+			return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindPermanent, "execute",
+				"idempotency key %q refers to a closed cursor", req.ExecKey)
+		}
+		ss.mu.Unlock()
 	}
 
 	sqlText, mode := req.SQL, translator.ModeText
@@ -522,24 +595,39 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 		args[i] = v
 	}
 
-	if err := s.admit(ctx); err != nil {
+	// Score the statement through the compile cache (hot for anything seen
+	// before) so admission weighs predicted cost. Statements that fail to
+	// compile score the minimum weight and fail below, in evaluation,
+	// where the error has always surfaced.
+	weight := int64(1)
+	if cq, cerr := s.b.CompileContext(ctx, sqlText, mode); cerr == nil {
+		weight = s.adm.weightFor(cq.Cost())
+	}
+	budget := time.Duration(req.BudgetMS) * time.Millisecond
+	if err := s.admit(ctx, weight, budget); err != nil {
 		return wire.ExecuteResponse{}, err
 	}
 	// The evaluation outlives this request: it is parented on the server's
-	// base context (not the HTTP request's), bounded by QueryTimeout, and
-	// cancelled by cursor close or session reaping.
+	// base context (not the HTTP request's), bounded by QueryTimeout —
+	// clamped to the client's remaining deadline budget, so work the
+	// caller has already abandoned is never evaluated — and cancelled by
+	// cursor close or session reaping.
+	timeout := s.cfg.QueryTimeout
+	if budget > 0 && (timeout <= 0 || budget < timeout) {
+		timeout = budget
+	}
 	evalCtx, cancel := context.WithCancel(s.baseCtx)
-	if s.cfg.QueryTimeout > 0 {
-		evalCtx, cancel = context.WithTimeout(s.baseCtx, s.cfg.QueryTimeout)
+	if timeout > 0 {
+		evalCtx, cancel = context.WithTimeout(s.baseCtx, timeout)
 	}
 	rows, err := s.b.QueryStreamMode(evalCtx, mode, sqlText, args...)
 	if err != nil {
 		cancel()
-		s.release()
+		s.release(weight)
 		return wire.ExecuteResponse{}, aqerr.Wrap("execute", err)
 	}
 	cols := wireColumns(rows.Columns())
-	cur := &cursor{rows: rows, cols: cols, cancel: cancel}
+	cur := &cursor{rows: rows, cols: cols, cancel: cancel, weight: weight, execKey: req.ExecKey}
 
 	ss.mu.Lock()
 	if ss.closed {
@@ -551,6 +639,9 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 	ss.nextID++
 	id := ss.nextID
 	ss.cursors[id] = cur
+	if req.ExecKey != "" {
+		ss.execKeys[req.ExecKey] = id
+	}
 	ss.mu.Unlock()
 
 	s.cursorsOpened.Add(1)
@@ -594,11 +685,33 @@ func (s *Server) fetch(ctx context.Context, req wire.FetchRequest) (wire.FetchRe
 
 	cur.mu.Lock()
 	defer cur.mu.Unlock()
+	if req.Seq != 0 {
+		// Sequenced fetch: replay the cached chunk for the current number,
+		// advance for the next, reject anything else. This is what makes
+		// fetch idempotent — a retried or hedged duplicate of chunk n gets
+		// the same bytes, never a skipped or doubled chunk.
+		switch {
+		case req.Seq == cur.lastSeq:
+			s.fetchReplays.Add(1)
+			obsv.Global.FetchReplays.Inc()
+			return cur.lastResp, nil
+		case req.Seq != cur.lastSeq+1:
+			return wire.FetchResponse{}, aqerr.Errorf(aqerr.KindPermanent, "fetch",
+				"fetch sequence %d out of order (expected %d or %d)", req.Seq, cur.lastSeq, cur.lastSeq+1)
+		}
+	}
+	finish := func(resp wire.FetchResponse) (wire.FetchResponse, error) {
+		if req.Seq != 0 {
+			cur.lastSeq = req.Seq
+			cur.lastResp = resp
+		}
+		return resp, nil
+	}
 	if cur.failed != nil {
-		return wire.FetchResponse{Error: cur.failed}, nil
+		return finish(wire.FetchResponse{Error: cur.failed})
 	}
 	if cur.eof {
-		return wire.FetchResponse{EOF: true}, nil
+		return finish(wire.FetchResponse{EOF: true})
 	}
 	resp := wire.FetchResponse{}
 	for len(resp.Rows) < limit {
@@ -620,7 +733,7 @@ func (s *Server) fetch(ctx context.Context, req wire.FetchRequest) (wire.FetchRe
 				cur.failed = wireError("fetch", verr)
 				resp.Error = cur.failed
 				cur.releaseLocked(s)
-				return resp, nil
+				return finish(resp)
 			}
 			if v != nil {
 				row[i] = &wire.Atom{T: int(v.Type()), V: v.Lexical()}
@@ -631,12 +744,20 @@ func (s *Server) fetch(ctx context.Context, req wire.FetchRequest) (wire.FetchRe
 	if truncate {
 		// A connection dropped mid-chunk: the prefix travels with the
 		// transient error, exactly like faultnet's data-surface truncation.
+		// The replay cache keeps the intact chunk — the damage is to this
+		// transmission, not the cursor, so a sequenced retry recovers the
+		// full chunk instead of replaying the fault.
+		if req.Seq != 0 {
+			cur.lastSeq = req.Seq
+			cur.lastResp = resp
+		}
 		resp.Rows = resp.Rows[:len(resp.Rows)/2]
 		resp.EOF = false
 		ferr := &faultnet.Error{Site: "srv/fetch", Kind: faultnet.KindTruncate}
 		resp.Error = wireError("fetch", aqerr.Wrap("fetch", ferr))
+		return resp, nil
 	}
-	return resp, nil
+	return finish(resp)
 }
 
 // closeCursor releases one cursor. Closing an unknown (or already closed)
@@ -653,6 +774,9 @@ func (s *Server) closeCursor(ctx context.Context, req wire.CloseCursorRequest) (
 	ss.mu.Lock()
 	cur, ok := ss.cursors[req.Cursor]
 	delete(ss.cursors, req.Cursor)
+	if ok && cur.execKey != "" {
+		delete(ss.execKeys, cur.execKey)
+	}
 	ss.mu.Unlock()
 	if !ok {
 		return wire.CloseCursorResponse{Closed: false}, nil
@@ -753,7 +877,8 @@ func wireColumns(cols []resultset.Column) []wire.Column {
 }
 
 // wireError flattens an error for transit, classifying unclassified ones
-// on the way (so every wire error carries a kind).
+// on the way (so every wire error carries a kind). Retry-After hints on
+// shed errors travel with it.
 func wireError(op string, err error) *wire.Error {
 	err = aqerr.Wrap(op, err)
 	var qe *aqerr.QueryError
@@ -762,7 +887,8 @@ func wireError(op string, err error) *wire.Error {
 		if qe.Err != nil {
 			msg = qe.Err.Error()
 		}
-		return &wire.Error{Kind: qe.Kind.String(), Op: qe.Op, Msg: msg}
+		return &wire.Error{Kind: qe.Kind.String(), Op: qe.Op, Msg: msg,
+			RetryAfterMS: int64(aqerr.RetryAfterHint(err) / time.Millisecond)}
 	}
 	return &wire.Error{Kind: aqerr.KindUnknown.String(), Op: op, Msg: err.Error()}
 }

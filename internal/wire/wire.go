@@ -61,11 +61,21 @@ type Column struct {
 }
 
 // Error is a typed failure in transit (aqerr.QueryError flattened).
+// RetryAfterMS is the server's backoff hint on shed responses: "come back
+// in this long" — zero means no hint (the client uses its own backoff).
 type Error struct {
-	Kind string `json:"kind"` // aqerr.Kind wire name
-	Op   string `json:"op"`
-	Msg  string `json:"msg"`
+	Kind         string `json:"kind"` // aqerr.Kind wire name
+	Op           string `json:"op"`
+	Msg          string `json:"msg"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
+
+// BudgetHeader carries the client's remaining deadline budget, in whole
+// milliseconds, on every verb. The server clamps the request's context —
+// and, for execute, the evaluation context — to it, so work the client
+// has already abandoned is never evaluated. Absent or zero means no
+// client deadline.
+const BudgetHeader = "X-Aql-Budget-Ms"
 
 // Handshake opens a session.
 type HandshakeRequest struct {
@@ -93,12 +103,22 @@ type PrepareResponse struct {
 
 // ExecuteRequest starts an evaluation: either of a prepared statement
 // (Stmt > 0) or of ad-hoc SQL (Stmt == 0, SQL/Mode set).
+//
+// ExecKey is the idempotency token: a client-unique key for this logical
+// execute. When a retried request re-presents a key the session has
+// already executed, the server replays the original cursor instead of
+// starting a second evaluation — a response lost to the network never
+// leaks a duplicate running query. BudgetMS is the client's remaining
+// deadline in milliseconds; the server clamps the evaluation context to
+// min(server QueryTimeout, BudgetMS), so abandoned work is not evaluated.
 type ExecuteRequest struct {
-	Session string  `json:"session"`
-	Stmt    int64   `json:"stmt,omitempty"`
-	SQL     string  `json:"sql,omitempty"`
-	Mode    string  `json:"mode,omitempty"`
-	Args    []*Atom `json:"args,omitempty"`
+	Session  string  `json:"session"`
+	Stmt     int64   `json:"stmt,omitempty"`
+	SQL      string  `json:"sql,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+	Args     []*Atom `json:"args,omitempty"`
+	ExecKey  string  `json:"exec_key,omitempty"`
+	BudgetMS int64   `json:"budget_ms,omitempty"`
 }
 
 // ExecuteResponse hands back the server-side cursor. Rows stream through
@@ -109,10 +129,18 @@ type ExecuteResponse struct {
 }
 
 // FetchRequest pulls the next chunk of rows from a cursor.
+//
+// Seq makes fetch idempotent: the client numbers chunks 1, 2, 3, … per
+// cursor, and the server caches the last chunk it produced. Re-presenting
+// the current sequence number replays that chunk byte-identically (a retry
+// or a hedged duplicate never skips or doubles rows); presenting the next
+// number advances the cursor. Seq 0 selects the legacy non-replayable
+// behavior (every fetch advances).
 type FetchRequest struct {
 	Session string `json:"session"`
 	Cursor  int64  `json:"cursor"`
 	MaxRows int    `json:"max_rows,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
 }
 
 // FetchResponse carries up to MaxRows decoded rows. EOF marks stream end;
@@ -216,6 +244,27 @@ type ServerStats struct {
 	QueriesInFlight   int64 `json:"queries_in_flight"`
 	PeakInFlight      int64 `json:"peak_in_flight"`
 	AdmissionRejected int64 `json:"admission_rejected"`
+
+	// Cost-aware admission gauges (PR 8). Weighted figures are in admission
+	// slots: a query's weight is its compiled cost estimate divided by the
+	// configured cost-per-slot, so cheap statements weigh 1 and expensive
+	// scans weigh many.
+	WeightedInFlight int64 `json:"weighted_in_flight"`
+	WeightedCapacity int64 `json:"weighted_capacity"`
+	WeightedPeak     int64 `json:"weighted_peak"`
+	QueueDepth       int64 `json:"queue_depth"`
+	QueuePeak        int64 `json:"queue_peak"`
+	// Shed counters by reason: queue overflow, deadline-aware queue
+	// timeout, and brownout (predicted cost over the degraded ceiling).
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	ShedBrownout     int64 `json:"shed_brownout"`
+	// BrownoutLevel is the current degradation level (0 = normal); each
+	// level halves the maximum admissible query weight.
+	BrownoutLevel int64 `json:"brownout_level"`
+	// Idempotent replays served from cursor state instead of re-running.
+	ExecReplays  int64 `json:"exec_replays"`
+	FetchReplays int64 `json:"fetch_replays"`
 }
 
 // StatsResponse bundles the server counters with the process-wide
