@@ -7,8 +7,10 @@
 //
 // The package is a facade over the internal packages:
 //
+//	internal/qfront     frontend-neutral typed query AST + Frontend seam
 //	internal/sqlparser  SQL-92 SELECT lexer/parser (translation stage one)
-//	internal/translator three-stage SQL→XQuery translation (the paper's
+//	internal/pathfront  path-template front end over the same AST
+//	internal/translator three-stage translation kernel (the paper's
 //	                    core contribution: contexts, resultset nodes,
 //	                    typed generation, §4 result wrappers)
 //	internal/catalog    application/data-service metadata + cache
@@ -41,13 +43,30 @@ import (
 	"repro/internal/driver"
 	"repro/internal/faultnet"
 	"repro/internal/obsv"
+	_ "repro/internal/pathfront" // register the path-template dialect
 	"repro/internal/qcache"
+	"repro/internal/qfront"
 	"repro/internal/resilient"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
 	"repro/internal/xqeval"
 )
+
+// Dialect names a registered query language front end. Every query-text
+// entry point has a *Dialect variant; the plain methods fix the dialect
+// to SQL-92, the platform's historical (and wire-default) surface.
+type Dialect = qfront.Dialect
+
+// Built-in dialects: the SQL-92 front end (internal/sqlparser) and the
+// path-template front end (internal/pathfront).
+const (
+	DialectSQL  = qfront.DialectSQL
+	DialectPath = qfront.DialectPath
+)
+
+// Dialects lists the registered query dialects.
+func Dialects() []Dialect { return qfront.Dialects() }
 
 // Re-exported core types, so library users need only this package for the
 // common paths.
@@ -358,10 +377,22 @@ func (p *Platform) Compile(sql string, mode ResultMode) (*CompiledQuery, error) 
 
 // CompileContext is Compile observing a context during metadata fetches.
 func (p *Platform) CompileContext(ctx context.Context, sql string, mode ResultMode) (*CompiledQuery, error) {
-	cq, _, err := p.queryCache().Get(ctx, sql, mode, func(ctx context.Context, sql string) (*qcache.CompiledQuery, error) {
-		tr := obsv.NewTrace(sql)
+	return p.CompileDialect(ctx, DialectSQL, sql, mode)
+}
+
+// CompileDialect is CompileContext with an explicit query dialect: the
+// text is parsed by the dialect's registered front end, and the artifact
+// is cached under (dialect, normalized text, mode, generations) — two
+// dialects can never share or clobber an entry, even on identical text.
+func (p *Platform) CompileDialect(ctx context.Context, dialect Dialect, text string, mode ResultMode) (*CompiledQuery, error) {
+	fe, err := qfront.Lookup(dialect)
+	if err != nil {
+		return nil, err
+	}
+	cq, _, err := p.queryCache().Get(ctx, fe, text, mode, func(ctx context.Context, text string) (*qcache.CompiledQuery, error) {
+		tr := obsv.NewTrace(text)
 		tr.Hook = obsv.Global.ObserveStage
-		return qcache.Compile(ctx, p.Translator(mode), p.Engine, sql, tr)
+		return qcache.Compile(ctx, p.Translator(mode), p.Engine, fe, text, tr)
 	})
 	return cq, err
 }
@@ -399,6 +430,15 @@ func (p *Platform) Translator(mode ResultMode) *translator.Translator {
 // translation (generated query, result schema, parameter info).
 func (p *Platform) Translate(sql string, mode ResultMode) (*Translation, error) {
 	return p.Translator(mode).Translate(sql)
+}
+
+// TranslateDialect is Translate with an explicit query dialect.
+func (p *Platform) TranslateDialect(dialect Dialect, text string, mode ResultMode) (*Translation, error) {
+	fe, err := qfront.Lookup(dialect)
+	if err != nil {
+		return nil, err
+	}
+	return p.Translator(mode).TranslateFrontend(context.Background(), fe, text, nil)
 }
 
 // TranslateText is a convenience returning just the XQuery source in XML
@@ -445,7 +485,15 @@ func (p *Platform) QueryStream(ctx context.Context, sql string, args ...any) (*R
 // tables, bad parameters, sources failing at open) are returned here
 // synchronously; later ones via rows.Err().
 func (p *Platform) QueryStreamMode(ctx context.Context, mode ResultMode, sql string, args ...any) (*Rows, error) {
-	cq, err := p.CompileContext(ctx, sql, mode)
+	return p.QueryDialect(ctx, DialectSQL, mode, sql, args...)
+}
+
+// QueryDialect is QueryStreamMode with an explicit query dialect: the
+// statement text is parsed by the dialect's front end and then flows
+// through exactly the same compile cache, planner, and streaming cursor
+// as SQL.
+func (p *Platform) QueryDialect(ctx context.Context, dialect Dialect, mode ResultMode, text string, args ...any) (*Rows, error) {
+	cq, err := p.CompileDialect(ctx, dialect, text, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -514,9 +562,19 @@ func (p *Platform) MetadataStats() catalog.CacheStats {
 // generate, serialize) with wall time, sizes, and stage detail — the
 // programmatic form of the driver's EXPLAIN statement.
 func (p *Platform) Explain(sql string, mode ResultMode) (*Translation, *Trace, error) {
-	tr := obsv.NewTrace(sql)
+	return p.ExplainDialect(DialectSQL, sql, mode)
+}
+
+// ExplainDialect is Explain with an explicit query dialect; the stage
+// trace starts with the dialect's own lex/parse spans.
+func (p *Platform) ExplainDialect(dialect Dialect, text string, mode ResultMode) (*Translation, *Trace, error) {
+	fe, err := qfront.Lookup(dialect)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obsv.NewTrace(text)
 	tr.Hook = obsv.Global.ObserveStage
-	res, err := p.Translator(mode).TranslateTraced(sql, tr)
+	res, err := p.Translator(mode).TranslateFrontend(context.Background(), fe, text, tr)
 	return res, tr, err
 }
 

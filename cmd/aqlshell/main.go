@@ -6,8 +6,11 @@
 // EXPLAIN <select> (stage-by-stage translation trace, cache effect, query
 // contexts, and the generated XQuery), SHOW CATALOGS/SCHEMAS/TABLES/
 // PROCEDURES, SHOW COLUMNS FROM <t>, CALL <proc>(args), plus the shell
-// commands \x (print the XQuery a SELECT translates to), \c (query
-// contexts), \p (evaluator query plan), \s (pipeline metrics snapshot),
+// commands \d <dialect> (switch the query language: "sql" is the default,
+// "path" the graph-pattern front end — every later statement, \x, \p, and
+// \c parse in the chosen dialect), \x (print the XQuery a statement
+// translates to), \c (query contexts), \p (evaluator query plan), \s
+// (pipeline metrics snapshot),
 // \r (resilience counters: retries, breaker trips, stale serves, injected
 // faults), \q (compile-cache counters: hits, misses, single-flight
 // shares, evictions, invalidations, size, metadata generation), and
@@ -49,12 +52,13 @@ func main() {
 	}
 	p := aqualogic.Demo()
 	p.RegisterDriver("demo")
+	dialect := aqualogic.DialectSQL
 	db, err := sql.Open("aqualogic", "demo")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqlshell:", err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	defer func() { db.Close() }()
 
 	fmt.Println("aqlshell — SQL over the AquaLogic-style demo deployment")
 	fmt.Println(`type SQL (SELECT/SHOW/CALL), "EXPLAIN SELECT ..." for the stage trace,`)
@@ -65,7 +69,9 @@ func main() {
 	fmt.Println(`"\s" for pipeline metrics (incl. stats hits and parallel workers),`)
 	fmt.Println(`"\r" for resilience counters, "\q" for`)
 	fmt.Println(`compile-cache counters, "\f n" to page results n rows at a time off`)
-	fmt.Println(`the live cursor (\f 0 to turn paging off), "quit" or "exit" to leave`)
+	fmt.Println(`the live cursor (\f 0 to turn paging off), "\d <dialect>" to switch`)
+	fmt.Printf("query language (registered: %s), \"quit\" or \"exit\" to leave\n",
+		strings.Join(dialectNames(), ", "))
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -82,6 +88,25 @@ func main() {
 			continue
 		case strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
 			return
+		case line == `\d`:
+			fmt.Printf("dialect: %s (registered: %s)\n", dialect, strings.Join(dialectNames(), ", "))
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\d `))
+			d, ok := lookupDialect(name)
+			if !ok {
+				fmt.Printf("unknown dialect %q (registered: %s)\n", name, strings.Join(dialectNames(), ", "))
+				continue
+			}
+			// Reopen the DSN with the dialect option: every connection the
+			// pool hands out from here on parses in the chosen language.
+			next, err := sql.Open("aqualogic", "demo?dialect="+string(d))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			db.Close()
+			db, dialect = next, d
+			fmt.Printf("dialect: %s\n", dialect)
 		case line == `\q`:
 			cs := p.CompileStats()
 			fmt.Printf("compile cache: hits=%d misses=%d shared=%d evictions=%d invalidations=%d\n",
@@ -107,12 +132,12 @@ func main() {
 				fmt.Printf("paging %d row(s) at a time\n", n)
 			}
 		case strings.HasPrefix(line, `\x `):
-			xq, err := p.TranslateText(strings.TrimPrefix(line, `\x `))
+			res, err := p.TranslateDialect(dialect, strings.TrimPrefix(line, `\x `), aqualogic.ModeXML)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Println(xq)
+			fmt.Println(res.XQuery())
 		case line == `\s`:
 			aqualogic.Stats().Render(os.Stdout)
 			cache := p.MetadataStats()
@@ -123,16 +148,17 @@ func main() {
 			fmt.Printf("metadata cache: stale serves=%d shared fetches=%d degraded=%v\n",
 				cache.StaleServes, cache.Shared, cache.Degraded)
 		case strings.HasPrefix(line, `\p `):
-			cq, err := p.Compile(strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
+			cq, err := p.CompileDialect(context.Background(), dialect, strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
+			fmt.Printf("-- dialect: %s\n", cq.Dialect)
 			for _, planLine := range cq.Plan.Describe() {
 				fmt.Println(planLine)
 			}
 		case strings.HasPrefix(line, `\c `):
-			res, err := p.Translate(strings.TrimPrefix(line, `\c `), aqualogic.ModeXML)
+			res, err := p.TranslateDialect(dialect, strings.TrimPrefix(line, `\c `), aqualogic.ModeXML)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -219,11 +245,13 @@ func runRemote(url string) {
 	fmt.Println(`type SQL, "EXPLAIN SELECT ..." for the remote plan, "\s" for remote`)
 	fmt.Println(`pipeline metrics, "\r" for the resilience picture (server admission/`)
 	fmt.Println(`brownout/shed state plus this client's breaker and retries), "\f n"`)
-	fmt.Println(`to page results, "quit" or "exit" to leave`)
+	fmt.Println(`to page results, "\d <dialect>" to switch query language, "quit" or`)
+	fmt.Println(`"exit" to leave`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fetchSize := 0
+	dialect := aqualogic.DialectSQL
 	for {
 		fmt.Print("sql> ")
 		if !scanner.Scan() {
@@ -249,6 +277,19 @@ func runRemote(url string) {
 				continue
 			}
 			fetchSize = n
+		case line == `\d`:
+			fmt.Printf("dialect: %s (registered locally: %s)\n", dialect, strings.Join(dialectNames(), ", "))
+		case strings.HasPrefix(line, `\d `):
+			// The name travels on the wire per statement; the server's own
+			// registry validates it, so an unknown dialect fails at the next
+			// query with the server's typed error.
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\d `))
+			if d, ok := lookupDialect(name); ok {
+				dialect = d
+			} else {
+				dialect = aqualogic.Dialect(name)
+			}
+			fmt.Printf("dialect: %s\n", dialect)
 		case line == `\s`:
 			resp, err := c.ServerStats(statsCtx())
 			if err != nil {
@@ -259,18 +300,42 @@ func runRemote(url string) {
 		case line == `\r`:
 			renderRemoteResilience(c)
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
-			text, err := c.Explain(context.Background(), strings.TrimSpace(line[len("EXPLAIN "):]), aqualogic.ModeText)
+			text, err := c.ExplainDialect(context.Background(), string(dialect), strings.TrimSpace(line[len("EXPLAIN "):]), aqualogic.ModeText)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Println(text)
 		default:
-			if err := runRemoteQuery(c, line, fetchSize, scanner); err != nil {
+			if err := runRemoteQuery(c, string(dialect), line, fetchSize, scanner); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
 	}
+}
+
+// dialectNames lists the locally registered dialects.
+func dialectNames() []string {
+	ds := aqualogic.Dialects()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = string(d)
+	}
+	return names
+}
+
+// lookupDialect resolves a dialect name against the local registry
+// ("" = sql).
+func lookupDialect(name string) (aqualogic.Dialect, bool) {
+	if name == "" {
+		return aqualogic.DialectSQL, true
+	}
+	for _, d := range aqualogic.Dialects() {
+		if string(d) == name {
+			return d, true
+		}
+	}
+	return "", false
 }
 
 func statsCtx() context.Context {
@@ -303,8 +368,8 @@ func renderRemoteResilience(c *remoteclient.Client) {
 // runRemoteQuery streams a remote result set to the terminal, paging
 // when asked; abandoning a page closes the cursor, which cancels the
 // rest of the evaluation server-side.
-func runRemoteQuery(c *remoteclient.Client, query string, pageSize int, in *bufio.Scanner) error {
-	rows, err := c.Query(context.Background(), query)
+func runRemoteQuery(c *remoteclient.Client, dialect, query string, pageSize int, in *bufio.Scanner) error {
+	rows, err := c.QueryDialect(context.Background(), dialect, aqualogic.ModeText, query)
 	if err != nil {
 		return err
 	}

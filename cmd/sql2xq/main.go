@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	sql2xq [-mode xml|text] [-columns] [-explain] "SELECT * FROM CUSTOMERS"
+//	sql2xq [-dialect sql|path] [-mode xml|text] [-columns] [-explain] "SELECT * FROM CUSTOMERS"
 //	echo "SELECT ..." | sql2xq
 //
-// -explain prints the stage-by-stage translation trace (wall time, sizes,
-// stage detail) and the catalog cache effect before the generated query.
+// -dialect selects the query language the statement is written in (any
+// registered front end; default sql). -explain prints the stage-by-stage
+// translation trace (wall time, sizes, stage detail) and the catalog
+// cache effect before the generated query.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 func main() {
 	mode := flag.String("mode", "xml", "result handling mode: xml (RECORDSET output) or text (§4 delimiter-separated wrapper)")
+	dialect := flag.String("dialect", "sql", "query language the statement is written in (a registered dialect: sql, path)")
 	columns := flag.Bool("columns", false, "also print the computed result schema")
 	explain := flag.Bool("explain", false, "print the stage trace (lex/parse/…/serialize timings and detail) before the query")
 	flag.Parse()
@@ -55,10 +58,11 @@ func main() {
 	var err error
 	if *explain {
 		var trace *aqualogic.Trace
-		res, trace, err = p.Explain(sql, resultMode)
+		res, trace, err = p.ExplainDialect(aqualogic.Dialect(*dialect), sql, resultMode)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("-- dialect: %s\n", *dialect)
 		fmt.Println("-- stage trace:")
 		trace.Render(os.Stdout, true)
 		cache := p.MetadataStats()
@@ -67,7 +71,7 @@ func main() {
 		fmt.Print(res.Contexts.Tree())
 		fmt.Println("-- generated XQuery (stage three):")
 	} else {
-		res, err = p.Translate(sql, resultMode)
+		res, err = p.TranslateDialect(aqualogic.Dialect(*dialect), sql, resultMode)
 		if err != nil {
 			fatal(err)
 		}

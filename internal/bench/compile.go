@@ -13,6 +13,7 @@ import (
 	"repro/internal/demo"
 	"repro/internal/obsv"
 	"repro/internal/qcache"
+	"repro/internal/sqlparser"
 	"repro/internal/translator"
 	"repro/internal/xqeval"
 )
@@ -97,13 +98,13 @@ func RunCompileSweep(iters int) ([]CompilePoint, error) {
 
 		cache := qcache.New(qcache.Config{})
 		compile := func(ctx context.Context, sql string) (*qcache.CompiledQuery, error) {
-			return qcache.Compile(ctx, trans, engine, sql, obsv.NewTrace(sql))
+			return qcache.Compile(ctx, trans, engine, sqlparser.Front{}, sql, obsv.NewTrace(sql))
 		}
-		if _, _, err := cache.Get(ctx, q.SQL, warm.Mode, compile); err != nil {
+		if _, _, err := cache.Get(ctx, sqlparser.Front{}, q.SQL, warm.Mode, compile); err != nil {
 			return nil, fmt.Errorf("%s: prime: %w", q.Name, err)
 		}
 		cached, err := timeIt(iters, func() error {
-			_, hit, err := cache.Get(ctx, q.SQL, warm.Mode, compile)
+			_, hit, err := cache.Get(ctx, sqlparser.Front{}, q.SQL, warm.Mode, compile)
 			if err != nil {
 				return err
 			}

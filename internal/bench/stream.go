@@ -14,6 +14,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/qcache"
 	"repro/internal/resultset"
+	"repro/internal/sqlparser"
 	"repro/internal/translator"
 	"repro/internal/xdm"
 	"repro/internal/xqeval"
@@ -63,7 +64,7 @@ func newStreamBenchEnv(rows int) (*streamBenchEnv, error) {
 	trans := translator.New(catalog.NewCache(app))
 	trans.Options.DefaultCatalog = app.Name
 	trans.Options.Mode = translator.ModeText
-	cq, err := qcache.Compile(context.Background(), trans, engine, StreamSweepSQL, obsv.NewTrace(StreamSweepSQL))
+	cq, err := qcache.Compile(context.Background(), trans, engine, sqlparser.Front{}, StreamSweepSQL, obsv.NewTrace(StreamSweepSQL))
 	if err != nil {
 		return nil, err
 	}

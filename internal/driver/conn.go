@@ -12,6 +12,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/obsv"
 	"repro/internal/qcache"
+	"repro/internal/qfront"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/xdm"
@@ -30,11 +31,12 @@ type conn struct {
 	translator *translator.Translator
 	cache      *catalog.Cache
 	mode       translator.ResultMode
+	frontend   qfront.Frontend
 	obs        *obsv.Metrics
 	closed     bool
 }
 
-func newConn(srv *Server, mode string) *conn {
+func newConn(srv *Server, mode string, fe qfront.Frontend) *conn {
 	cache := catalog.NewCache(srv.metaSource())
 	tr := translator.New(cache)
 	tr.Options.DefaultCatalog = srv.App.Name
@@ -44,7 +46,7 @@ func newConn(srv *Server, mode string) *conn {
 		tr.Options.Mode = translator.ModeText
 	}
 	return &conn{srv: srv, engine: srv.Engine, translator: tr, cache: cache,
-		mode: tr.Options.Mode, obs: &obsv.Metrics{}}
+		mode: tr.Options.Mode, frontend: fe, obs: &obsv.Metrics{}}
 }
 
 // compile resolves query through the server's shared compile cache,
@@ -52,10 +54,10 @@ func newConn(srv *Server, mode string) *conn {
 // racing connections). hit reports artifact reuse; only fresh compiles
 // count toward the connection's QueriesTranslated.
 func (c *conn) compile(ctx context.Context, query string) (cq *qcache.CompiledQuery, hit bool, err error) {
-	cq, hit, err = c.srv.compileCache().Get(ctx, query, c.mode, func(ctx context.Context, sql string) (*qcache.CompiledQuery, error) {
-		tr := obsv.NewTrace(sql)
+	cq, hit, err = c.srv.compileCache().Get(ctx, c.frontend, query, c.mode, func(ctx context.Context, text string) (*qcache.CompiledQuery, error) {
+		tr := obsv.NewTrace(text)
 		tr.Hook = c.observeStage
-		return qcache.Compile(ctx, c.translator, c.engine, sql, tr)
+		return qcache.Compile(ctx, c.translator, c.engine, c.frontend, text, tr)
 	})
 	if err != nil {
 		c.obs.TranslateErrors.Inc()

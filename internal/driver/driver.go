@@ -12,7 +12,8 @@
 //	CALL <function>(args…)   — parameterized data service functions
 //
 // The DSN names a registered server, optionally selecting the §4 result
-// mode: "demo", "demo?mode=text" (default), "demo?mode=xml".
+// mode and the query dialect: "demo", "demo?mode=text" (default),
+// "demo?mode=xml", "demo?dialect=path" (default "sql").
 package driver
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/qcache"
+	"repro/internal/qfront"
 	"repro/internal/xqeval"
 )
 
@@ -106,6 +108,7 @@ type Driver struct{}
 func (Driver) Open(dsn string) (driver.Conn, error) {
 	name := dsn
 	mode := "text"
+	dialect := qfront.DialectSQL
 	if i := strings.IndexByte(dsn, '?'); i >= 0 {
 		name = dsn[:i]
 		for _, kv := range strings.Split(dsn[i+1:], "&") {
@@ -119,16 +122,22 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 					return nil, fmt.Errorf("aqualogic: unknown result mode %q", v)
 				}
 				mode = v
+			case "dialect":
+				dialect = qfront.Dialect(v)
 			default:
 				return nil, fmt.Errorf("aqualogic: unknown DSN option %q", k)
 			}
 		}
 	}
+	fe, err := qfront.Lookup(dialect)
+	if err != nil {
+		return nil, fmt.Errorf("aqualogic: %v", err)
+	}
 	srv, ok := lookupServer(name)
 	if !ok {
 		return nil, fmt.Errorf("aqualogic: no registered server %q", name)
 	}
-	return newConn(srv, mode), nil
+	return newConn(srv, mode, fe), nil
 }
 
 func init() {

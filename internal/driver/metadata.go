@@ -188,6 +188,7 @@ func newExplainStmt(ctx context.Context, c *conn, sql string) (driver.Stmt, erro
 			out.rows = append(out.rows, []driver.Value{line})
 		}
 	}
+	addLines(fmt.Sprintf("-- dialect: %s", cq.Dialect))
 	addLines("-- stage trace:")
 	addLines(cq.Trace.RenderString(true))
 	addLines(fmt.Sprintf("-- compile cache: %s", status))

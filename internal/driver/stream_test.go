@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/demo"
 	"repro/internal/obsv"
+	"repro/internal/sqlparser"
 )
 
 // streamConn builds a private server over a customers-only dataset and
@@ -20,7 +21,7 @@ import (
 func streamConn(t *testing.T, customers int) *conn {
 	t.Helper()
 	app, _, engine := demo.Setup(demo.Sizes{Customers: customers, PaymentsPerCustomer: 0, Orders: 1, ItemsPerOrder: 1})
-	return newConn(&Server{App: app, Engine: engine}, "text")
+	return newConn(&Server{App: app, Engine: engine}, "text", sqlparser.Front{})
 }
 
 // evalStepsDelta runs fn and reports how many evaluator steps the process

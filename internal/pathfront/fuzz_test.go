@@ -1,0 +1,61 @@
+package pathfront
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+// FuzzPathFrontend checks the contract the kernel relies on: whatever
+// bytes a client sends as a path statement, the front end returns
+// (*SelectStmt, error) — it never panics and never loops, and every
+// error is a typed *ParseError with a real 1-based position. When a
+// statement parses, its canonical rendering must be valid SQL-92 (the
+// two front ends meet on one AST, so path output re-parses through the
+// SQL front end).
+func FuzzPathFrontend(f *testing.F) {
+	seeds := []string{
+		"match (c:CUSTOMERS) return *",
+		"match (c:CUSTOMERS) return c",
+		"match (c:customers) return c.CUSTOMERID, c.CUSTOMERNAME as NAME",
+		"match (c:CUSTOMERS)-[CUSTOMERID = CUSTID]->(p:PAYMENTS) return c.CUSTOMERNAME, p.PAYMENT",
+		"match (c:CUSTOMERS)-[CUSTOMERID=CUSTID]->(p:PAYMENTS) where p.PAYMENT > 100 and c.CITY = 'Oslo' return c.CUSTOMERNAME order by p.PAYMENT desc take 10",
+		"match (a:T1)-[X=Y, a.Z=b.W]->(b:T2) return a.X",
+		"match (a:CUSTOMERS)-[CUSTOMERID=CUSTID]->(b:PAYMENTS)-[b.CUSTID=d.CUSTID]->(d:PAYMENTS) return distinct a.CUSTOMERNAME",
+		"match (c:CUSTOMERS) where c.CITY is not null return c.CITY order by 1 asc",
+		"match (c:CUSTOMERS) where c.CUSTOMERID = ? and not c.CITY != ? return c.CUSTOMERNAME",
+		"match (p:PAYMENTS) return p.PAYMENT * 2 + 1 as SCALED, -p.PAYMENT / 1.5e2",
+		"match (c:APP.PUBLIC.CUSTOMERS) # qualified\nreturn c.CITY",
+		"match (c:CUSTOMERS), (p:PAYMENTS) where c.CUSTOMERID = p.CUSTID return c.CITY",
+		"match (c:'CUSTOMERS') return c",
+		"match (c:CUSTOMERS) return c.CITY take -1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("non-nil stmt alongside error %v", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *ParseError: %v (input %q)", err, err, src)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("error position %v is not 1-based (input %q)", pe.Pos, src)
+			}
+			return
+		}
+		rendered := stmt.SQL()
+		if strings.TrimSpace(rendered) == "" {
+			t.Fatalf("parsed statement renders empty (input %q)", src)
+		}
+		if _, err := sqlparser.Parse(rendered); err != nil {
+			t.Fatalf("rendered SQL %q (from path %q) does not re-parse: %v", rendered, src, err)
+		}
+	})
+}

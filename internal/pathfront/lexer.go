@@ -1,0 +1,255 @@
+package pathfront
+
+import (
+	"strings"
+
+	"repro/internal/qfront"
+)
+
+// tokKind classifies path-template tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tString // 'literal'
+	tInt
+	tDec
+	tFloat
+	tParam // ?
+	tOp    // punctuation and operators
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tKeyword:
+		return "keyword"
+	case tString:
+		return "string literal"
+	case tInt:
+		return "integer literal"
+	case tDec:
+		return "decimal literal"
+	case tFloat:
+		return "float literal"
+	case tParam:
+		return "parameter marker"
+	default:
+		return "operator"
+	}
+}
+
+// pathKeywords is the language's reserved-word set. Identifiers matching
+// case-insensitively lex as keywords, like the SQL front end's lexer.
+var pathKeywords = map[string]bool{
+	"MATCH": true, "WHERE": true, "RETURN": true, "DISTINCT": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "TAKE": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "NULL": true,
+	"IS": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  qfront.Pos
+}
+
+func (t token) is(keyword string) bool    { return t.kind == tKeyword && t.text == keyword }
+func (t token) isOp(spelling string) bool { return t.kind == tOp && t.text == spelling }
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tString:
+		return "'" + t.text + "'"
+	default:
+		return t.text
+	}
+}
+
+// lex tokenizes path-template text. Plain identifiers uppercase (the
+// language is case-insensitive, like SQL); string literals unescape
+// doubled quotes; `#` starts a comment running to end of line.
+func lex(src string) ([]token, error) {
+	lx := &plexer{src: src, line: 1, col: 1}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+type plexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func (lx *plexer) pos() qfront.Pos { return qfront.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *plexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *plexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *plexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *plexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		switch b := lx.peek(); {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '#':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+func isIdentPart(b byte) bool { return isIdentStart(b) || isDigit(b) }
+
+func (lx *plexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	b := lx.peek()
+	switch {
+	case isIdentStart(b):
+		return lx.lexIdent(start), nil
+	case isDigit(b) || (b == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(start)
+	case b == '\'':
+		return lx.lexString(start)
+	case b == '?':
+		lx.advance()
+		return token{kind: tParam, text: "?", pos: start}, nil
+	default:
+		return lx.lexOperator(start)
+	}
+}
+
+func (lx *plexer) lexIdent(start qfront.Pos) token {
+	begin := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := strings.ToUpper(lx.src[begin:lx.off])
+	if pathKeywords[text] {
+		return token{kind: tKeyword, text: text, pos: start}
+	}
+	return token{kind: tIdent, text: text, pos: start}
+}
+
+func (lx *plexer) lexNumber(start qfront.Pos) (token, error) {
+	begin := lx.off
+	kind := tInt
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && isDigit(lx.peekAt(1)) {
+		kind = tDec
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if b := lx.peek(); b == 'e' || b == 'E' {
+		n := 1
+		if c := lx.peekAt(1); c == '+' || c == '-' {
+			n = 2
+		}
+		if isDigit(lx.peekAt(n)) {
+			kind = tFloat
+			for i := 0; i < n; i++ {
+				lx.advance()
+			}
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+	}
+	if isIdentStart(lx.peek()) {
+		return token{}, errAt(lx.pos(), "malformed number: unexpected %q", string(lx.peek()))
+	}
+	return token{kind: kind, text: lx.src[begin:lx.off], pos: start}, nil
+}
+
+func (lx *plexer) lexString(start qfront.Pos) (token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == '\'' {
+			if lx.peek() == '\'' { // doubled quote escapes one quote
+				lx.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return token{kind: tString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+	}
+	return token{}, errAt(start, "unterminated string literal")
+}
+
+// twoByteOps are the multi-character operator spellings, checked before
+// single characters.
+var twoByteOps = []string{"->", "!=", "<>", "<=", ">="}
+
+func (lx *plexer) lexOperator(start qfront.Pos) (token, error) {
+	rest := lx.src[lx.off:]
+	for _, op := range twoByteOps {
+		if strings.HasPrefix(rest, op) {
+			lx.advance()
+			lx.advance()
+			return token{kind: tOp, text: op, pos: start}, nil
+		}
+	}
+	switch b := lx.peek(); b {
+	case '(', ')', '[', ']', ',', '.', ':', '=', '<', '>', '-', '+', '*', '/', ';':
+		lx.advance()
+		return token{kind: tOp, text: string(b), pos: start}, nil
+	default:
+		return token{}, errAt(start, "unexpected character %q", string(b))
+	}
+}

@@ -1,0 +1,561 @@
+package pathfront
+
+import (
+	"strconv"
+
+	"repro/internal/qfront"
+)
+
+// parseTokens parses a lexed path-template statement onto the shared AST.
+func parseTokens(toks []token) (*qfront.SelectStmt, error) {
+	p := &parser{toks: toks, binders: map[string]*qfront.TableName{}}
+	stmt, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon, matching the SQL front end's tolerance
+	// (shells and scripts habitually terminate statements with one).
+	if p.cur().isOp(";") {
+		p.advance()
+	}
+	if t := p.cur(); t.kind != tEOF {
+		return nil, errAt(t.pos, "expected end of statement, found %s", t)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks   []token
+	i      int
+	params int
+	// binders maps each declared node binder to its FROM entry, so a
+	// binder repeated across patterns refers to one node and `return b`
+	// can be recognized as a whole-node projection.
+	binders map[string]*qfront.TableName
+	from    []qfront.TableRef
+	edges   []qfront.Expr
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(n int) token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectOp(spelling string) (token, error) {
+	if t := p.cur(); t.isOp(spelling) {
+		return p.advance(), nil
+	}
+	return token{}, errAt(p.cur().pos, "expected %q, found %s", spelling, p.cur())
+}
+
+func (p *parser) expectKeyword(kw string) (token, error) {
+	if t := p.cur(); t.is(kw) {
+		return p.advance(), nil
+	}
+	return token{}, errAt(p.cur().pos, "expected %s, found %s", kw, p.cur())
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if t := p.cur(); t.kind == tIdent {
+		return p.advance(), nil
+	}
+	return token{}, errAt(p.cur().pos, "expected identifier, found %s", p.cur())
+}
+
+// parseQuery := MATCH chain (',' chain)* [WHERE cond]
+//
+//	RETURN [DISTINCT] item (',' item)*
+//	[ORDER BY order (',' order)*] [TAKE int]
+func (p *parser) parseQuery() (*qfront.SelectStmt, error) {
+	start, err := p.expectKeyword("MATCH")
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseChain(); err != nil {
+			return nil, err
+		}
+		if !p.cur().isOp(",") {
+			break
+		}
+		p.advance()
+	}
+
+	var where qfront.Expr
+	if p.cur().is("WHERE") {
+		p.advance()
+		if where, err = p.parseCond(); err != nil {
+			return nil, err
+		}
+	}
+
+	spec := &qfront.QuerySpec{Pos: start.pos, From: p.from}
+	if _, err := p.expectKeyword("RETURN"); err != nil {
+		return nil, err
+	}
+	if p.cur().is("DISTINCT") {
+		p.advance()
+		spec.Distinct = true
+	}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		spec.Items = append(spec.Items, item)
+		if !p.cur().isOp(",") {
+			break
+		}
+		p.advance()
+	}
+
+	// Edge conditions fold left in pattern order, then the WHERE clause —
+	// the same association `A = B AND C = D AND <cond>` parses to in SQL,
+	// so the rendered statement round-trips byte-identically.
+	for _, e := range p.edges {
+		spec.Where = conj(spec.Where, e)
+	}
+	spec.Where = conj(spec.Where, where)
+
+	stmt := &qfront.SelectStmt{Pos: start.pos, Body: spec, Limit: -1}
+
+	if p.cur().is("ORDER") {
+		p.advance()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			o, err := p.parseOrder()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, o)
+			if !p.cur().isOp(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+
+	if p.cur().is("TAKE") {
+		p.advance()
+		t := p.cur()
+		if t.kind != tInt {
+			return nil, errAt(t.pos, "expected row count after TAKE, found %s", t)
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, errAt(t.pos, "row count %q out of range", t.text)
+		}
+		stmt.Limit = n
+	}
+
+	stmt.ParamCount = p.params
+	return stmt, nil
+}
+
+func conj(a, b qfront.Expr) qfront.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &qfront.BinaryExpr{Pos: a.Position(), Op: qfront.BinAnd, Left: a, Right: b}
+}
+
+// parseChain := node (edge node)*
+func (p *parser) parseChain() error {
+	left, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for p.cur().isOp("-") {
+		p.advance()
+		if _, err := p.expectOp("["); err != nil {
+			return err
+		}
+		type pair struct{ l, r *qfront.ColumnRef }
+		var pairs []pair
+		for {
+			l, err := p.parseEdgeCol()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expectOp("="); err != nil {
+				return err
+			}
+			r, err := p.parseEdgeCol()
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, pair{l, r})
+			if !p.cur().isOp(",") {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expectOp("]"); err != nil {
+			return err
+		}
+		if _, err := p.expectOp("->"); err != nil {
+			return err
+		}
+		right, err := p.parseNode()
+		if err != nil {
+			return err
+		}
+		// Unqualified edge columns default to the adjacent nodes: the
+		// left side to the left node's binder, the right side to the
+		// right node's.
+		for _, pr := range pairs {
+			if pr.l.Qualifier == "" {
+				pr.l.Qualifier = left.RangeVar()
+			}
+			if pr.r.Qualifier == "" {
+				pr.r.Qualifier = right.RangeVar()
+			}
+			p.edges = append(p.edges, &qfront.BinaryExpr{
+				Pos: pr.l.Pos, Op: qfront.BinEq, Left: pr.l, Right: pr.r,
+			})
+		}
+		left = right
+	}
+	return nil
+}
+
+// parseNode := '(' binder ':' name ('.' name)* ')'
+func (p *parser) parseNode() (*qfront.TableName, error) {
+	if _, err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	binder, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	var parts []string
+	for {
+		part, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part.text)
+		if !p.cur().isOp(".") {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+
+	tn := &qfront.TableName{Pos: binder.pos, Alias: binder.text}
+	switch len(parts) {
+	case 1:
+		tn.Name = parts[0]
+	case 2:
+		tn.Schema, tn.Name = parts[0], parts[1]
+	case 3:
+		tn.Catalog, tn.Schema, tn.Name = parts[0], parts[1], parts[2]
+	default:
+		return nil, errAt(binder.pos, "table name has too many qualifiers (at most catalog.schema.name)")
+	}
+
+	if prev, ok := p.binders[binder.text]; ok {
+		// The same binder may recur across patterns — it names the same
+		// node — but it cannot rebind to a different table.
+		if prev.Catalog != tn.Catalog || prev.Schema != tn.Schema || prev.Name != tn.Name {
+			return nil, errAt(binder.pos, "binder %s already bound to %s", binder.text, prev.SQL())
+		}
+		return prev, nil
+	}
+	p.binders[binder.text] = tn
+	p.from = append(p.from, tn)
+	return tn, nil
+}
+
+// parseEdgeCol := ident | ident '.' ident — a column in an edge pattern,
+// optionally qualified by a binder.
+func (p *parser) parseEdgeCol() (*qfront.ColumnRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &qfront.ColumnRef{Pos: first.pos, Column: first.text}
+	if p.cur().isOp(".") {
+		p.advance()
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Qualifier, ref.Column = first.text, col.text
+	}
+	return ref, nil
+}
+
+// parseItem := '*' | binder | expr ['as' ident]
+func (p *parser) parseItem() (qfront.SelectItem, error) {
+	t := p.cur()
+	if t.isOp("*") {
+		p.advance()
+		return qfront.SelectItem{Pos: t.pos, Wildcard: true}, nil
+	}
+	// A bare identifier naming a declared binder (not followed by '.')
+	// projects the whole node: SQL's B.* wildcard.
+	if t.kind == tIdent && p.binders[t.text] != nil && !p.at(1).isOp(".") {
+		p.advance()
+		return qfront.SelectItem{Pos: t.pos, Wildcard: true, Qualifier: t.text}, nil
+	}
+	e, err := p.parseCond()
+	if err != nil {
+		return qfront.SelectItem{}, err
+	}
+	item := qfront.SelectItem{Pos: t.pos, Expr: e}
+	if p.cur().is("AS") {
+		p.advance()
+		alias, err := p.expectIdent()
+		if err != nil {
+			return qfront.SelectItem{}, err
+		}
+		item.Alias = alias.text
+	}
+	return item, nil
+}
+
+// parseOrder := expr ['asc'|'desc'] — an integer literal is a SQL-92
+// ordinal reference into the return list.
+func (p *parser) parseOrder() (qfront.OrderItem, error) {
+	t := p.cur()
+	e, err := p.parseCond()
+	if err != nil {
+		return qfront.OrderItem{}, err
+	}
+	o := qfront.OrderItem{Pos: t.pos, Expr: e}
+	switch {
+	case p.cur().is("DESC"):
+		p.advance()
+		o.Desc = true
+	case p.cur().is("ASC"):
+		p.advance()
+	}
+	return o, nil
+}
+
+// Condition grammar, loosest to tightest:
+//
+//	cond    := conj ('or' conj)*
+//	conj    := negation ('and' negation)*
+//	negation:= 'not' negation | cmp
+//	cmp     := sum [cmpop sum] | sum 'is' ['not'] 'null'
+//	sum     := product (('+'|'-') product)*
+//	product := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+//	primary := literal | '?' | column | '(' cond ')'
+func (p *parser) parseCond() (qfront.Expr, error) {
+	left, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().is("OR") {
+		op := p.advance()
+		right, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		left = &qfront.BinaryExpr{Pos: op.pos, Op: qfront.BinOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseConj() (qfront.Expr, error) {
+	left, err := p.parseNegation()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().is("AND") {
+		op := p.advance()
+		right, err := p.parseNegation()
+		if err != nil {
+			return nil, err
+		}
+		left = &qfront.BinaryExpr{Pos: op.pos, Op: qfront.BinAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNegation() (qfront.Expr, error) {
+	if t := p.cur(); t.is("NOT") {
+		p.advance()
+		inner, err := p.parseNegation()
+		if err != nil {
+			return nil, err
+		}
+		return &qfront.UnaryExpr{Pos: t.pos, Op: qfront.UnaryNot, Operand: inner}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]qfront.BinaryOp{
+	"=": qfront.BinEq, "!=": qfront.BinNe, "<>": qfront.BinNe,
+	"<": qfront.BinLt, "<=": qfront.BinLe, ">": qfront.BinGt, ">=": qfront.BinGe,
+}
+
+func (p *parser) parseCmp() (qfront.Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.is("IS") {
+		p.advance()
+		not := false
+		if p.cur().is("NOT") {
+			p.advance()
+			not = true
+		}
+		if _, err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &qfront.IsNullExpr{Pos: t.pos, Not: not, Operand: left}, nil
+	}
+	if t := p.cur(); t.kind == tOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			right, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return &qfront.BinaryExpr{Pos: t.pos, Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (qfront.Expr, error) {
+	left, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op qfront.BinaryOp
+		switch {
+		case t.isOp("+"):
+			op = qfront.BinAdd
+		case t.isOp("-"):
+			op = qfront.BinSub
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseProduct()
+		if err != nil {
+			return nil, err
+		}
+		left = &qfront.BinaryExpr{Pos: t.pos, Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseProduct() (qfront.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op qfront.BinaryOp
+		switch {
+		case t.isOp("*"):
+			op = qfront.BinMul
+		case t.isOp("/"):
+			op = qfront.BinDiv
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &qfront.BinaryExpr{Pos: t.pos, Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (qfront.Expr, error) {
+	if t := p.cur(); t.isOp("-") {
+		p.advance()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &qfront.UnaryExpr{Pos: t.pos, Op: qfront.UnaryMinus, Operand: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (qfront.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.advance()
+		return &qfront.Literal{Pos: t.pos, Type: qfront.LitInteger, Text: t.text}, nil
+	case tDec:
+		p.advance()
+		return &qfront.Literal{Pos: t.pos, Type: qfront.LitDecimal, Text: t.text}, nil
+	case tFloat:
+		p.advance()
+		return &qfront.Literal{Pos: t.pos, Type: qfront.LitFloat, Text: t.text}, nil
+	case tString:
+		p.advance()
+		return &qfront.Literal{Pos: t.pos, Type: qfront.LitString, Text: t.text}, nil
+	case tParam:
+		p.advance()
+		p.params++
+		return &qfront.Param{Pos: t.pos, Index: p.params}, nil
+	case tKeyword:
+		if t.text == "NULL" {
+			p.advance()
+			return &qfront.Literal{Pos: t.pos, Type: qfront.LitNull, Text: "NULL"}, nil
+		}
+	case tIdent:
+		first := p.advance()
+		ref := &qfront.ColumnRef{Pos: first.pos, Column: first.text}
+		if p.cur().isOp(".") {
+			p.advance()
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Qualifier, ref.Column = first.text, col.text
+		}
+		return ref, nil
+	case tOp:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, errAt(t.pos, "expected expression, found %s", t)
+}

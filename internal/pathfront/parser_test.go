@@ -1,0 +1,181 @@
+package pathfront
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/qfront"
+	"repro/internal/sqlparser"
+)
+
+// TestLowering checks the relational lowering end to end: the parsed
+// statement's canonical rendering must be exactly the equivalent SQL.
+func TestLowering(t *testing.T) {
+	cases := []struct {
+		path string
+		sql  string
+	}{
+		{
+			"match (c:CUSTOMERS) return c.CUSTOMERID, c.CUSTOMERNAME",
+			"SELECT C.CUSTOMERID, C.CUSTOMERNAME FROM CUSTOMERS AS C",
+		},
+		{
+			"match (c:customers) return c",
+			"SELECT C.* FROM CUSTOMERS AS C",
+		},
+		{
+			"match (c:CUSTOMERS) return *",
+			"SELECT * FROM CUSTOMERS AS C",
+		},
+		{
+			"match (c:CUSTOMERS)-[CUSTOMERID = CUSTID]->(p:PAYMENTS) return c.CUSTOMERNAME, p.PAYMENT",
+			"SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS AS C, PAYMENTS AS P WHERE C.CUSTOMERID = P.CUSTID",
+		},
+		{
+			"match (c:CUSTOMERS)-[CUSTOMERID=CUSTID]->(p:PAYMENTS) where p.PAYMENT > 100 return c.CUSTOMERNAME",
+			"SELECT C.CUSTOMERNAME FROM CUSTOMERS AS C, PAYMENTS AS P WHERE (C.CUSTOMERID = P.CUSTID AND P.PAYMENT > 100)",
+		},
+		{
+			"match (a:CUSTOMERS)-[CUSTOMERID=CUSTID]->(b:PAYMENTS)-[b.CUSTID=d.CUSTID]->(d:PAYMENTS) return a.CUSTOMERNAME",
+			"SELECT A.CUSTOMERNAME FROM CUSTOMERS AS A, PAYMENTS AS B, PAYMENTS AS D WHERE (A.CUSTOMERID = B.CUSTID AND B.CUSTID = D.CUSTID)",
+		},
+		{
+			"match (c:CUSTOMERS) where c.CITY = 'Oslo' or not c.CUSTOMERID >= 10 return distinct c.CITY",
+			"SELECT DISTINCT C.CITY FROM CUSTOMERS AS C WHERE (C.CITY = 'Oslo' OR NOT (C.CUSTOMERID >= 10))",
+		},
+		{
+			"match (c:CUSTOMERS) where c.CITY is not null return c.CITY order by c.CITY desc take 5",
+			"SELECT C.CITY FROM CUSTOMERS AS C WHERE C.CITY IS NOT NULL ORDER BY C.CITY DESC FETCH FIRST 5 ROWS ONLY",
+		},
+		{
+			"match (c:CUSTOMERS) where c.CUSTOMERID = ? and c.CITY != ? return c.CUSTOMERNAME as NAME",
+			"SELECT C.CUSTOMERNAME AS NAME FROM CUSTOMERS AS C WHERE (C.CUSTOMERID = ? AND C.CITY <> ?)",
+		},
+		{
+			"match (p:PAYMENTS) return p.PAYMENT * 2 + 1 as SCALED order by 1",
+			"SELECT P.PAYMENT * 2 + 1 AS SCALED FROM PAYMENTS AS P ORDER BY 1",
+		},
+		{
+			// A repeated binder names the same node, not a new FROM entry.
+			"match (c:CUSTOMERS)-[CUSTOMERID=CUSTID]->(p:PAYMENTS), (c:CUSTOMERS) return c.CUSTOMERNAME",
+			"SELECT C.CUSTOMERNAME FROM CUSTOMERS AS C, PAYMENTS AS P WHERE C.CUSTOMERID = P.CUSTID",
+		},
+		{
+			// Multi-column edges AND in pattern order.
+			"match (a:T1)-[X=Y, a.Z=b.W]->(b:T2) return a.X",
+			"SELECT A.X FROM T1 AS A, T2 AS B WHERE (A.X = B.Y AND A.Z = B.W)",
+		},
+		{
+			// A trailing semicolon is tolerated, like the SQL front end.
+			"match (c:CUSTOMERS) return c.CITY;",
+			"SELECT C.CITY FROM CUSTOMERS AS C",
+		},
+	}
+	for _, tc := range cases {
+		stmt, err := Parse(tc.path)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.path, err)
+		}
+		if got := stmt.SQL(); got != tc.sql {
+			t.Errorf("lowering of %q:\n got %s\nwant %s", tc.path, got, tc.sql)
+		}
+		// The rendered form must be valid SQL-92: the two front ends meet
+		// on one AST, so path output re-parses through the SQL parser.
+		if _, err := sqlparser.Parse(stmt.SQL()); err != nil {
+			t.Errorf("rendered SQL %q does not re-parse: %v", stmt.SQL(), err)
+		}
+	}
+}
+
+// TestParamNumbering checks `?` markers number left to right, as the
+// driver's p1…pN binding requires.
+func TestParamNumbering(t *testing.T) {
+	stmt, err := Parse("match (c:T) where c.A = ? and c.B = ? return c.A take 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.ParamCount != 2 {
+		t.Fatalf("ParamCount = %d, want 2", stmt.ParamCount)
+	}
+	if stmt.Limit != 3 {
+		t.Fatalf("Limit = %d, want 3", stmt.Limit)
+	}
+	var idx []int
+	qfront.WalkExpr(stmt.Body.(*qfront.QuerySpec).Where, func(e qfront.Expr) bool {
+		if p, ok := e.(*qfront.Param); ok {
+			idx = append(idx, p.Index)
+		}
+		return true
+	})
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 2 {
+		t.Fatalf("param indexes = %v, want [1 2]", idx)
+	}
+}
+
+// TestErrors checks errors are typed with real positions into the
+// path-template source.
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		line    int
+		col     int
+		wantMsg string
+	}{
+		{"", 1, 1, "expected MATCH"},
+		{"match c:CUSTOMERS) return c", 1, 7, `expected "("`},
+		{"match (c:CUSTOMERS) return", 1, 27, "expected expression"},
+		{"match (c:CUSTOMERS)\nwhere c.CITY = return c.CITY", 2, 16, "expected expression"},
+		{"match (c:CUSTOMERS) where c.X = 'unterminated return c.X", 1, 33, "unterminated string"},
+		{"match (c:CUSTOMERS), (c:PAYMENTS) return c", 1, 23, "already bound"},
+		{"match (c:CUSTOMERS) return c.CITY trailing", 1, 35, "expected end of statement"},
+		{"match (c:CUSTOMERS) return c.CITY; extra", 1, 36, "expected end of statement"},
+		{"match (c:CUSTOMERS) return c.CITY take x", 1, 40, "expected row count"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) error %T is not *ParseError: %v", tc.src, err, err)
+		}
+		if pe.Pos.Line != tc.line || pe.Pos.Col != tc.col {
+			t.Errorf("Parse(%q) error at %v, want line %d col %d (%v)", tc.src, pe.Pos, tc.line, tc.col, err)
+		}
+		if !strings.Contains(pe.Msg, tc.wantMsg) {
+			t.Errorf("Parse(%q) msg %q, want substring %q", tc.src, pe.Msg, tc.wantMsg)
+		}
+	}
+}
+
+// TestNormalize checks cache-key normalization collapses what cannot
+// matter and preserves what can.
+func TestNormalize(t *testing.T) {
+	same := []string{
+		"match (c:CUSTOMERS) return c.CITY",
+		"match  (c:customers)  return  c.city",
+		"match (C:Customers) # pattern\nreturn C.City",
+	}
+	first, err := (Front{}).Normalize(same[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range same[1:] {
+		got, err := (Front{}).Normalize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Errorf("Normalize(%q) = %q, want %q", s, got, first)
+		}
+	}
+	other, err := (Front{}).Normalize("match (c:CUSTOMERS) return c.'CITY' is wrong")
+	if err == nil && other == first {
+		t.Error("distinct statement normalized to the same key")
+	}
+	if _, err := (Front{}).Normalize("match (c:T) where x = 'unterminated"); err == nil {
+		t.Error("Normalize accepted text that cannot lex")
+	}
+}

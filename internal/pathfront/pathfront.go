@@ -1,0 +1,122 @@
+// Package pathfront is the second query front end: a small path-template
+// language (graph-pattern navigation over registered data services,
+// SPARQL-like in spirit, Cypher-like in spelling) that parses to the
+// shared typed AST in internal/qfront. It exists to prove — and keep
+// proven — that the translation kernel is front-end agnostic: everything
+// after stage one (semantic validation, resultset-node restructuring,
+// XQuery generation, planning, statistics-driven parallel execution,
+// compile caching, streaming cursors, EXPLAIN) is inherited unchanged.
+//
+// The language:
+//
+//	match (c:CUSTOMERS)-[CUSTOMERID = CUSTID]->(p:PAYMENTS)
+//	where p.PAYMENT > 100 and c.CITY = 'Oslo'
+//	return c.CUSTOMERNAME as NAME, p.PAYMENT
+//	order by p.PAYMENT desc
+//	take 10
+//
+// A `match` clause declares node patterns — `(binder:TABLE)` pairs — and
+// edges between adjacent nodes. An edge `-[L = R]->` is an equi-join:
+// its left column defaults to the left node's binder and its right
+// column to the right node's (qualify explicitly, `-[a.X = b.Y]->`, to
+// join non-adjacent binders). Multiple comma-separated patterns and
+// multi-column edges `-[A = B, C = D]->` are allowed. `where` takes
+// boolean conditions (comparisons, and/or/not, arithmetic, `?`
+// parameters). `return` projects columns (`binder.COL`, optionally
+// aliased with `as`), a whole node (`return c` — the binder's columns,
+// SQL's C.*), or everything (`*`); `distinct`, `order by … [asc|desc]`,
+// and `take n` (SQL's FETCH FIRST n ROWS ONLY) complete the statement.
+//
+// Every construct lowers onto the relational AST: nodes become FROM
+// items with aliases, edges become equi-join conditions ANDed into the
+// WHERE clause (where the planner's structural join detection finds them
+// — path queries hash-join exactly like the equivalent SQL), and the
+// clause tail maps one-to-one. The canonical rendering of the parsed
+// statement (SelectStmt.SQL()) is therefore valid SQL-92, which the
+// differential tests exploit: a path query and its rendered SQL must
+// produce byte-identical results through both front ends.
+//
+// Errors are typed (*ParseError) and carry 1-based positions into the
+// path-template source, mirroring the SQL front end's contract.
+package pathfront
+
+import (
+	"fmt"
+
+	"repro/internal/obsv"
+	"repro/internal/qfront"
+)
+
+// Front is the path-template front end, registered under
+// qfront.DialectPath at init.
+type Front struct{}
+
+func init() { qfront.Register(Front{}) }
+
+// Dialect implements qfront.Frontend.
+func (Front) Dialect() qfront.Dialect { return qfront.DialectPath }
+
+// Parse implements qfront.Frontend: lex + parse with the same staged
+// observation the SQL front end records, so EXPLAIN of a path statement
+// shows its own stage-one spans.
+func (Front) Parse(text string, tr *obsv.Trace) (*qfront.SelectStmt, error) {
+	sp := tr.StartStage(obsv.StageLex)
+	sp.SetInput(len(text))
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetOutput(len(toks))
+	sp.End()
+
+	sp = tr.StartStage(obsv.StageParse)
+	sp.SetInput(len(toks))
+	stmt, err := parseTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	sp.Add("params", int64(stmt.ParamCount))
+	sp.End()
+	return stmt, nil
+}
+
+// Normalize implements qfront.Frontend: the compile-cache key form.
+// Lexing collapses whitespace, comments, and keyword/identifier case;
+// each token renders type-tagged and length-delimited so distinct
+// statements never collide. The cache key additionally carries the
+// dialect, so identical text under the SQL front end keys separately.
+func (Front) Normalize(text string) (string, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	for _, t := range toks {
+		if t.kind == tEOF {
+			break
+		}
+		b = fmt.Appendf(b, "%d:%d:%s ", int(t.kind), len(t.text), t.text)
+	}
+	return string(b), nil
+}
+
+// Parse is the package-level convenience used by tests and tools: parse
+// path-template text without tracing.
+func Parse(text string) (*qfront.SelectStmt, error) {
+	return Front{}.Parse(text, nil)
+}
+
+// ParseError is a syntax error in path-template text, with a 1-based
+// source position.
+type ParseError struct {
+	Pos qfront.Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("path syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos qfront.Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

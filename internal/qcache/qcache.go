@@ -2,7 +2,8 @@
 // output into a first-class CompiledQuery artifact (translation + static
 // check + immutable evaluator plan, with the compile-time stage trace
 // attached) and caches those artifacts process-shared, keyed by
-// (normalized SQL, result mode, catalog generation).
+// (dialect, normalized query text, result mode, catalog generation,
+// statistics generation).
 //
 // The paper's architecture puts a textual XQuery boundary between the
 // JDBC driver and the DSP server: the driver serializes the generated
@@ -17,12 +18,14 @@
 //
 // Cache semantics:
 //
-//   - keying — the SQL text is lexed and canonicalized (case-folded
-//     keywords and identifiers, collapsed whitespace and comments), so
-//     trivially re-spelled statements share one artifact; the result mode
-//     and the catalog's metadata generation complete the key, so a catalog
-//     invalidation, a refresh that changes a table, or a degradation event
-//     silently retires every artifact compiled before it;
+//   - keying — the query text is normalized by its own front end
+//     (qfront.Frontend.Normalize: case-folded keywords and identifiers,
+//     collapsed whitespace and comments), so trivially re-spelled
+//     statements share one artifact; the dialect, result mode, and the
+//     catalog's metadata generation complete the key, so two dialects
+//     can never collide on identical text and a catalog invalidation, a
+//     refresh that changes a table, or a degradation event silently
+//     retires every artifact compiled before it;
 //   - single-flight population — concurrent misses on one key share one
 //     compile;
 //   - size bounds — at most MaxEntries artifacts are retained, evicted in
@@ -36,11 +39,10 @@ import (
 	"container/list"
 	"context"
 	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/obsv"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/translator"
 	"repro/internal/xqeval"
 )
@@ -54,7 +56,10 @@ const DefaultMaxEntries = 256
 // trace recorded while compiling. It is immutable after Compile returns;
 // any number of concurrent evaluations may share it.
 type CompiledQuery struct {
-	// SQL is the statement text the artifact was compiled from.
+	// Dialect names the front end the statement text is written in.
+	Dialect qfront.Dialect
+	// SQL is the statement text the artifact was compiled from, in the
+	// artifact's dialect (the field predates the second front end).
 	SQL string
 	// NormalizedSQL is the canonical key form (set when cached).
 	NormalizedSQL string
@@ -118,13 +123,13 @@ func externalVars(n int) []string {
 // statically check and plan the generated AST against the engine —
 // recorded as the compile stage span. It is the canonical CompileFunc
 // body; callers wrap it to choose the translator and trace hook.
-func Compile(ctx context.Context, tr *translator.Translator, engine *xqeval.Engine, sql string, trace *obsv.Trace) (*CompiledQuery, error) {
-	res, err := tr.TranslateTracedContext(ctx, sql, trace)
+func Compile(ctx context.Context, tr *translator.Translator, engine *xqeval.Engine, fe qfront.Frontend, text string, trace *obsv.Trace) (*CompiledQuery, error) {
+	res, err := tr.TranslateFrontend(ctx, fe, text, trace)
 	if err != nil {
 		return nil, err
 	}
 	sp := trace.StartStage(obsv.StageCompile)
-	sp.SetInput(len(sql))
+	sp.SetInput(len(text))
 	plan, err := engine.CompileAST(res.Query, externalVars(res.ParamCount))
 	if err != nil {
 		sp.End()
@@ -132,33 +137,7 @@ func Compile(ctx context.Context, tr *translator.Translator, engine *xqeval.Engi
 	}
 	sp.Add("external", int64(res.ParamCount))
 	sp.End()
-	return &CompiledQuery{SQL: sql, Mode: res.Mode, Res: res, Plan: plan, Trace: trace, CostScore: plan.CostEstimate()}, nil
-}
-
-// Normalize lexes SQL into its canonical key form: keywords and plain
-// identifiers case-folded, whitespace and comments collapsed, and every
-// token type-tagged and length-delimited so distinct statements can never
-// collide (a delimited identifier "FROM" keys differently from the
-// keyword FROM).
-func Normalize(sql string) (string, error) {
-	toks, err := sqlparser.Lex(sql)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	b.Grow(len(sql) + len(toks)*4)
-	for _, t := range toks {
-		if t.Type == sqlparser.TokEOF {
-			break
-		}
-		b.WriteString(strconv.Itoa(int(t.Type)))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(len(t.Text)))
-		b.WriteByte(':')
-		b.WriteString(t.Text)
-		b.WriteByte(' ')
-	}
-	return b.String(), nil
+	return &CompiledQuery{Dialect: fe.Dialect(), SQL: text, Mode: res.Mode, Res: res, Plan: plan, Trace: trace, CostScore: plan.CostEstimate()}, nil
 }
 
 // GenerationSource is the metadata-versioning surface the cache keys on;
@@ -168,7 +147,7 @@ type GenerationSource interface {
 }
 
 // CompileFunc populates one cache miss. It receives the original (not
-// normalized) SQL text.
+// normalized) query text.
 type CompileFunc func(ctx context.Context, sql string) (*CompiledQuery, error)
 
 // Config parameterizes a Cache.
@@ -203,9 +182,12 @@ type Stats struct {
 	StatsGeneration uint64
 }
 
-// Key identifies one cached artifact.
+// Key identifies one cached artifact. Dialect is part of the key, so
+// identical query text submitted under two front ends can never share
+// (or clobber) an artifact.
 type Key struct {
-	SQL        string // normalized form
+	Dialect    qfront.Dialect
+	SQL        string // normalized form, in the key's dialect
 	Mode       translator.ResultMode
 	Generation uint64
 	// StatsGen is the source-statistics epoch the artifact's plan was
@@ -273,14 +255,14 @@ func (c *Cache) statsGeneration() uint64 {
 // another caller's in-flight compile — rather than compiled by this call.
 // SQL that does not lex bypasses the cache so compile surfaces the
 // canonical error.
-func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode, compile CompileFunc) (*CompiledQuery, bool, error) {
-	norm, err := Normalize(sql)
+func (c *Cache) Get(ctx context.Context, fe qfront.Frontend, text string, mode translator.ResultMode, compile CompileFunc) (*CompiledQuery, bool, error) {
+	norm, err := fe.Normalize(text)
 	if err != nil {
-		cq, cerr := compile(ctx, sql)
+		cq, cerr := compile(ctx, text)
 		return cq, false, cerr
 	}
 	if c.cfg.MaxEntries < 0 {
-		cq, cerr := compile(ctx, sql)
+		cq, cerr := compile(ctx, text)
 		if cq != nil {
 			cq.NormalizedSQL = norm
 		}
@@ -289,7 +271,7 @@ func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode,
 	// The generation reads happen before c.mu so a Generation func that
 	// consults other locks (the platform's metadata stack) never nests
 	// inside the cache's.
-	key := Key{SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
+	key := Key{Dialect: fe.Dialect(), SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -320,7 +302,7 @@ func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode,
 	c.mu.Unlock()
 	obsv.Global.CompileCacheMisses.Inc()
 
-	cq, err := compile(ctx, sql)
+	cq, err := compile(ctx, text)
 
 	c.mu.Lock()
 	if err == nil {
@@ -338,14 +320,15 @@ func (c *Cache) Get(ctx context.Context, sql string, mode translator.ResultMode,
 	return cq, false, err
 }
 
-// Peek reports whether an artifact for sql/mode is cached under the
-// current generation, without populating or promoting it.
-func (c *Cache) Peek(sql string, mode translator.ResultMode) (*CompiledQuery, bool) {
-	norm, err := Normalize(sql)
+// Peek reports whether an artifact for text/mode in fe's dialect is
+// cached under the current generation, without populating or promoting
+// it.
+func (c *Cache) Peek(fe qfront.Frontend, text string, mode translator.ResultMode) (*CompiledQuery, bool) {
+	norm, err := fe.Normalize(text)
 	if err != nil || c.cfg.MaxEntries < 0 {
 		return nil, false
 	}
-	key := Key{SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
+	key := Key{Dialect: fe.Dialect(), SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/demo"
 	"repro/internal/obsv"
+	"repro/internal/sqlparser"
 	"repro/internal/translator"
 )
 
@@ -27,12 +28,12 @@ func TestNormalizeCanonicalizes(t *testing.T) {
 		"select customerid from customers",
 		"SELECT\n\tCUSTOMERID\n FROM   CUSTOMERS",
 	}
-	first, err := Normalize(spellings[0])
+	first, err := (sqlparser.Front{}).Normalize(spellings[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range spellings[1:] {
-		got, err := Normalize(s)
+		got, err := (sqlparser.Front{}).Normalize(s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,11 +52,11 @@ func TestNormalizeDistinguishesTokenTypes(t *testing.T) {
 		{`SELECT A FROM T WHERE B = 1`, `SELECT A FROM T WHERE B = '1'`},
 	}
 	for _, p := range pairs {
-		a, err := Normalize(p[0])
+		a, err := (sqlparser.Front{}).Normalize(p[0])
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Normalize(p[1])
+		b, err := (sqlparser.Front{}).Normalize(p[1])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestGetCachesByNormalizedSQL(t *testing.T) {
 	c := New(Config{})
 	calls := 0
 	get := func(sql string) *CompiledQuery {
-		cq, _, err := c.Get(context.Background(), sql, translator.ModeText, fakeCompile(&calls))
+		cq, _, err := c.Get(context.Background(), sqlparser.Front{}, sql, translator.ModeText, fakeCompile(&calls))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestModeSplitsTheKey(t *testing.T) {
 	c := New(Config{})
 	calls := 0
 	for _, mode := range []translator.ResultMode{translator.ModeText, translator.ModeXML} {
-		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", mode, fakeCompile(&calls)); err != nil {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", mode, fakeCompile(&calls)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,7 +110,7 @@ func TestLRUEviction(t *testing.T) {
 	c := New(Config{MaxEntries: 2})
 	calls := 0
 	get := func(sql string) {
-		if _, _, err := c.Get(context.Background(), sql, translator.ModeText, fakeCompile(&calls)); err != nil {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, sql, translator.ModeText, fakeCompile(&calls)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -135,7 +136,7 @@ func TestNegativeMaxEntriesDisablesCaching(t *testing.T) {
 	c := New(Config{MaxEntries: -1})
 	calls := 0
 	for i := 0; i < 3; i++ {
-		cq, hit, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls))
+		cq, hit, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestFailuresAreNotCached(t *testing.T) {
 		return nil, boom
 	}
 	for i := 0; i < 2; i++ {
-		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fail); !errors.Is(err, boom) {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fail); !errors.Is(err, boom) {
 			t.Fatalf("err = %v", err)
 		}
 	}
@@ -184,10 +185,10 @@ func TestUnlexableSQLBypassesCache(t *testing.T) {
 		return nil, boom
 	}
 	bad := "SELECT 'unterminated FROM T"
-	if _, err := Normalize(bad); err == nil {
+	if _, err := (sqlparser.Front{}).Normalize(bad); err == nil {
 		t.Fatal("test needs SQL that fails to lex")
 	}
-	if _, _, err := c.Get(context.Background(), bad, translator.ModeText, fail); !errors.Is(err, boom) {
+	if _, _, err := c.Get(context.Background(), sqlparser.Front{}, bad, translator.ModeText, fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v (compile's canonical error should surface)", err)
 	}
 	if calls != 1 {
@@ -202,7 +203,7 @@ func TestInvalidateFlushesAndRecompiles(t *testing.T) {
 	c := New(Config{})
 	calls := 0
 	get := func() {
-		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -222,7 +223,7 @@ func TestGenerationRetiresArtifacts(t *testing.T) {
 	c := New(Config{Generation: func() uint64 { return gen }})
 	calls := 0
 	get := func() {
-		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,7 +249,7 @@ func TestInvalidateDuringFlightDropsArtifact(t *testing.T) {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		_, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText,
+		_, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText,
 			func(ctx context.Context, sql string) (*CompiledQuery, error) {
 				close(entered)
 				<-release
@@ -265,7 +266,7 @@ func TestInvalidateDuringFlightDropsArtifact(t *testing.T) {
 
 	// The in-flight artifact must not land in the post-flush cache.
 	calls := 0
-	if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
+	if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 1 {
@@ -280,7 +281,7 @@ func TestCompileBuildsFullArtifact(t *testing.T) {
 	tr.Options.DefaultCatalog = app.Name
 
 	trace := obsv.NewTrace("")
-	cq, err := Compile(context.Background(), tr, engine, "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?", trace)
+	cq, err := Compile(context.Background(), tr, engine, sqlparser.Front{}, "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?", trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestCompileRejectsUncheckableQuery(t *testing.T) {
 	tr.Options.DefaultCatalog = app.Name
 	// The translator resolves names against the catalog, so a bad table
 	// fails before the static check; this pins that Compile propagates it.
-	if _, err := Compile(context.Background(), tr, engine, "SELECT X FROM NO_SUCH_TABLE", obsv.NewTrace("")); err == nil {
+	if _, err := Compile(context.Background(), tr, engine, sqlparser.Front{}, "SELECT X FROM NO_SUCH_TABLE", obsv.NewTrace("")); err == nil {
 		t.Fatal("expected error for unknown table")
 	}
 }

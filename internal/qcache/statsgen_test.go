@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/sqlparser"
 	"repro/internal/translator"
 )
 
@@ -16,7 +17,7 @@ func TestStatsGenerationRetiresArtifacts(t *testing.T) {
 	c := New(Config{StatsGeneration: func() uint64 { return sgen }})
 	calls := 0
 	get := func() {
-		if _, _, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
+		if _, _, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -25,7 +26,7 @@ func TestStatsGenerationRetiresArtifacts(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("same stats generation recompiled (%d)", calls)
 	}
-	cq, hit, err := c.Get(context.Background(), "SELECT A FROM T", translator.ModeText, fakeCompile(&calls))
+	cq, hit, err := c.Get(context.Background(), sqlparser.Front{}, "SELECT A FROM T", translator.ModeText, fakeCompile(&calls))
 	if err != nil || !hit {
 		t.Fatalf("expected a hit: hit=%v err=%v", hit, err)
 	}

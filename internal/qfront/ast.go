@@ -1,4 +1,4 @@
-package sqlparser
+package qfront
 
 import (
 	"fmt"
@@ -371,7 +371,7 @@ func (j *JoinExpr) SQL() string {
 // reserved words, or carry punctuation (all reachable through delimited
 // identifiers in the source) are re-delimited, so SQL() always re-parses.
 func quoteIdentIfNeeded(s string) string {
-	if bareIdent(s) && !keywords[strings.ToUpper(s)] {
+	if bareIdent(s) && !SQLKeywords[strings.ToUpper(s)] {
 		return s
 	}
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
@@ -396,7 +396,7 @@ func bareIdent(s string) bool {
 // LEFT, …) must stay bare to parse as calls; other names follow
 // identifier quoting.
 func funcNameSQL(s string) string {
-	if keywords[strings.ToUpper(s)] {
+	if SQLKeywords[strings.ToUpper(s)] {
 		return s
 	}
 	return quoteIdentIfNeeded(s)

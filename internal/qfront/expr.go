@@ -1,4 +1,4 @@
-package sqlparser
+package qfront
 
 import (
 	"fmt"
@@ -142,7 +142,13 @@ func (u *UnaryExpr) SQL() string {
 	if u.Op == UnaryNot {
 		return "NOT (" + u.Operand.SQL() + ")"
 	}
-	return u.Op.String() + u.Operand.SQL()
+	operand := u.Operand.SQL()
+	// Adjacent minus signs would lex as a SQL line comment, so a nested
+	// negation renders parenthesized to stay re-parseable.
+	if u.Op == UnaryMinus && strings.HasPrefix(operand, "-") {
+		return u.Op.String() + "(" + operand + ")"
+	}
+	return u.Op.String() + operand
 }
 
 // BinaryOp is a binary operator (arithmetic, comparison, logical, concat).

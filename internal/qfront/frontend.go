@@ -1,0 +1,93 @@
+package qfront
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obsv"
+)
+
+// Dialect names a query language front end. It participates in compile
+// cache keys and travels over the wire protocol, so values must be
+// short, stable, lowercase identifiers.
+type Dialect string
+
+// Registered dialects. DialectSQL is the wire default: every protocol
+// field that carries a dialect treats the empty string as SQL so
+// pre-dialect clients keep working unchanged.
+const (
+	DialectSQL  Dialect = "sql"
+	DialectPath Dialect = "path"
+)
+
+// Frontend is a query language front end: stage one of the paper's
+// three-stage pipeline, factored out so the kernel (stages two and
+// three) never sees concrete syntax. A front end owns its lexer and
+// parser, reports errors with positions in its own surface syntax, and
+// emits the shared typed AST.
+type Frontend interface {
+	// Dialect returns the front end's registered name.
+	Dialect() Dialect
+
+	// Parse lexes and parses query text into the shared AST. It records
+	// its own stage spans (lex, parse) on tr — a nil trace is valid and
+	// must cost nothing. Errors are typed with positions in the
+	// dialect's own syntax.
+	Parse(text string, tr *obsv.Trace) (*SelectStmt, error)
+
+	// Normalize returns the canonical cache-key form of query text:
+	// whitespace/comment/case differences that cannot change meaning in
+	// this dialect collapse to one spelling. It must be cheap relative
+	// to Parse and fail on text the dialect cannot lex.
+	Normalize(text string) (string, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	frontends = map[Dialect]Frontend{}
+)
+
+// Register makes a front end available by dialect name. Like
+// database/sql drivers, front ends self-register from an init function;
+// a duplicate or empty dialect is a programming error and panics.
+func Register(f Frontend) {
+	d := f.Dialect()
+	if d == "" {
+		panic("qfront: Register with empty dialect")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := frontends[d]; dup {
+		panic(fmt.Sprintf("qfront: Register called twice for dialect %q", d))
+	}
+	frontends[d] = f
+}
+
+// Lookup resolves a dialect name to its registered front end. The empty
+// dialect resolves to SQL, preserving wire and DSN compatibility with
+// pre-dialect clients.
+func Lookup(d Dialect) (Frontend, error) {
+	if d == "" {
+		d = DialectSQL
+	}
+	regMu.RLock()
+	f, ok := frontends[d]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown query dialect %q (registered: %v)", d, Dialects())
+	}
+	return f, nil
+}
+
+// Dialects returns the registered dialect names, sorted.
+func Dialects() []Dialect {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Dialect, 0, len(frontends))
+	for d := range frontends {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,4 +1,4 @@
-package sqlparser
+package qfront
 
 // WalkExpr calls fn for e and every sub-expression of e, top-down. If fn
 // returns false, the walk does not descend into that expression's children.

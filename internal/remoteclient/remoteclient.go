@@ -284,11 +284,18 @@ func (c *Client) Query(ctx context.Context, sql string, args ...any) (*resultset
 // governs the whole stream: cancelling it fails the next fetch with a
 // timeout-kind error wrapping the context error.
 func (c *Client) QueryStreamMode(ctx context.Context, mode translator.ResultMode, sql string, args ...any) (*resultset.Rows, error) {
+	return c.QueryDialect(ctx, "", mode, sql, args...)
+}
+
+// QueryDialect is QueryStreamMode with an explicit query dialect. The
+// dialect name travels on the wire; empty means SQL-92, so the request a
+// pre-dialect client would send is byte-identical.
+func (c *Client) QueryDialect(ctx context.Context, dialect string, mode translator.ResultMode, text string, args ...any) (*resultset.Rows, error) {
 	wargs, err := encodeArgs("execute", args)
 	if err != nil {
 		return nil, err
 	}
-	return c.execute(ctx, wire.ExecuteRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode), Args: wargs})
+	return c.execute(ctx, wire.ExecuteRequest{Session: c.session, SQL: text, Mode: wire.ModeName(mode), Dialect: dialect, Args: wargs})
 }
 
 func (c *Client) execute(ctx context.Context, req wire.ExecuteRequest) (*resultset.Rows, error) {
@@ -323,10 +330,15 @@ type Stmt struct {
 // prepared table. Each execution re-resolves through the server's compile
 // cache, so catalog changes (CREATE VIEW) transparently recompile.
 func (c *Client) Prepare(ctx context.Context, sql string, mode translator.ResultMode) (*Stmt, error) {
+	return c.PrepareDialect(ctx, "", sql, mode)
+}
+
+// PrepareDialect is Prepare with an explicit query dialect ("" = SQL-92).
+func (c *Client) PrepareDialect(ctx context.Context, dialect, text string, mode translator.ResultMode) (*Stmt, error) {
 	// Retry-safe: a duplicate prepare pins a second copy of the statement,
 	// reclaimed with the session — never a semantic change.
 	resp, err := postRetry[wire.PrepareResponse](ctx, c, "prepare", wire.PathPrepare,
-		wire.PrepareRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, true)
+		wire.PrepareRequest{Session: c.session, SQL: text, Mode: wire.ModeName(mode), Dialect: dialect}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -350,8 +362,13 @@ func (s *Stmt) Execute(ctx context.Context, args ...any) (*resultset.Rows, error
 
 // Explain compiles a statement remotely and returns the rendered plan.
 func (c *Client) Explain(ctx context.Context, sql string, mode translator.ResultMode) (string, error) {
+	return c.ExplainDialect(ctx, "", sql, mode)
+}
+
+// ExplainDialect is Explain with an explicit query dialect ("" = SQL-92).
+func (c *Client) ExplainDialect(ctx context.Context, dialect, text string, mode translator.ResultMode) (string, error) {
 	resp, err := postRetry[wire.ExplainResponse](ctx, c, "explain", wire.PathExplain,
-		wire.ExplainRequest{Session: c.session, SQL: sql, Mode: wire.ModeName(mode)}, true)
+		wire.ExplainRequest{Session: c.session, SQL: text, Mode: wire.ModeName(mode), Dialect: dialect}, true)
 	return resp.Text, err
 }
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/obsv"
 	"repro/internal/qcache"
+	"repro/internal/qfront"
 	"repro/internal/resultset"
 	"repro/internal/translator"
 	"repro/internal/wire"
@@ -55,9 +56,14 @@ type Backend interface {
 	// CompileContext translates, checks, and plans a SELECT through the
 	// shared compile cache.
 	CompileContext(ctx context.Context, sql string, mode translator.ResultMode) (*qcache.CompiledQuery, error)
+	// CompileDialect is CompileContext with an explicit query dialect:
+	// the statement text is parsed by the dialect's registered front end.
+	CompileDialect(ctx context.Context, dialect qfront.Dialect, text string, mode translator.ResultMode) (*qcache.CompiledQuery, error)
 	// QueryStreamMode compiles (cached), binds parameters, and starts a
 	// streaming evaluation.
 	QueryStreamMode(ctx context.Context, mode translator.ResultMode, sql string, args ...any) (*resultset.Rows, error)
+	// QueryDialect is QueryStreamMode with an explicit query dialect.
+	QueryDialect(ctx context.Context, dialect qfront.Dialect, mode translator.ResultMode, text string, args ...any) (*resultset.Rows, error)
 	// DefineView registers a logical data service (CREATE VIEW).
 	DefineView(path, name, sql string) error
 	// Metadata is the catalog source metadata endpoints serve from.
@@ -358,14 +364,15 @@ type session struct {
 	closed   bool
 }
 
-// prepared is one prepared-statement table entry. Only the statement text
-// and mode are pinned: each execution re-resolves the compiled artifact
-// through the shared compile cache, so a catalog change (CREATE VIEW
-// bumping the metadata generation) transparently recompiles instead of
-// executing against a stale plan.
+// prepared is one prepared-statement table entry. Only the statement
+// text, dialect, and mode are pinned: each execution re-resolves the
+// compiled artifact through the shared compile cache, so a catalog change
+// (CREATE VIEW bumping the metadata generation) transparently recompiles
+// instead of executing against a stale plan.
 type prepared struct {
-	sql  string
-	mode translator.ResultMode
+	sql     string
+	dialect qfront.Dialect
+	mode    translator.ResultMode
 }
 
 // cursor is one open server-side cursor: a streaming result set plus the
@@ -515,7 +522,11 @@ func (s *Server) prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pre
 	if err != nil {
 		return wire.PrepareResponse{}, err
 	}
-	cq, err := s.b.CompileContext(ctx, req.SQL, mode)
+	dialect, err := parseDialect(req.Dialect)
+	if err != nil {
+		return wire.PrepareResponse{}, err
+	}
+	cq, err := s.b.CompileDialect(ctx, dialect, req.SQL, mode)
 	if err != nil {
 		return wire.PrepareResponse{}, aqerr.Wrap("prepare", err)
 	}
@@ -526,7 +537,7 @@ func (s *Server) prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pre
 	}
 	ss.nextID++
 	id := ss.nextID
-	ss.stmts[id] = &prepared{sql: req.SQL, mode: mode}
+	ss.stmts[id] = &prepared{sql: req.SQL, dialect: dialect, mode: mode}
 	return wire.PrepareResponse{
 		Stmt:       id,
 		Columns:    wireColumns(resultColumns(cq)),
@@ -568,7 +579,7 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 		ss.mu.Unlock()
 	}
 
-	sqlText, mode := req.SQL, translator.ModeText
+	sqlText, dialect, mode := req.SQL, qfront.DialectSQL, translator.ModeText
 	if req.Stmt != 0 {
 		ss.mu.Lock()
 		st, ok := ss.stmts[req.Stmt]
@@ -577,9 +588,14 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 			return wire.ExecuteResponse{}, aqerr.Errorf(aqerr.KindPermanent, "execute",
 				"unknown prepared statement %d", req.Stmt)
 		}
-		sqlText, mode = st.sql, st.mode
-	} else if mode, err = parseMode(req.Mode); err != nil {
-		return wire.ExecuteResponse{}, err
+		sqlText, dialect, mode = st.sql, st.dialect, st.mode
+	} else {
+		if mode, err = parseMode(req.Mode); err != nil {
+			return wire.ExecuteResponse{}, err
+		}
+		if dialect, err = parseDialect(req.Dialect); err != nil {
+			return wire.ExecuteResponse{}, err
+		}
 	}
 
 	args := make([]any, len(req.Args))
@@ -600,7 +616,7 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 	// compile score the minimum weight and fail below, in evaluation,
 	// where the error has always surfaced.
 	weight := int64(1)
-	if cq, cerr := s.b.CompileContext(ctx, sqlText, mode); cerr == nil {
+	if cq, cerr := s.b.CompileDialect(ctx, dialect, sqlText, mode); cerr == nil {
 		weight = s.adm.weightFor(cq.Cost())
 	}
 	budget := time.Duration(req.BudgetMS) * time.Millisecond
@@ -620,7 +636,7 @@ func (s *Server) execute(ctx context.Context, req wire.ExecuteRequest) (wire.Exe
 	if timeout > 0 {
 		evalCtx, cancel = context.WithTimeout(s.baseCtx, timeout)
 	}
-	rows, err := s.b.QueryStreamMode(evalCtx, mode, sqlText, args...)
+	rows, err := s.b.QueryDialect(evalCtx, dialect, mode, sqlText, args...)
 	if err != nil {
 		cancel()
 		s.release(weight)
@@ -798,11 +814,15 @@ func (s *Server) explain(ctx context.Context, req wire.ExplainRequest) (wire.Exp
 	if err != nil {
 		return wire.ExplainResponse{}, err
 	}
-	cq, err := s.b.CompileContext(ctx, req.SQL, mode)
+	dialect, err := parseDialect(req.Dialect)
+	if err != nil {
+		return wire.ExplainResponse{}, err
+	}
+	cq, err := s.b.CompileDialect(ctx, dialect, req.SQL, mode)
 	if err != nil {
 		return wire.ExplainResponse{}, aqerr.Wrap("explain", err)
 	}
-	text := "-- plan:\n"
+	text := "-- dialect: " + string(cq.Dialect) + "\n-- plan:\n"
 	for _, line := range cq.Plan.Describe() {
 		text += "--   " + line + "\n"
 	}
@@ -841,6 +861,17 @@ func (s *Server) lookupMeta(ctx context.Context, req wire.LookupRequest) (wire.L
 		return wire.LookupResponse{}, aqerr.Wrap("metadata lookup", err)
 	}
 	return wire.LookupResponse{Meta: meta}, nil
+}
+
+// parseDialect decodes the wire dialect name ("" defaults to SQL-92, so
+// pre-dialect clients interoperate unchanged). Unknown names are a typed
+// permanent error: retrying cannot help.
+func parseDialect(name string) (qfront.Dialect, error) {
+	fe, err := qfront.Lookup(qfront.Dialect(name))
+	if err != nil {
+		return "", aqerr.Errorf(aqerr.KindPermanent, "prepare", "%v", err)
+	}
+	return fe.Dialect(), nil
 }
 
 // parseMode decodes the wire result-mode name ("" defaults to text, the

@@ -1,0 +1,123 @@
+package sqlparser
+
+import "repro/internal/qfront"
+
+// The typed query AST moved to internal/qfront so translation is no
+// longer welded to the SQL-92 surface: the kernel consumes qfront nodes,
+// and every front end (this package's SQL-92 parser, the path-template
+// parser in internal/pathfront) produces them. These aliases keep the
+// historical sqlparser names working for existing importers — they are
+// the same types, not copies, so values flow freely across the seam.
+
+// Statement and clause nodes.
+type (
+	Node         = qfront.Node
+	SelectStmt   = qfront.SelectStmt
+	QueryExpr    = qfront.QueryExpr
+	QuerySpec    = qfront.QuerySpec
+	SetOpType    = qfront.SetOpType
+	SetOpExpr    = qfront.SetOpExpr
+	SelectItem   = qfront.SelectItem
+	OrderItem    = qfront.OrderItem
+	TableRef     = qfront.TableRef
+	TableName    = qfront.TableName
+	DerivedTable = qfront.DerivedTable
+	JoinType     = qfront.JoinType
+	JoinExpr     = qfront.JoinExpr
+)
+
+// Expression nodes.
+type (
+	Expr           = qfront.Expr
+	ColumnRef      = qfront.ColumnRef
+	LiteralType    = qfront.LiteralType
+	Literal        = qfront.Literal
+	Param          = qfront.Param
+	UnaryOp        = qfront.UnaryOp
+	UnaryExpr      = qfront.UnaryExpr
+	BinaryOp       = qfront.BinaryOp
+	BinaryExpr     = qfront.BinaryExpr
+	FuncCall       = qfront.FuncCall
+	WhenClause     = qfront.WhenClause
+	CaseExpr       = qfront.CaseExpr
+	TypeName       = qfront.TypeName
+	CastExpr       = qfront.CastExpr
+	BetweenExpr    = qfront.BetweenExpr
+	InExpr         = qfront.InExpr
+	ExistsExpr     = qfront.ExistsExpr
+	LikeExpr       = qfront.LikeExpr
+	IsNullExpr     = qfront.IsNullExpr
+	SubqueryExpr   = qfront.SubqueryExpr
+	Quantifier     = qfront.Quantifier
+	QuantifiedExpr = qfront.QuantifiedExpr
+	RowExpr        = qfront.RowExpr
+)
+
+// Set operations.
+const (
+	SetUnion     = qfront.SetUnion
+	SetExcept    = qfront.SetExcept
+	SetIntersect = qfront.SetIntersect
+)
+
+// Join types.
+const (
+	JoinInner      = qfront.JoinInner
+	JoinLeftOuter  = qfront.JoinLeftOuter
+	JoinRightOuter = qfront.JoinRightOuter
+	JoinFullOuter  = qfront.JoinFullOuter
+	JoinCross      = qfront.JoinCross
+)
+
+// Literal types.
+const (
+	LitInteger   = qfront.LitInteger
+	LitDecimal   = qfront.LitDecimal
+	LitFloat     = qfront.LitFloat
+	LitString    = qfront.LitString
+	LitBoolean   = qfront.LitBoolean
+	LitNull      = qfront.LitNull
+	LitDate      = qfront.LitDate
+	LitTime      = qfront.LitTime
+	LitTimestamp = qfront.LitTimestamp
+)
+
+// Unary operators.
+const (
+	UnaryMinus = qfront.UnaryMinus
+	UnaryPlus  = qfront.UnaryPlus
+	UnaryNot   = qfront.UnaryNot
+)
+
+// Binary operators.
+const (
+	BinAdd    = qfront.BinAdd
+	BinSub    = qfront.BinSub
+	BinMul    = qfront.BinMul
+	BinDiv    = qfront.BinDiv
+	BinConcat = qfront.BinConcat
+	BinEq     = qfront.BinEq
+	BinNe     = qfront.BinNe
+	BinLt     = qfront.BinLt
+	BinLe     = qfront.BinLe
+	BinGt     = qfront.BinGt
+	BinGe     = qfront.BinGe
+	BinAnd    = qfront.BinAnd
+	BinOr     = qfront.BinOr
+)
+
+// Quantifiers.
+const (
+	QuantAny = qfront.QuantAny
+	QuantAll = qfront.QuantAll
+)
+
+// Walk helpers.
+var (
+	WalkExpr          = qfront.WalkExpr
+	ContainsAggregate = qfront.ContainsAggregate
+	CollectColumnRefs = qfront.CollectColumnRefs
+	CollectAggregates = qfront.CollectAggregates
+	CollectParams     = qfront.CollectParams
+	WalkTableRefs     = qfront.WalkTableRefs
+)

@@ -12,7 +12,11 @@
 // and positional context are available (§3.4.3 of the paper).
 package sqlparser
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/qfront"
+)
 
 // TokenType identifies a lexical token class.
 type TokenType int
@@ -58,12 +62,9 @@ func (t TokenType) String() string {
 	}
 }
 
-// Pos is a 1-based source position.
-type Pos struct {
-	Line, Col int
-}
-
-func (p Pos) String() string { return fmt.Sprintf("line %d, column %d", p.Line, p.Col) }
+// Pos is a 1-based source position (shared with the frontend-neutral
+// AST in internal/qfront).
+type Pos = qfront.Pos
 
 // Token is a lexical token. Text holds the canonical spelling: keywords and
 // plain identifiers are uppercased (SQL's case-insensitivity), string
@@ -98,30 +99,9 @@ func (t Token) String() string {
 
 // keywords is the SQL-92 reserved-word subset the SELECT grammar uses.
 // Identifiers matching these (case-insensitively) lex as TokKeyword.
-var keywords = map[string]bool{
-	"ALL": true, "AND": true, "ANY": true, "AS": true, "ASC": true,
-	"AVG": true, "BETWEEN": true, "BOTH": true, "BY": true, "CASE": true,
-	"CAST": true, "CHAR": true, "CHARACTER": true, "COALESCE": true,
-	"COUNT": true, "CROSS": true, "CURRENT_DATE": true, "CURRENT_TIME": true,
-	"CURRENT_TIMESTAMP": true, "DATE": true, "DEC": true, "DECIMAL": true,
-	"DESC": true, "DISTINCT": true, "DOUBLE": true, "ELSE": true, "END": true,
-	"ESCAPE": true, "EXCEPT": true, "EXISTS": true, "EXTRACT": true,
-	"FETCH": true, "FIRST": true,
-	"FALSE": true, "FLOAT": true, "FOR": true, "FROM": true, "FULL": true,
-	"GROUP": true, "HAVING": true, "IN": true, "INNER": true, "INT": true,
-	"INTEGER": true, "INTERSECT": true, "IS": true, "JOIN": true,
-	"LEADING": true, "LEFT": true, "LIKE": true, "LOWER": true, "MAX": true,
-	"MIN": true, "NATURAL": true, "NOT": true, "NULL": true, "NULLIF": true,
-	"NEXT": true, "NUMERIC": true, "ON": true, "ONLY": true, "OR": true,
-	"ORDER": true, "OUTER": true,
-	"POSITION": true, "PRECISION": true, "REAL": true, "RIGHT": true,
-	"ROW": true, "ROWS": true,
-	"SELECT": true, "SMALLINT": true, "SOME": true, "SUBSTRING": true,
-	"SUM": true, "THEN": true, "TIME": true, "TIMESTAMP": true,
-	"TRAILING": true, "TRIM": true, "TRUE": true, "UNION": true,
-	"UPPER": true, "USING": true, "VARCHAR": true, "WHEN": true,
-	"WHERE": true, "WITH": true,
-}
+// The map lives in qfront so the canonical AST renderer and this lexer
+// can never disagree about what is reserved.
+var keywords = qfront.SQLKeywords
 
 // nonReservedInExpr lists keywords that may still appear as function names
 // or identifiers in expression position (SQL-92 grants several built-ins

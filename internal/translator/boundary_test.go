@@ -1,0 +1,44 @@
+package translator
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestKernelImportBoundary pins the translation kernel's front-end
+// neutrality structurally: no translator source file may import the SQL
+// parser except sqldefault.go, the one compatibility shim that wires the
+// default front end into the legacy Translate entry points. Everything
+// else consumes the shared qfront AST, so a new query language plugs in
+// without touching the kernel.
+func TestKernelImportBoundary(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if path == "repro/internal/sqlparser" && name != "sqldefault.go" {
+				t.Errorf("%s imports %s: the translator kernel must stay front-end agnostic (only sqldefault.go may bind the SQL parser)", name, path)
+			}
+		}
+	}
+}

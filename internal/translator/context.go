@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 )
 
 // Context is the query context of §3.4.3: the single point of access to all
@@ -23,7 +23,7 @@ type Context struct {
 
 	// Spec is the SELECT block this context describes; nil for the marker
 	// root and for set-operation grouping contexts.
-	Spec *sqlparser.QuerySpec
+	Spec *qfront.QuerySpec
 
 	// HasAggregates records whether the block's projection or HAVING uses
 	// aggregate functions — captured in stage one because it decides the
@@ -37,47 +37,47 @@ type Context struct {
 
 // CaptureContexts walks a parsed statement and builds its context tree
 // (stage one's semantic capture).
-func CaptureContexts(stmt *sqlparser.SelectStmt) *Context {
+func CaptureContexts(stmt *qfront.SelectStmt) *Context {
 	root := &Context{ID: 0}
 	counter := 1
 	captureQueryExpr(stmt.Body, root, &counter)
 	return root
 }
 
-func captureQueryExpr(body sqlparser.QueryExpr, parent *Context, counter *int) {
+func captureQueryExpr(body qfront.QueryExpr, parent *Context, counter *int) {
 	switch body := body.(type) {
-	case *sqlparser.QuerySpec:
+	case *qfront.QuerySpec:
 		captureSpec(body, parent, counter)
-	case *sqlparser.SetOpExpr:
+	case *qfront.SetOpExpr:
 		captureQueryExpr(body.Left, parent, counter)
 		captureQueryExpr(body.Right, parent, counter)
 	}
 }
 
-func captureSpec(spec *sqlparser.QuerySpec, parent *Context, counter *int) {
+func captureSpec(spec *qfront.QuerySpec, parent *Context, counter *int) {
 	ctx := &Context{ID: *counter, Parent: parent, Spec: spec}
 	*counter++
 	parent.Children = append(parent.Children, ctx)
 
 	for _, item := range spec.Items {
-		if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+		if item.Expr != nil && qfront.ContainsAggregate(item.Expr) {
 			ctx.HasAggregates = true
 		}
 	}
-	if spec.Having != nil && sqlparser.ContainsAggregate(spec.Having) {
+	if spec.Having != nil && qfront.ContainsAggregate(spec.Having) {
 		ctx.HasAggregates = true
 	}
 
 	// Derived tables in FROM.
-	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
-		if d, ok := r.(*sqlparser.DerivedTable); ok {
+	qfront.WalkTableRefs(spec.From, func(r qfront.TableRef) {
+		if d, ok := r.(*qfront.DerivedTable); ok {
 			ctx.SubqueryCount++
 			captureQueryExpr(d.Query.Body, ctx, counter)
 		}
 	})
 	// Join conditions can hold subqueries too.
-	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
-		if j, ok := r.(*sqlparser.JoinExpr); ok && j.Cond != nil {
+	qfront.WalkTableRefs(spec.From, func(r qfront.TableRef) {
+		if j, ok := r.(*qfront.JoinExpr); ok && j.Cond != nil {
 			captureExprSubqueries(j.Cond, ctx, counter)
 		}
 	})
@@ -93,24 +93,24 @@ func captureSpec(spec *sqlparser.QuerySpec, parent *Context, counter *int) {
 	captureExprSubqueries(spec.Having, ctx, counter)
 }
 
-func captureExprSubqueries(e sqlparser.Expr, ctx *Context, counter *int) {
+func captureExprSubqueries(e qfront.Expr, ctx *Context, counter *int) {
 	if e == nil {
 		return
 	}
-	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+	qfront.WalkExpr(e, func(x qfront.Expr) bool {
 		switch x := x.(type) {
-		case *sqlparser.SubqueryExpr:
+		case *qfront.SubqueryExpr:
 			ctx.SubqueryCount++
 			captureQueryExpr(x.Query.Body, ctx, counter)
-		case *sqlparser.InExpr:
+		case *qfront.InExpr:
 			if x.Subquery != nil {
 				ctx.SubqueryCount++
 				captureQueryExpr(x.Subquery.Body, ctx, counter)
 			}
-		case *sqlparser.ExistsExpr:
+		case *qfront.ExistsExpr:
 			ctx.SubqueryCount++
 			captureQueryExpr(x.Subquery.Body, ctx, counter)
-		case *sqlparser.QuantifiedExpr:
+		case *qfront.QuantifiedExpr:
 			ctx.SubqueryCount++
 			captureQueryExpr(x.Subquery.Body, ctx, counter)
 		}
@@ -132,7 +132,7 @@ func (c *Context) Count() int {
 }
 
 // Find returns the context whose Spec is the given query block.
-func (c *Context) Find(spec *sqlparser.QuerySpec) *Context {
+func (c *Context) Find(spec *qfront.QuerySpec) *Context {
 	if c.Spec == spec {
 		return c
 	}
@@ -184,13 +184,13 @@ func (c *Context) writeTree(b *strings.Builder, depth int) {
 }
 
 // summarizeSpec gives a one-line sketch of a query block.
-func summarizeSpec(spec *sqlparser.QuerySpec) string {
+func summarizeSpec(spec *qfront.QuerySpec) string {
 	var tables []string
-	sqlparser.WalkTableRefs(spec.From, func(r sqlparser.TableRef) {
+	qfront.WalkTableRefs(spec.From, func(r qfront.TableRef) {
 		switch r := r.(type) {
-		case *sqlparser.TableName:
+		case *qfront.TableName:
 			tables = append(tables, r.Name)
-		case *sqlparser.DerivedTable:
+		case *qfront.DerivedTable:
 			tables = append(tables, r.Alias+"(subquery)")
 		}
 	})

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -13,20 +13,20 @@ import (
 // inferring its datatype bottom-up (§3.5 v). sc is the column-resolution
 // scope; agg is non-nil when translating in a grouped query's projection,
 // HAVING or ORDER BY.
-func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genExpr(e qfront.Expr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	// In a grouped context, an expression that textually matches a whole
 	// GROUP BY key resolves to that key's variable (SQL-92's derivability
 	// rule for expression keys, e.g. GROUP BY UPPER(CITY) with
 	// SELECT UPPER(CITY)).
 	if agg != nil {
-		if _, isRef := e.(*sqlparser.ColumnRef); !isRef {
+		if _, isRef := e.(*qfront.ColumnRef); !isRef {
 			if xe, ti, ok := agg.matchKeyText(e); ok {
 				return xe, ti, nil
 			}
 		}
 	}
 	switch e := e.(type) {
-	case *sqlparser.ColumnRef:
+	case *qfront.ColumnRef:
 		if agg != nil {
 			return g.resolveGroupedColumn(e, agg)
 		}
@@ -37,21 +37,21 @@ func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.E
 		return r.Expr, typeInfo{SQL: r.Col.SQL, X: r.Col.Type, Nullable: r.Col.Nullable,
 			Precision: r.Col.Precision, Scale: r.Col.Scale}, nil
 
-	case *sqlparser.Literal:
+	case *qfront.Literal:
 		return genLiteral(e)
 
-	case *sqlparser.Param:
+	case *qfront.Param:
 		// Parameters surface as external variables $p1…$pN; their types
 		// are noted when a comparison or arithmetic context reveals one.
 		return xquery.VarRef(fmt.Sprintf("p%d", e.Index)), tUnknown, nil
 
-	case *sqlparser.UnaryExpr:
+	case *qfront.UnaryExpr:
 		return g.genUnary(e, sc, agg)
 
-	case *sqlparser.BinaryExpr:
+	case *qfront.BinaryExpr:
 		return g.genBinary(e, sc, agg)
 
-	case *sqlparser.FuncCall:
+	case *qfront.FuncCall:
 		if e.IsAggregate() {
 			if agg == nil {
 				return nil, typeInfo{}, semErr(e.Pos, "aggregate function %s is not allowed here", e.Name)
@@ -61,10 +61,10 @@ func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.E
 		}
 		return g.genScalarFunc(e, sc, agg)
 
-	case *sqlparser.CaseExpr:
+	case *qfront.CaseExpr:
 		return g.genCase(e, sc, agg)
 
-	case *sqlparser.CastExpr:
+	case *qfront.CastExpr:
 		arg, argT, err := g.genExpr(e.Operand, sc, agg)
 		if err != nil {
 			return nil, typeInfo{}, err
@@ -81,23 +81,23 @@ func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.E
 		}
 		return castTo(inner, target.X), target, nil
 
-	case *sqlparser.BetweenExpr:
+	case *qfront.BetweenExpr:
 		return g.genBetween(e, sc, agg)
 
-	case *sqlparser.InExpr:
+	case *qfront.InExpr:
 		return g.genIn(e, sc, agg)
 
-	case *sqlparser.ExistsExpr:
+	case *qfront.ExistsExpr:
 		rows, _, err := g.genSelectStmt(e.Subquery, sc)
 		if err != nil {
 			return nil, typeInfo{}, err
 		}
 		return xquery.Call("fn:exists", rows), tBoolean, nil
 
-	case *sqlparser.LikeExpr:
+	case *qfront.LikeExpr:
 		return g.genLike(e, sc, agg)
 
-	case *sqlparser.IsNullExpr:
+	case *qfront.IsNullExpr:
 		operand, t, err := g.genExpr(e.Operand, sc, agg)
 		if err != nil {
 			return nil, typeInfo{}, err
@@ -109,10 +109,10 @@ func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.E
 		}
 		return test, tBoolean, nil
 
-	case *sqlparser.SubqueryExpr:
+	case *qfront.SubqueryExpr:
 		return g.genScalarSubquery(e, sc)
 
-	case *sqlparser.QuantifiedExpr:
+	case *qfront.QuantifiedExpr:
 		return g.genQuantified(e, sc, agg)
 
 	default:
@@ -120,30 +120,30 @@ func (g *generator) genExpr(e sqlparser.Expr, sc *qscope, agg *aggEnv) (xquery.E
 	}
 }
 
-func genLiteral(l *sqlparser.Literal) (xquery.Expr, typeInfo, error) {
+func genLiteral(l *qfront.Literal) (xquery.Expr, typeInfo, error) {
 	switch l.Type {
-	case sqlparser.LitInteger:
+	case qfront.LitInteger:
 		return xquery.Num(l.Text), tInteger, nil
-	case sqlparser.LitDecimal:
+	case qfront.LitDecimal:
 		return xquery.Num(l.Text), tDecimal, nil
-	case sqlparser.LitFloat:
+	case qfront.LitFloat:
 		return xquery.Num(l.Text), tDouble, nil
-	case sqlparser.LitString:
+	case qfront.LitString:
 		return xquery.Str(l.Text), tVarchar, nil
-	case sqlparser.LitBoolean:
+	case qfront.LitBoolean:
 		if l.Text == "true" {
 			return xquery.Call("fn:true"), tBoolean, nil
 		}
 		return xquery.Call("fn:false"), tBoolean, nil
-	case sqlparser.LitNull:
+	case qfront.LitNull:
 		return &xquery.EmptySeq{}, tUnknown, nil
-	case sqlparser.LitDate:
+	case qfront.LitDate:
 		return &xquery.Cast{Type: "xs:date", Operand: xquery.Str(l.Text)},
 			typeInfo{SQL: catalog.SQLDate, X: xdm.TypeDate}, nil
-	case sqlparser.LitTime:
+	case qfront.LitTime:
 		return &xquery.Cast{Type: "xs:time", Operand: xquery.Str(l.Text)},
 			typeInfo{SQL: catalog.SQLTime, X: xdm.TypeTime}, nil
-	case sqlparser.LitTimestamp:
+	case qfront.LitTimestamp:
 		text := l.Text
 		return &xquery.Cast{Type: "xs:dateTime", Operand: xquery.Str(normalizeTimestamp(text))},
 			typeInfo{SQL: catalog.SQLTimestamp, X: xdm.TypeDateTime}, nil
@@ -163,35 +163,35 @@ func normalizeTimestamp(s string) string {
 	return s
 }
 
-func (g *generator) genUnary(e *sqlparser.UnaryExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genUnary(e *qfront.UnaryExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	operand, t, err := g.genExpr(e.Operand, sc, agg)
 	if err != nil {
 		return nil, typeInfo{}, err
 	}
 	switch e.Op {
-	case sqlparser.UnaryNot:
+	case qfront.UnaryNot:
 		return xquery.Call("fn:not", operand), tBoolean, nil
-	case sqlparser.UnaryMinus:
+	case qfront.UnaryMinus:
 		return &xquery.Unary{Op: "-", Operand: atomized(typedExpr{E: operand, T: t})}, t, nil
-	case sqlparser.UnaryPlus:
+	case qfront.UnaryPlus:
 		return atomized(typedExpr{E: operand, T: t}), t, nil
 	default:
 		return nil, typeInfo{}, semErr(e.Pos, "unsupported unary operator")
 	}
 }
 
-var comparisonXQ = map[sqlparser.BinaryOp]string{
-	sqlparser.BinEq: "=", sqlparser.BinNe: "!=", sqlparser.BinLt: "<",
-	sqlparser.BinLe: "<=", sqlparser.BinGt: ">", sqlparser.BinGe: ">=",
+var comparisonXQ = map[qfront.BinaryOp]string{
+	qfront.BinEq: "=", qfront.BinNe: "!=", qfront.BinLt: "<",
+	qfront.BinLe: "<=", qfront.BinGt: ">", qfront.BinGe: ">=",
 }
 
-var arithmeticXQ = map[sqlparser.BinaryOp]string{
-	sqlparser.BinAdd: "+", sqlparser.BinSub: "-",
-	sqlparser.BinMul: "*", sqlparser.BinDiv: "div",
+var arithmeticXQ = map[qfront.BinaryOp]string{
+	qfront.BinAdd: "+", qfront.BinSub: "-",
+	qfront.BinMul: "*", qfront.BinDiv: "div",
 }
 
-func (g *generator) genBinary(e *sqlparser.BinaryExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
-	if e.Op == sqlparser.BinAnd || e.Op == sqlparser.BinOr {
+func (g *generator) genBinary(e *qfront.BinaryExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+	if e.Op == qfront.BinAnd || e.Op == qfront.BinOr {
 		left, _, err := g.genExpr(e.Left, sc, agg)
 		if err != nil {
 			return nil, typeInfo{}, err
@@ -201,7 +201,7 @@ func (g *generator) genBinary(e *sqlparser.BinaryExpr, sc *qscope, agg *aggEnv) 
 			return nil, typeInfo{}, err
 		}
 		op := "and"
-		if e.Op == sqlparser.BinOr {
+		if e.Op == qfront.BinOr {
 			op = "or"
 		}
 		return &xquery.Binary{Op: op, Left: left, Right: right}, tBoolean, nil
@@ -210,8 +210,8 @@ func (g *generator) genBinary(e *sqlparser.BinaryExpr, sc *qscope, agg *aggEnv) 
 	// Row value constructors expand before translation: (a, b) = (c, d)
 	// becomes column-wise conjunction; orderings chain lexicographically.
 	if _, ok := comparisonXQ[e.Op]; ok {
-		lRow, lIsRow := e.Left.(*sqlparser.RowExpr)
-		rRow, rIsRow := e.Right.(*sqlparser.RowExpr)
+		lRow, lIsRow := e.Left.(*qfront.RowExpr)
+		rRow, rIsRow := e.Right.(*qfront.RowExpr)
 		if lIsRow || rIsRow {
 			if !lIsRow || !rIsRow {
 				return nil, typeInfo{}, semErr(e.Pos, "row value constructor compared with a scalar")
@@ -241,7 +241,7 @@ func (g *generator) genBinary(e *sqlparser.BinaryExpr, sc *qscope, agg *aggEnv) 
 		return &xquery.Binary{Op: op, Left: l, Right: r}, tBoolean, nil
 	}
 
-	if e.Op == sqlparser.BinConcat {
+	if e.Op == qfront.BinConcat {
 		res := tVarchar
 		res.Nullable = lt.Nullable || rt.Nullable
 		return xquery.Call("fn:concat",
@@ -256,7 +256,7 @@ func (g *generator) genBinary(e *sqlparser.BinaryExpr, sc *qscope, agg *aggEnv) 
 		res := promoteNumeric(lt, rt)
 		// SQL integer division truncates; XQuery div over integers
 		// yields a decimal, so rewrap to keep SQL-92 semantics.
-		if e.Op == sqlparser.BinDiv && lt.SQL == catalog.SQLInteger && rt.SQL == catalog.SQLInteger {
+		if e.Op == qfront.BinDiv && lt.SQL == catalog.SQLInteger && rt.SQL == catalog.SQLInteger {
 			div := &xquery.Binary{Op: "div", Left: l, Right: r}
 			return castTo(div, xdm.TypeInteger), tIntegerNullable(lt, rt), nil
 		}
@@ -275,19 +275,19 @@ func tIntegerNullable(a, b typeInfo) typeInfo {
 // coerceComparison applies the paper's cast generation: literals and
 // parameters compared against a typed expression are cast to that type
 // ($var1FR2/ID > xs:integer(10) in Example 8).
-func (g *generator) coerceComparison(le sqlparser.Expr, l xquery.Expr, lt typeInfo, re sqlparser.Expr, r xquery.Expr, rt typeInfo) (xquery.Expr, xquery.Expr) {
+func (g *generator) coerceComparison(le qfront.Expr, l xquery.Expr, lt typeInfo, re qfront.Expr, r xquery.Expr, rt typeInfo) (xquery.Expr, xquery.Expr) {
 	lLit := isLiteralOrParam(le)
 	rLit := isLiteralOrParam(re)
 	switch {
 	case rLit && !lLit && lt.X != xdm.TypeUntyped:
-		if p, ok := re.(*sqlparser.Param); ok {
+		if p, ok := re.(*qfront.Param); ok {
 			g.noteParamType(p.Index, lt.SQL)
 		}
 		if needsComparisonCast(re, rt, lt) {
 			r = castTo(r, lt.X)
 		}
 	case lLit && !rLit && rt.X != xdm.TypeUntyped:
-		if p, ok := le.(*sqlparser.Param); ok {
+		if p, ok := le.(*qfront.Param); ok {
 			g.noteParamType(p.Index, rt.SQL)
 		}
 		if needsComparisonCast(le, lt, rt) {
@@ -297,9 +297,9 @@ func (g *generator) coerceComparison(le sqlparser.Expr, l xquery.Expr, lt typeIn
 	return l, r
 }
 
-func isLiteralOrParam(e sqlparser.Expr) bool {
+func isLiteralOrParam(e qfront.Expr) bool {
 	switch e.(type) {
-	case *sqlparser.Literal, *sqlparser.Param:
+	case *qfront.Literal, *qfront.Param:
 		return true
 	default:
 		return false
@@ -312,11 +312,11 @@ func isLiteralOrParam(e sqlparser.Expr) bool {
 // xs:integer(10) even against an integer column — except for the
 // string-vs-string case, where the paper's own Example 3 compares the bare
 // literal.
-func needsComparisonCast(e sqlparser.Expr, have, want typeInfo) bool {
+func needsComparisonCast(e qfront.Expr, have, want typeInfo) bool {
 	if want.X == xdm.TypeUntyped {
 		return false
 	}
-	if _, ok := e.(*sqlparser.Param); ok {
+	if _, ok := e.(*qfront.Param); ok {
 		return true
 	}
 	if have.X == xdm.TypeString && want.X == xdm.TypeString {
@@ -327,19 +327,19 @@ func needsComparisonCast(e sqlparser.Expr, have, want typeInfo) bool {
 
 // castParamSides types bare parameters in arithmetic against the other
 // operand.
-func (g *generator) castParamSides(le sqlparser.Expr, l xquery.Expr, rt typeInfo, re sqlparser.Expr, r xquery.Expr, lt typeInfo) (xquery.Expr, xquery.Expr) {
-	if p, ok := le.(*sqlparser.Param); ok && rt.X != xdm.TypeUntyped {
+func (g *generator) castParamSides(le qfront.Expr, l xquery.Expr, rt typeInfo, re qfront.Expr, r xquery.Expr, lt typeInfo) (xquery.Expr, xquery.Expr) {
+	if p, ok := le.(*qfront.Param); ok && rt.X != xdm.TypeUntyped {
 		g.noteParamType(p.Index, rt.SQL)
 		l = castTo(l, rt.X)
 	}
-	if p, ok := re.(*sqlparser.Param); ok && lt.X != xdm.TypeUntyped {
+	if p, ok := re.(*qfront.Param); ok && lt.X != xdm.TypeUntyped {
 		g.noteParamType(p.Index, lt.SQL)
 		r = castTo(r, lt.X)
 	}
 	return l, r
 }
 
-func (g *generator) genScalarFunc(e *sqlparser.FuncCall, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genScalarFunc(e *qfront.FuncCall, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	spec, ok := scalarFuncs[e.Name]
 	if !ok {
 		return nil, typeInfo{}, semErr(e.Pos, "unknown function %s", e.Name)
@@ -361,7 +361,7 @@ func (g *generator) genScalarFunc(e *sqlparser.FuncCall, sc *qscope, agg *aggEnv
 	return spec.gen(e, args)
 }
 
-func (g *generator) genCase(e *sqlparser.CaseExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genCase(e *qfront.CaseExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	var operand xquery.Expr
 	var operandT typeInfo
 	if e.Operand != nil {
@@ -432,13 +432,13 @@ func (g *generator) genCase(e *sqlparser.CaseExpr, sc *qscope, agg *aggEnv) (xqu
 }
 
 // anyArmNullable is a conservative nullability estimate for CASE results.
-func anyArmNullable(g *generator, e *sqlparser.CaseExpr, sc *qscope, agg *aggEnv) bool {
+func anyArmNullable(g *generator, e *qfront.CaseExpr, sc *qscope, agg *aggEnv) bool {
 	// Re-deriving nullability would mean re-translating arms; assume
 	// nullable, which is always safe for result metadata.
 	return true
 }
 
-func (g *generator) genBetween(e *sqlparser.BetweenExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genBetween(e *qfront.BetweenExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	operand, ot, err := g.genExpr(e.Operand, sc, agg)
 	if err != nil {
 		return nil, typeInfo{}, err
@@ -470,8 +470,8 @@ func (g *generator) genBetween(e *sqlparser.BetweenExpr, sc *qscope, agg *aggEnv
 	return cond, tBoolean, nil
 }
 
-func (g *generator) genIn(e *sqlparser.InExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
-	if row, ok := e.Operand.(*sqlparser.RowExpr); ok {
+func (g *generator) genIn(e *qfront.InExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+	if row, ok := e.Operand.(*qfront.RowExpr); ok {
 		return g.genRowIn(e, row, sc, agg)
 	}
 	operand, ot, err := g.genExpr(e.Operand, sc, agg)
@@ -514,7 +514,7 @@ func (g *generator) genIn(e *sqlparser.InExpr, sc *qscope, agg *aggEnv) (xquery.
 	return cond, tBoolean, nil
 }
 
-func (g *generator) genLike(e *sqlparser.LikeExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genLike(e *qfront.LikeExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	operand, ot, err := g.genExpr(e.Operand, sc, agg)
 	if err != nil {
 		return nil, typeInfo{}, err
@@ -545,7 +545,7 @@ func (g *generator) genLike(e *sqlparser.LikeExpr, sc *qscope, agg *aggEnv) (xqu
 	return cond, tBoolean, nil
 }
 
-func (g *generator) genScalarSubquery(e *sqlparser.SubqueryExpr, sc *qscope) (xquery.Expr, typeInfo, error) {
+func (g *generator) genScalarSubquery(e *qfront.SubqueryExpr, sc *qscope) (xquery.Expr, typeInfo, error) {
 	rows, cols, err := g.genSelectStmt(e.Query, sc)
 	if err != nil {
 		return nil, typeInfo{}, err
@@ -561,7 +561,7 @@ func (g *generator) genScalarSubquery(e *sqlparser.SubqueryExpr, sc *qscope) (xq
 	return value, t, nil
 }
 
-func (g *generator) genQuantified(e *sqlparser.QuantifiedExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genQuantified(e *qfront.QuantifiedExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	left, lt, err := g.genExpr(e.Left, sc, agg)
 	if err != nil {
 		return nil, typeInfo{}, err
@@ -578,7 +578,7 @@ func (g *generator) genQuantified(e *sqlparser.QuantifiedExpr, sc *qscope, agg *
 		Steps: []xquery.PathStep{{Name: cols[0].ElementName}},
 	})
 	op := comparisonXQ[e.Op]
-	if e.Quant == sqlparser.QuantAny {
+	if e.Quant == qfront.QuantAny {
 		// XQuery general comparisons are existential: x > (values) is
 		// exactly x > ANY (subquery).
 		return &xquery.Binary{Op: op, Left: left, Right: values}, tBoolean, nil
@@ -597,47 +597,47 @@ func (g *generator) genQuantified(e *sqlparser.QuantifiedExpr, sc *qscope, agg *
 // predicates per SQL-92: equality is the conjunction of element
 // equalities, inequality its De Morgan dual, and orderings expand
 // lexicographically ((a,b) < (c,d) ⇔ a<c OR (a=c AND b<d)).
-func expandRowComparison(op sqlparser.BinaryOp, l, r *sqlparser.RowExpr, pos sqlparser.Pos) (sqlparser.Expr, error) {
-	eq := func(i int) sqlparser.Expr {
-		return &sqlparser.BinaryExpr{Pos: pos, Op: sqlparser.BinEq, Left: l.Items[i], Right: r.Items[i]}
+func expandRowComparison(op qfront.BinaryOp, l, r *qfront.RowExpr, pos qfront.Pos) (qfront.Expr, error) {
+	eq := func(i int) qfront.Expr {
+		return &qfront.BinaryExpr{Pos: pos, Op: qfront.BinEq, Left: l.Items[i], Right: r.Items[i]}
 	}
-	conj := func(items []sqlparser.Expr, join sqlparser.BinaryOp) sqlparser.Expr {
+	conj := func(items []qfront.Expr, join qfront.BinaryOp) qfront.Expr {
 		out := items[0]
 		for _, item := range items[1:] {
-			out = &sqlparser.BinaryExpr{Pos: pos, Op: join, Left: out, Right: item}
+			out = &qfront.BinaryExpr{Pos: pos, Op: join, Left: out, Right: item}
 		}
 		return out
 	}
 	switch op {
-	case sqlparser.BinEq:
-		parts := make([]sqlparser.Expr, len(l.Items))
+	case qfront.BinEq:
+		parts := make([]qfront.Expr, len(l.Items))
 		for i := range l.Items {
 			parts[i] = eq(i)
 		}
-		return conj(parts, sqlparser.BinAnd), nil
-	case sqlparser.BinNe:
-		parts := make([]sqlparser.Expr, len(l.Items))
+		return conj(parts, qfront.BinAnd), nil
+	case qfront.BinNe:
+		parts := make([]qfront.Expr, len(l.Items))
 		for i := range l.Items {
-			parts[i] = &sqlparser.BinaryExpr{Pos: pos, Op: sqlparser.BinNe, Left: l.Items[i], Right: r.Items[i]}
+			parts[i] = &qfront.BinaryExpr{Pos: pos, Op: qfront.BinNe, Left: l.Items[i], Right: r.Items[i]}
 		}
-		return conj(parts, sqlparser.BinOr), nil
-	case sqlparser.BinLt, sqlparser.BinGt, sqlparser.BinLe, sqlparser.BinGe:
+		return conj(parts, qfront.BinOr), nil
+	case qfront.BinLt, qfront.BinGt, qfront.BinLe, qfront.BinGe:
 		strict := op
-		if op == sqlparser.BinLe {
-			strict = sqlparser.BinLt
+		if op == qfront.BinLe {
+			strict = qfront.BinLt
 		}
-		if op == sqlparser.BinGe {
-			strict = sqlparser.BinGt
+		if op == qfront.BinGe {
+			strict = qfront.BinGt
 		}
 		// Lexicographic expansion, innermost element last.
 		last := len(l.Items) - 1
-		var out sqlparser.Expr = &sqlparser.BinaryExpr{Pos: pos, Op: op, Left: l.Items[last], Right: r.Items[last]}
+		var out qfront.Expr = &qfront.BinaryExpr{Pos: pos, Op: op, Left: l.Items[last], Right: r.Items[last]}
 		for i := last - 1; i >= 0; i-- {
-			out = &sqlparser.BinaryExpr{
-				Pos: pos, Op: sqlparser.BinOr,
-				Left: &sqlparser.BinaryExpr{Pos: pos, Op: strict, Left: l.Items[i], Right: r.Items[i]},
-				Right: &sqlparser.BinaryExpr{
-					Pos: pos, Op: sqlparser.BinAnd,
+			out = &qfront.BinaryExpr{
+				Pos: pos, Op: qfront.BinOr,
+				Left: &qfront.BinaryExpr{Pos: pos, Op: strict, Left: l.Items[i], Right: r.Items[i]},
+				Right: &qfront.BinaryExpr{
+					Pos: pos, Op: qfront.BinAnd,
 					Left:  eq(i),
 					Right: out,
 				},
@@ -652,7 +652,7 @@ func expandRowComparison(op sqlparser.BinaryOp, l, r *sqlparser.RowExpr, pos sql
 // genRowIn translates multi-column IN: (a, b) IN (SELECT x, y …) becomes a
 // quantified membership test over the subquery's RECORD rows, and the list
 // form (a, b) IN ((1, 2), (3, 4)) a disjunction of row equalities.
-func (g *generator) genRowIn(e *sqlparser.InExpr, row *sqlparser.RowExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) genRowIn(e *qfront.InExpr, row *qfront.RowExpr, sc *qscope, agg *aggEnv) (xquery.Expr, typeInfo, error) {
 	var cond xquery.Expr
 	if e.Subquery != nil {
 		rows, cols, err := g.genSelectStmt(e.Subquery, sc)
@@ -682,11 +682,11 @@ func (g *generator) genRowIn(e *sqlparser.InExpr, row *sqlparser.RowExpr, sc *qs
 		cond = &xquery.Quantified{Var: qv, In: rows, Satisfies: sat}
 	} else {
 		for _, item := range e.List {
-			other, ok := item.(*sqlparser.RowExpr)
+			other, ok := item.(*qfront.RowExpr)
 			if !ok {
 				return nil, typeInfo{}, semErr(item.Position(), "IN list for a row value must contain row values")
 			}
-			expanded, err := expandRowComparison(sqlparser.BinEq, row, other, e.Pos)
+			expanded, err := expandRowComparison(qfront.BinEq, row, other, e.Pos)
 			if err != nil {
 				return nil, typeInfo{}, err
 			}

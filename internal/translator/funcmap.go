@@ -2,7 +2,7 @@ package translator
 
 import (
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -19,7 +19,7 @@ type typedExpr struct {
 type funcSpec struct {
 	minArgs int
 	maxArgs int // -1 unbounded
-	gen     func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error)
+	gen     func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error)
 }
 
 // atomized wraps a column path in fn:data so string/number functions see
@@ -45,8 +45,8 @@ func stringArg(a typedExpr) xquery.Expr {
 
 // simpleMap builds a funcSpec that maps 1:1 onto an XQuery function with
 // atomized arguments and a fixed result type.
-func simpleMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
-	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+func simpleMap(xqName string, result typeInfo) func(*qfront.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		out := make([]xquery.Expr, len(args))
 		for i, a := range args {
 			out[i] = atomized(a)
@@ -60,8 +60,8 @@ func simpleMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typed
 }
 
 // stringMap is simpleMap with arguments coerced to strings.
-func stringMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
-	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+func stringMap(xqName string, result typeInfo) func(*qfront.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		out := make([]xquery.Expr, len(args))
 		for i, a := range args {
 			out[i] = stringArg(a)
@@ -75,8 +75,8 @@ func stringMap(xqName string, result typeInfo) func(*sqlparser.FuncCall, []typed
 }
 
 // numericMap preserves the numeric type of the first argument.
-func numericMap(xqName string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
-	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+func numericMap(xqName string) func(*qfront.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		out := make([]xquery.Expr, len(args))
 		for i, a := range args {
 			out[i] = atomized(a)
@@ -99,7 +99,7 @@ var scalarFuncs = map[string]funcSpec{
 	"LENGTH":           {1, 1, stringMap("fn:string-length", tInteger)},
 	"CHAR_LENGTH":      {1, 1, stringMap("fn:string-length", tInteger)},
 	"CHARACTER_LENGTH": {1, 1, stringMap("fn:string-length", tInteger)},
-	"SUBSTRING": {2, 3, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"SUBSTRING": {2, 3, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		out := []xquery.Expr{stringArg(args[0])}
 		for _, a := range args[1:] {
 			out = append(out, atomized(a))
@@ -108,22 +108,22 @@ var scalarFuncs = map[string]funcSpec{
 		res.Nullable = args[0].T.Nullable
 		return xquery.Call("fn:substring", out...), res, nil
 	}},
-	"POSITION": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"POSITION": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := tInteger
 		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
 		return xquery.Call("fn-bea:position", stringArg(args[0]), stringArg(args[1])), res, nil
 	}},
-	"LOCATE": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"LOCATE": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := tInteger
 		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
 		return xquery.Call("fn-bea:position", stringArg(args[0]), stringArg(args[1])), res, nil
 	}},
-	"LEFT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"LEFT": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := tVarchar
 		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
 		return xquery.Call("fn:substring", stringArg(args[0]), xquery.Num("1"), atomized(args[1])), res, nil
 	}},
-	"RIGHT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"RIGHT": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		// RIGHT(s, n) → substring(s, string-length(s) - n + 1); a start
 		// at or below zero yields the whole string, matching SQL when n
 		// exceeds the length.
@@ -144,7 +144,7 @@ var scalarFuncs = map[string]funcSpec{
 	"TRIM":  {1, 2, trimMap("fn-bea:trim")},
 	"LTRIM": {1, 2, trimMap("fn-bea:trim-left")},
 	"RTRIM": {1, 2, trimMap("fn-bea:trim-right")},
-	"REPEAT": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"REPEAT": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := tVarchar
 		res.Nullable = args[0].T.Nullable || args[1].T.Nullable
 		return xquery.Call("fn-bea:repeat", stringArg(args[0]), atomized(args[1])), res, nil
@@ -155,12 +155,12 @@ var scalarFuncs = map[string]funcSpec{
 	"CEILING": {1, 1, numericMap("fn:ceiling")},
 	"CEIL":    {1, 1, numericMap("fn:ceiling")},
 	"ROUND":   {1, 1, numericMap("fn:round")},
-	"MOD": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"MOD": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := promoteNumeric(args[0].T, args[1].T)
 		return &xquery.Binary{Op: "mod", Left: atomized(args[0]), Right: atomized(args[1])}, res, nil
 	}},
 
-	"COALESCE": {1, -1, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"COALESCE": {1, -1, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		// COALESCE(a, b, c) → fn-bea:if-empty(a, fn-bea:if-empty(b, c)).
 		expr := atomized(args[len(args)-1])
 		for i := len(args) - 2; i >= 0; i-- {
@@ -175,7 +175,7 @@ var scalarFuncs = map[string]funcSpec{
 		}
 		return expr, res, nil
 	}},
-	"NULLIF": {2, 2, func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+	"NULLIF": {2, 2, func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		res := args[0].T
 		res.Nullable = true
 		return &xquery.If{
@@ -197,8 +197,8 @@ var scalarFuncs = map[string]funcSpec{
 	"EXTRACT_SECOND": {1, 1, extractMap("seconds")},
 }
 
-func trimMap(xqName string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
-	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+func trimMap(xqName string) func(*qfront.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		out := []xquery.Expr{stringArg(args[0])}
 		if len(args) == 2 {
 			out = append(out, stringArg(args[1]))
@@ -210,8 +210,8 @@ func trimMap(xqName string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr,
 }
 
 // extractMap picks the fn:*-from-* accessor by the argument's type.
-func extractMap(part string) func(*sqlparser.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
-	return func(call *sqlparser.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
+func extractMap(part string) func(*qfront.FuncCall, []typedExpr) (xquery.Expr, typeInfo, error) {
+	return func(call *qfront.FuncCall, args []typedExpr) (xquery.Expr, typeInfo, error) {
 		var name string
 		switch args[0].T.X {
 		case xdm.TypeTime:

@@ -8,7 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xquery"
 )
 
@@ -88,7 +88,7 @@ func (g *generator) noteParamType(idx int, t catalog.SQLType) {
 
 // ctxID returns the context id for a query block (0 if the block is
 // somehow unknown, which only synthetic ASTs can produce).
-func (g *generator) ctxID(spec *sqlparser.QuerySpec) int {
+func (g *generator) ctxID(spec *qfront.QuerySpec) int {
 	if ctx := g.contexts.Find(spec); ctx != nil {
 		return ctx.ID
 	}
@@ -110,7 +110,7 @@ type fromResult struct {
 // multiple `for` clauses with their ON conditions folded into the WHERE
 // (the paper's Example 12 "double for" shape); outer joins materialize the
 // let + XPath-filter + if-empty pattern of Example 10.
-func (g *generator) buildFrom(from []sqlparser.TableRef, parent *qscope, ctxID int) (*fromResult, error) {
+func (g *generator) buildFrom(from []qfront.TableRef, parent *qscope, ctxID int) (*fromResult, error) {
 	fr := &fromResult{scope: &qscope{parent: parent}}
 	for _, ref := range from {
 		if err := g.addTableRef(ref, fr, ctxID); err != nil {
@@ -123,7 +123,7 @@ func (g *generator) buildFrom(from []sqlparser.TableRef, parent *qscope, ctxID i
 	return fr, nil
 }
 
-func checkDuplicateRangeVars(sc *qscope, from []sqlparser.TableRef) error {
+func checkDuplicateRangeVars(sc *qscope, from []qfront.TableRef) error {
 	seen := map[string]bool{}
 	for _, b := range sc.bindings {
 		if b.Name == "" {
@@ -131,7 +131,7 @@ func checkDuplicateRangeVars(sc *qscope, from []sqlparser.TableRef) error {
 		}
 		key := strings.ToUpper(b.Name)
 		if seen[key] {
-			pos := sqlparser.Pos{Line: 1, Col: 1}
+			pos := qfront.Pos{Line: 1, Col: 1}
 			if len(from) > 0 {
 				pos = from[0].Position()
 			}
@@ -142,13 +142,13 @@ func checkDuplicateRangeVars(sc *qscope, from []sqlparser.TableRef) error {
 	return nil
 }
 
-func (g *generator) addTableRef(ref sqlparser.TableRef, fr *fromResult, ctxID int) error {
+func (g *generator) addTableRef(ref qfront.TableRef, fr *fromResult, ctxID int) error {
 	switch ref := ref.(type) {
-	case *sqlparser.TableName:
+	case *qfront.TableName:
 		return g.addBaseTable(ref, fr, ctxID)
-	case *sqlparser.DerivedTable:
+	case *qfront.DerivedTable:
 		return g.addDerivedTable(ref, fr, ctxID)
-	case *sqlparser.JoinExpr:
+	case *qfront.JoinExpr:
 		return g.addJoin(ref, fr, ctxID)
 	default:
 		return semErr(ref.Position(), "unsupported FROM item %T", ref)
@@ -157,7 +157,7 @@ func (g *generator) addTableRef(ref sqlparser.TableRef, fr *fromResult, ctxID in
 
 // addBaseTable resolves a table to its data service function and adds a
 // `for` clause over the function call.
-func (g *generator) addBaseTable(t *sqlparser.TableName, fr *fromResult, ctxID int) error {
+func (g *generator) addBaseTable(t *qfront.TableName, fr *fromResult, ctxID int) error {
 	meta, err := g.lookupTable(t)
 	if err != nil {
 		return err
@@ -186,7 +186,7 @@ func (g *generator) addBaseTable(t *sqlparser.TableName, fr *fromResult, ctxID i
 	return nil
 }
 
-func (g *generator) lookupTable(t *sqlparser.TableName) (*catalog.TableMeta, error) {
+func (g *generator) lookupTable(t *qfront.TableName) (*catalog.TableMeta, error) {
 	meta, err := catalog.LookupContext(g.ctx, g.meta, catalog.TableRef{
 		Catalog: t.Catalog,
 		Schema:  t.Schema,
@@ -212,7 +212,7 @@ func (g *generator) lookupTable(t *sqlparser.TableName) (*catalog.TableMeta, err
 // addDerivedTable translates the subquery, binds it with a let (the
 // paper's mapping of every SQL view abstraction onto an XQuery let), and
 // adds a for over its RECORD rows.
-func (g *generator) addDerivedTable(d *sqlparser.DerivedTable, fr *fromResult, ctxID int) error {
+func (g *generator) addDerivedTable(d *qfront.DerivedTable, fr *fromResult, ctxID int) error {
 	rows, cols, err := g.genSelectStmt(d.Query, fr.scope.parent)
 	if err != nil {
 		return err
@@ -248,11 +248,11 @@ func (g *generator) addDerivedTable(d *sqlparser.DerivedTable, fr *fromResult, c
 }
 
 // addJoin dispatches on join flavor.
-func (g *generator) addJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID int) error {
+func (g *generator) addJoin(j *qfront.JoinExpr, fr *fromResult, ctxID int) error {
 	switch j.Type {
-	case sqlparser.JoinInner, sqlparser.JoinCross:
+	case qfront.JoinInner, qfront.JoinCross:
 		return g.addInnerJoin(j, fr, ctxID)
-	case sqlparser.JoinLeftOuter, sqlparser.JoinRightOuter, sqlparser.JoinFullOuter:
+	case qfront.JoinLeftOuter, qfront.JoinRightOuter, qfront.JoinFullOuter:
 		return g.addOuterJoin(j, fr, ctxID)
 	default:
 		return semErr(j.Pos, "unsupported join type %v", j.Type)
@@ -262,7 +262,7 @@ func (g *generator) addJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID int) er
 // addInnerJoin flattens both sides into the current tuple stream and folds
 // the join condition into the WHERE conjuncts (Example 12's shape). An
 // aliased inner join additionally groups its columns under the alias.
-func (g *generator) addInnerJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID int) error {
+func (g *generator) addInnerJoin(j *qfront.JoinExpr, fr *fromResult, ctxID int) error {
 	// Remember which bindings the join introduces, for USING/NATURAL and
 	// alias handling.
 	before := len(fr.scope.bindings)
@@ -292,7 +292,7 @@ func (g *generator) addInnerJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID in
 
 // joinCondition renders ON / USING / NATURAL into a boolean expression
 // over the join's own scope.
-func (g *generator) joinCondition(j *sqlparser.JoinExpr, joinScope, leftScope, rightScope *qscope) (xquery.Expr, error) {
+func (g *generator) joinCondition(j *qfront.JoinExpr, joinScope, leftScope, rightScope *qscope) (xquery.Expr, error) {
 	switch {
 	case j.Cond != nil:
 		cond, _, err := g.genExpr(j.Cond, joinScope, nil)
@@ -305,21 +305,21 @@ func (g *generator) joinCondition(j *sqlparser.JoinExpr, joinScope, leftScope, r
 			return nil, semErr(j.Pos, "NATURAL JOIN has no common columns")
 		}
 		return g.equiCondition(j, common, leftScope, rightScope)
-	case j.Type == sqlparser.JoinCross:
+	case j.Type == qfront.JoinCross:
 		return nil, nil
 	default:
 		return nil, semErr(j.Pos, "join requires a condition")
 	}
 }
 
-func (g *generator) equiCondition(j *sqlparser.JoinExpr, cols []string, leftScope, rightScope *qscope) (xquery.Expr, error) {
+func (g *generator) equiCondition(j *qfront.JoinExpr, cols []string, leftScope, rightScope *qscope) (xquery.Expr, error) {
 	var cond xquery.Expr
 	for _, name := range cols {
-		l, err := leftScope.resolve(&sqlparser.ColumnRef{Pos: j.Pos, Column: strings.ToUpper(name)})
+		l, err := leftScope.resolve(&qfront.ColumnRef{Pos: j.Pos, Column: strings.ToUpper(name)})
 		if err != nil {
 			return nil, err
 		}
-		r, err := rightScope.resolve(&sqlparser.ColumnRef{Pos: j.Pos, Column: strings.ToUpper(name)})
+		r, err := rightScope.resolve(&qfront.ColumnRef{Pos: j.Pos, Column: strings.ToUpper(name)})
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,7 @@ package translator
 import (
 	"strings"
 
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xquery"
 )
 
@@ -35,7 +35,7 @@ type groupKeyInfo struct {
 // genGroupedSpec is the grouped path: materialize the FROM/WHERE input as
 // RECORD rows behind a let ($inter in Example 12), group with the BEA
 // extension, then project keys and partition aggregates.
-func (g *generator) genGroupedSpec(spec *sqlparser.QuerySpec, fr *fromResult, where xquery.Expr, orderBy []sqlparser.OrderItem, ctxID int) (xquery.Expr, []outCol, error) {
+func (g *generator) genGroupedSpec(spec *qfront.QuerySpec, fr *fromResult, where xquery.Expr, orderBy []qfront.OrderItem, ctxID int) (xquery.Expr, []outCol, error) {
 	// Materialize the input rows with every visible column.
 	interItems := g.expandWildcard(fr.scope)
 	if len(interItems) == 0 {
@@ -90,7 +90,7 @@ func (g *generator) genGroupedSpec(spec *sqlparser.QuerySpec, fr *fromResult, wh
 	groupScope := rowScope(rowVar)
 	var keys []xquery.GroupKey
 	for _, keyExpr := range spec.GroupBy {
-		if sqlparser.ContainsAggregate(keyExpr) {
+		if qfront.ContainsAggregate(keyExpr) {
 			return nil, nil, semErr(keyExpr.Position(), "aggregate functions are not allowed in GROUP BY")
 		}
 		xe, ti, err := g.genExpr(keyExpr, groupScope, nil)
@@ -103,7 +103,7 @@ func (g *generator) genGroupedSpec(spec *sqlparser.QuerySpec, fr *fromResult, wh
 			varName: varName,
 			t:       ti,
 		}
-		if ref, ok := keyExpr.(*sqlparser.ColumnRef); ok {
+		if ref, ok := keyExpr.(*qfront.ColumnRef); ok {
 			if r, err := env.dummyScope.resolve(ref); err == nil {
 				info.accessor = r.Col.Accessor
 			}
@@ -162,7 +162,7 @@ func ownerKey(b *binding, i int) string {
 // resolveGroupedColumn maps a column reference in a grouped context onto
 // its GROUP BY key, enforcing the SQL-92 rule the paper's §3.4.3 example
 // describes (SELECT EMPNO … GROUP BY EMPNAME is semantically invalid).
-func (g *generator) resolveGroupedColumn(ref *sqlparser.ColumnRef, env *aggEnv) (xquery.Expr, typeInfo, error) {
+func (g *generator) resolveGroupedColumn(ref *qfront.ColumnRef, env *aggEnv) (xquery.Expr, typeInfo, error) {
 	canon := strings.ToUpper(ref.SQL())
 	for _, k := range env.keys {
 		if k.text == canon {
@@ -183,7 +183,7 @@ func (g *generator) resolveGroupedColumn(ref *sqlparser.ColumnRef, env *aggEnv) 
 }
 
 // genAggregate renders an aggregate call over the partition variable.
-func (g *generator) genAggregate(call *sqlparser.FuncCall, env *aggEnv, ctxID int) (xquery.Expr, typeInfo, error) {
+func (g *generator) genAggregate(call *qfront.FuncCall, env *aggEnv, ctxID int) (xquery.Expr, typeInfo, error) {
 	spec := aggFuncs[call.Name]
 	if call.Star {
 		// COUNT(*) counts partition members.
@@ -193,13 +193,13 @@ func (g *generator) genAggregate(call *sqlparser.FuncCall, env *aggEnv, ctxID in
 		return nil, typeInfo{}, semErr(call.Pos, "%s takes exactly one argument", call.Name)
 	}
 	arg := call.Args[0]
-	if sqlparser.ContainsAggregate(arg) {
+	if qfront.ContainsAggregate(arg) {
 		return nil, typeInfo{}, semErr(call.Pos, "aggregate functions cannot be nested")
 	}
 
 	var values xquery.Expr
 	var argT typeInfo
-	if ref, ok := arg.(*sqlparser.ColumnRef); ok {
+	if ref, ok := arg.(*qfront.ColumnRef); ok {
 		// Simple column: $part/ACC skips NULL rows naturally.
 		partScope := env.rowScope(env.partitionVar)
 		r, err := partScope.resolve(ref)
@@ -232,7 +232,7 @@ func (g *generator) genAggregate(call *sqlparser.FuncCall, env *aggEnv, ctxID in
 // matchKeyText resolves an expression against the GROUP BY keys by
 // canonical SQL text, returning the key variable when the whole expression
 // is itself a grouping key.
-func (env *aggEnv) matchKeyText(e sqlparser.Expr) (xquery.Expr, typeInfo, bool) {
+func (env *aggEnv) matchKeyText(e qfront.Expr) (xquery.Expr, typeInfo, bool) {
 	canon := strings.ToUpper(e.SQL())
 	for _, k := range env.keys {
 		if k.text == canon {

@@ -3,7 +3,7 @@ package translator
 import (
 	"strings"
 
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xquery"
 )
 
@@ -14,7 +14,7 @@ import (
 // and an if (fn:empty(...)) then/else produces the padded or joined rows.
 // The whole join materializes into a let-bound RECORDSET whose RECORD rows
 // carry qualified column elements (CUSTOMERS.CUSTOMERID, PAYMENTS.CUSTID).
-func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID int) error {
+func (g *generator) addOuterJoin(j *qfront.JoinExpr, fr *fromResult, ctxID int) error {
 	leftClauses, leftRows, leftBs, err := g.refRows(j.Left, fr.scope.parent, ctxID)
 	if err != nil {
 		return err
@@ -28,7 +28,7 @@ func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID in
 	// side (padded with NULLs when unmatched).
 	preservedRows, nullRows := leftRows, rightRows
 	preservedBs, nullBs := leftBs, rightBs
-	if j.Type == sqlparser.JoinRightOuter {
+	if j.Type == qfront.JoinRightOuter {
 		preservedRows, nullRows = rightRows, leftRows
 		preservedBs, nullBs = rightBs, leftBs
 	}
@@ -73,7 +73,7 @@ func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID in
 	}
 
 	rows := xquery.Expr(loj)
-	if j.Type == sqlparser.JoinFullOuter {
+	if j.Type == qfront.JoinFullOuter {
 		// FULL OUTER adds the anti-joined rows of the other side: rows of
 		// the null-extended side with no preserved-side match.
 		av := g.names.rowVar(ctxID, zoneFrom)
@@ -113,11 +113,11 @@ func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID in
 	// nullable (both sides for FULL OUTER).
 	before := len(fr.scope.bindings)
 	for _, b := range leftBs {
-		nullable := j.Type == sqlparser.JoinRightOuter || j.Type == sqlparser.JoinFullOuter
+		nullable := j.Type == qfront.JoinRightOuter || j.Type == qfront.JoinFullOuter
 		fr.scope.add(joinOutputBinding(b, outVar, nullable))
 	}
 	for _, b := range rightBs {
-		nullable := j.Type == sqlparser.JoinLeftOuter || j.Type == sqlparser.JoinFullOuter
+		nullable := j.Type == qfront.JoinLeftOuter || j.Type == qfront.JoinFullOuter
 		fr.scope.add(joinOutputBinding(b, outVar, nullable))
 	}
 	if j.Alias != "" {
@@ -130,7 +130,7 @@ func (g *generator) addOuterJoin(j *sqlparser.JoinExpr, fr *fromResult, ctxID in
 // handling ON, USING and NATURAL forms. The left/right split for
 // USING/NATURAL is done against the two binding sets, whichever access
 // mode they carry in the scope.
-func (g *generator) outerJoinCondition(j *sqlparser.JoinExpr, sc *qscope, sideA, sideB []*binding, rowVarA string) (xquery.Expr, error) {
+func (g *generator) outerJoinCondition(j *qfront.JoinExpr, sc *qscope, sideA, sideB []*binding, rowVarA string) (xquery.Expr, error) {
 	switch {
 	case j.Cond != nil:
 		cond, _, err := g.genExpr(j.Cond, sc, nil)
@@ -240,9 +240,9 @@ func joinOutputBinding(b *binding, outVar string, forceNullable bool) *binding {
 // tables are bare function calls, derived tables and nested joins
 // materialize behind a let. It returns the clauses to prepend, the rows
 // expression, and the (unbound) bindings describing the row layout.
-func (g *generator) refRows(ref sqlparser.TableRef, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
+func (g *generator) refRows(ref qfront.TableRef, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
 	switch ref := ref.(type) {
-	case *sqlparser.TableName:
+	case *qfront.TableName:
 		meta, err := g.lookupTable(ref)
 		if err != nil {
 			return nil, nil, nil, err
@@ -264,7 +264,7 @@ func (g *generator) refRows(ref sqlparser.TableRef, parent *qscope, ctxID int) (
 		b := &binding{Name: strings.ToUpper(ref.RangeVar()), Cols: cols}
 		return nil, xquery.Call(prefix + ":" + f.Name), []*binding{b}, nil
 
-	case *sqlparser.DerivedTable:
+	case *qfront.DerivedTable:
 		rows, cols, err := g.genSelectStmt(ref.Query, parent)
 		if err != nil {
 			return nil, nil, nil, err
@@ -290,7 +290,7 @@ func (g *generator) refRows(ref sqlparser.TableRef, parent *qscope, ctxID int) (
 		clauses := []xquery.Clause{&xquery.Let{Var: tempVar, Expr: recordsetCtor(rows)}}
 		return clauses, xquery.ChildPath(tempVar, "RECORD"), []*binding{b}, nil
 
-	case *sqlparser.JoinExpr:
+	case *qfront.JoinExpr:
 		return g.nestedJoinRows(ref, parent, ctxID)
 
 	default:
@@ -302,7 +302,7 @@ func (g *generator) refRows(ref sqlparser.TableRef, parent *qscope, ctxID int) (
 // another join: the join is generated into its own single-item FROM
 // pipeline, wrapped in a RECORDSET let, and exposed as qualified RECORD
 // rows.
-func (g *generator) nestedJoinRows(j *sqlparser.JoinExpr, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
+func (g *generator) nestedJoinRows(j *qfront.JoinExpr, parent *qscope, ctxID int) ([]xquery.Clause, xquery.Expr, []*binding, error) {
 	inner := &fromResult{scope: &qscope{parent: parent}}
 	if err := g.addJoin(j, inner, ctxID); err != nil {
 		return nil, nil, nil, err

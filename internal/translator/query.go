@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -24,17 +24,17 @@ type outCol struct {
 
 // genSelectStmt translates a full statement (query body + ORDER BY) into a
 // rows expression producing RECORD elements.
-func (g *generator) genSelectStmt(stmt *sqlparser.SelectStmt, parent *qscope) (xquery.Expr, []outCol, error) {
+func (g *generator) genSelectStmt(stmt *qfront.SelectStmt, parent *qscope) (xquery.Expr, []outCol, error) {
 	var rows xquery.Expr
 	var cols []outCol
 	var err error
 	switch body := stmt.Body.(type) {
-	case *sqlparser.QuerySpec:
+	case *qfront.QuerySpec:
 		rows, cols, err = g.genQuerySpec(body, parent, stmt.OrderBy)
 		if err != nil {
 			return nil, nil, err
 		}
-	case *sqlparser.SetOpExpr:
+	case *qfront.SetOpExpr:
 		rows, cols, err = g.genSetOp(body, parent)
 		if err != nil {
 			return nil, nil, err
@@ -59,7 +59,7 @@ func (g *generator) genSelectStmt(stmt *sqlparser.SelectStmt, parent *qscope) (x
 // right side's RECORD elements are renamed to the left side's column
 // element names (SQL takes output names from the first operand), and types
 // are checked for union compatibility.
-func (g *generator) genSetOp(s *sqlparser.SetOpExpr, parent *qscope) (xquery.Expr, []outCol, error) {
+func (g *generator) genSetOp(s *qfront.SetOpExpr, parent *qscope) (xquery.Expr, []outCol, error) {
 	left, lcols, err := g.genQueryOperand(s.Left, parent)
 	if err != nil {
 		return nil, nil, err
@@ -87,14 +87,14 @@ func (g *generator) genSetOp(s *sqlparser.SetOpExpr, parent *qscope) (xquery.Exp
 	}
 	var rows xquery.Expr
 	switch s.Op {
-	case sqlparser.SetUnion:
+	case qfront.SetUnion:
 		rows = &xquery.Seq{Items: []xquery.Expr{left, right}}
 		if !s.All {
 			rows = xquery.Call("fn-bea:distinct-rows", rows)
 		}
-	case sqlparser.SetExcept:
+	case qfront.SetExcept:
 		rows = xquery.Call("fn-bea:rows-except", left, right, allFlag)
-	case sqlparser.SetIntersect:
+	case qfront.SetIntersect:
 		rows = xquery.Call("fn-bea:rows-intersect", left, right, allFlag)
 	default:
 		return nil, nil, semErr(s.Pos, "unsupported set operation %v", s.Op)
@@ -102,11 +102,11 @@ func (g *generator) genSetOp(s *sqlparser.SetOpExpr, parent *qscope) (xquery.Exp
 	return rows, cols, nil
 }
 
-func (g *generator) genQueryOperand(body sqlparser.QueryExpr, parent *qscope) (xquery.Expr, []outCol, error) {
+func (g *generator) genQueryOperand(body qfront.QueryExpr, parent *qscope) (xquery.Expr, []outCol, error) {
 	switch body := body.(type) {
-	case *sqlparser.QuerySpec:
+	case *qfront.QuerySpec:
 		return g.genQuerySpec(body, parent, nil)
-	case *sqlparser.SetOpExpr:
+	case *qfront.SetOpExpr:
 		return g.genSetOp(body, parent)
 	default:
 		return nil, nil, semErr(body.Position(), "unsupported set operation operand %T", body)
@@ -173,7 +173,7 @@ func (g *generator) renameRows(rows xquery.Expr, have []outCol, want []outCol) x
 // orderRows wraps a finished row sequence in an ordering FLWOR — used for
 // ORDER BY over set operations, where ordering can only reference output
 // columns (by name or ordinal, per SQL-92).
-func (g *generator) orderRows(rows xquery.Expr, cols []outCol, orderBy []sqlparser.OrderItem, pos sqlparser.Pos) (xquery.Expr, error) {
+func (g *generator) orderRows(rows xquery.Expr, cols []outCol, orderBy []qfront.OrderItem, pos qfront.Pos) (xquery.Expr, error) {
 	v := g.names.rowVar(0, zoneFrom)
 	var specs []xquery.OrderSpec
 	for _, item := range orderBy {
@@ -196,17 +196,17 @@ func (g *generator) orderRows(rows xquery.Expr, cols []outCol, orderBy []sqlpars
 	}, nil
 }
 
-func orderColumn(item sqlparser.OrderItem, cols []outCol) (outCol, error) {
+func orderColumn(item qfront.OrderItem, cols []outCol) (outCol, error) {
 	switch e := item.Expr.(type) {
-	case *sqlparser.Literal:
-		if e.Type == sqlparser.LitInteger {
+	case *qfront.Literal:
+		if e.Type == qfront.LitInteger {
 			n, err := strconv.Atoi(e.Text)
 			if err != nil || n < 1 || n > len(cols) {
 				return outCol{}, semErr(e.Pos, "ORDER BY position %s is not in the select list", e.Text)
 			}
 			return cols[n-1], nil
 		}
-	case *sqlparser.ColumnRef:
+	case *qfront.ColumnRef:
 		if e.Qualifier == "" {
 			for _, c := range cols {
 				if strings.EqualFold(c.Label, e.Column) {
@@ -228,11 +228,11 @@ type selItem struct {
 	// Source is the original SQL expression (nil for wildcard-expanded
 	// items, which carry Resolved instead); used for ORDER BY alias and
 	// expression matching.
-	Source sqlparser.Expr
+	Source qfront.Expr
 }
 
 // genQuerySpec translates one SELECT block into a rows expression.
-func (g *generator) genQuerySpec(spec *sqlparser.QuerySpec, parent *qscope, orderBy []sqlparser.OrderItem) (xquery.Expr, []outCol, error) {
+func (g *generator) genQuerySpec(spec *qfront.QuerySpec, parent *qscope, orderBy []qfront.OrderItem) (xquery.Expr, []outCol, error) {
 	ctxID := g.ctxID(spec)
 	grouped := len(spec.GroupBy) > 0 || specHasAggregates(spec)
 
@@ -248,7 +248,7 @@ func (g *generator) genQuerySpec(spec *sqlparser.QuerySpec, parent *qscope, orde
 	var whereParts []xquery.Expr
 	whereParts = append(whereParts, fr.conjuncts...)
 	if spec.Where != nil {
-		if sqlparser.ContainsAggregate(spec.Where) {
+		if qfront.ContainsAggregate(spec.Where) {
 			return nil, nil, semErr(spec.Where.Position(), "aggregate functions are not allowed in WHERE")
 		}
 		cond, _, err := g.genExpr(spec.Where, fr.scope, nil)
@@ -267,7 +267,7 @@ func (g *generator) genQuerySpec(spec *sqlparser.QuerySpec, parent *qscope, orde
 
 // genFromlessSpec handles SELECT without FROM (constant rows), which some
 // reporting tools issue as connectivity probes.
-func (g *generator) genFromlessSpec(spec *sqlparser.QuerySpec, parent *qscope) (xquery.Expr, []outCol, error) {
+func (g *generator) genFromlessSpec(spec *qfront.QuerySpec, parent *qscope) (xquery.Expr, []outCol, error) {
 	if spec.Where != nil || len(spec.GroupBy) > 0 || spec.Having != nil {
 		return nil, nil, semErr(spec.Pos, "SELECT without FROM cannot have WHERE, GROUP BY or HAVING")
 	}
@@ -281,7 +281,7 @@ func (g *generator) genFromlessSpec(spec *sqlparser.QuerySpec, parent *qscope) (
 
 // genPlainSpec is the non-aggregated path: the paper's Figure 7 mapping of
 // SELECT-FROM-WHERE-ORDER BY onto return-for-where-order by.
-func (g *generator) genPlainSpec(spec *sqlparser.QuerySpec, fr *fromResult, where xquery.Expr, orderBy []sqlparser.OrderItem, ctxID int) (xquery.Expr, []outCol, error) {
+func (g *generator) genPlainSpec(spec *qfront.QuerySpec, fr *fromResult, where xquery.Expr, orderBy []qfront.OrderItem, ctxID int) (xquery.Expr, []outCol, error) {
 	items, cols, err := g.genSelectItems(spec, fr.scope, nil)
 	if err != nil {
 		return nil, nil, err
@@ -308,7 +308,7 @@ func (g *generator) genPlainSpec(spec *sqlparser.QuerySpec, fr *fromResult, wher
 
 // genSelectItems expands wildcards (stage two, Figure 6) and translates
 // each projection item. agg is non-nil in grouped queries.
-func (g *generator) genSelectItems(spec *sqlparser.QuerySpec, sc *qscope, agg *aggEnv) ([]selItem, []outCol, error) {
+func (g *generator) genSelectItems(spec *qfront.QuerySpec, sc *qscope, agg *aggEnv) ([]selItem, []outCol, error) {
 	var items []selItem
 	exprCount := 0
 	for _, item := range spec.Items {
@@ -406,12 +406,12 @@ func expandBinding(b *binding, qualify bool) []selItem {
 // element name preserves the written qualification (the paper's
 // <CUSTOMERS.CUSTOMERID> naming) while the label is the bare column name;
 // other expressions get generated EXPR<n> names.
-func outputNames(item sqlparser.SelectItem, exprCount *int) (elemName, label string) {
+func outputNames(item qfront.SelectItem, exprCount *int) (elemName, label string) {
 	if item.Alias != "" {
 		up := strings.ToUpper(item.Alias)
 		return xmlElementName(up), up
 	}
-	if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+	if ref, ok := item.Expr.(*qfront.ColumnRef); ok {
 		elem := ref.Column
 		if ref.Qualifier != "" {
 			elem = ref.Qualifier + "." + ref.Column
@@ -480,14 +480,14 @@ func condElem(name string, value xquery.Expr, nullable bool) xquery.ElemContent 
 
 // orderSpecs resolves ORDER BY items against the select list (ordinals and
 // aliases) or the query scope, producing typed sort keys.
-func (g *generator) orderSpecs(orderBy []sqlparser.OrderItem, items []selItem, sc *qscope, agg *aggEnv) ([]xquery.OrderSpec, error) {
+func (g *generator) orderSpecs(orderBy []qfront.OrderItem, items []selItem, sc *qscope, agg *aggEnv) ([]xquery.OrderSpec, error) {
 	var specs []xquery.OrderSpec
 	for _, item := range orderBy {
 		var key xquery.Expr
 		var t typeInfo
 		switch e := item.Expr.(type) {
-		case *sqlparser.Literal:
-			if e.Type != sqlparser.LitInteger {
+		case *qfront.Literal:
+			if e.Type != qfront.LitInteger {
 				return nil, semErr(e.Pos, "ORDER BY literal must be an integer ordinal")
 			}
 			n, err := strconv.Atoi(e.Text)
@@ -495,7 +495,7 @@ func (g *generator) orderSpecs(orderBy []sqlparser.OrderItem, items []selItem, s
 				return nil, semErr(e.Pos, "ORDER BY position %s is not in the select list", e.Text)
 			}
 			key, t = items[n-1].Expr, items[n-1].T
-		case *sqlparser.ColumnRef:
+		case *qfront.ColumnRef:
 			if it, ok := matchAliasItem(e, items); ok {
 				key, t = it.Expr, it.T
 				break
@@ -526,13 +526,13 @@ func (g *generator) orderSpecs(orderBy []sqlparser.OrderItem, items []selItem, s
 	return specs, nil
 }
 
-func matchAliasItem(ref *sqlparser.ColumnRef, items []selItem) (selItem, bool) {
+func matchAliasItem(ref *qfront.ColumnRef, items []selItem) (selItem, bool) {
 	if ref.Qualifier != "" {
 		return selItem{}, false
 	}
 	for _, it := range items {
 		if strings.EqualFold(it.Label, ref.Column) && it.Source != nil {
-			if _, isRef := it.Source.(*sqlparser.ColumnRef); !isRef {
+			if _, isRef := it.Source.(*qfront.ColumnRef); !isRef {
 				// Alias of a computed expression.
 				return it, true
 			}
@@ -545,7 +545,7 @@ func matchAliasItem(ref *sqlparser.ColumnRef, items []selItem) (selItem, bool) {
 	return selItem{}, false
 }
 
-func matchExprItem(e sqlparser.Expr, items []selItem) (selItem, bool) {
+func matchExprItem(e qfront.Expr, items []selItem) (selItem, bool) {
 	want := strings.ToUpper(e.SQL())
 	for _, it := range items {
 		if it.Source != nil && strings.ToUpper(it.Source.SQL()) == want {
@@ -555,11 +555,11 @@ func matchExprItem(e sqlparser.Expr, items []selItem) (selItem, bool) {
 	return selItem{}, false
 }
 
-func specHasAggregates(spec *sqlparser.QuerySpec) bool {
+func specHasAggregates(spec *qfront.QuerySpec) bool {
 	for _, item := range spec.Items {
-		if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+		if item.Expr != nil && qfront.ContainsAggregate(item.Expr) {
 			return true
 		}
 	}
-	return spec.Having != nil && sqlparser.ContainsAggregate(spec.Having)
+	return spec.Having != nil && qfront.ContainsAggregate(spec.Having)
 }

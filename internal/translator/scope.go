@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -112,7 +112,7 @@ func (s *qscope) add(b *binding) { s.bindings = append(s.bindings, b) }
 // rules: qualified references must name a visible range variable;
 // unqualified references must be unambiguous at their innermost resolving
 // scope.
-func (s *qscope) resolve(ref *sqlparser.ColumnRef) (resolved, error) {
+func (s *qscope) resolve(ref *qfront.ColumnRef) (resolved, error) {
 	for scope := s; scope != nil; scope = scope.parent {
 		if ref.Qualifier != "" {
 			for _, b := range scope.bindings {

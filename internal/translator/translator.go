@@ -4,9 +4,11 @@
 //
 // Translation is progressive and step-wise (§3.4.1):
 //
-//	stage one   — syntactic recognition: the SQL is lexed and parsed into a
-//	              typed AST (internal/sqlparser) and a query-context tree is
-//	              captured (one context per (sub)query, §3.4.3);
+//	stage one   — syntactic recognition: a query front end (SQL-92 in
+//	              internal/sqlparser; any qfront.Frontend) lexes and parses
+//	              its concrete syntax into the shared typed AST
+//	              (internal/qfront) and a query-context tree is captured
+//	              (one context per (sub)query, §3.4.3);
 //	stage two   — semantic preparation: table metadata is fetched (and
 //	              cached) from the catalog, wildcards are expanded, column
 //	              references are resolved and validated, GROUP BY rules are
@@ -29,7 +31,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/obsv"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xquery"
 )
 
@@ -130,7 +132,7 @@ func New(meta catalog.Source) *Translator {
 // that violates SQL semantics (unknown column, ambiguous name, GROUP BY
 // violations, set-operation arity mismatch, …).
 type SemanticError struct {
-	Pos sqlparser.Pos
+	Pos qfront.Pos
 	Msg string
 }
 
@@ -138,63 +140,32 @@ func (e *SemanticError) Error() string {
 	return fmt.Sprintf("sql semantic error at %s: %s", e.Pos, e.Msg)
 }
 
-func semErr(pos sqlparser.Pos, format string, args ...any) error {
+func semErr(pos qfront.Pos, format string, args ...any) error {
 	return &SemanticError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Translate runs all three stages over a SQL SELECT statement.
-func (t *Translator) Translate(sql string) (*Result, error) {
-	return t.TranslateTraced(sql, nil)
-}
-
-// TranslateContext is Translate under a cancelable context: stage two's
-// metadata fetches observe cancellation and deadline expiry.
-func (t *Translator) TranslateContext(ctx context.Context, sql string) (*Result, error) {
-	return t.TranslateTracedContext(ctx, sql, nil)
-}
-
-// TranslateTraced is Translate with stage observation: each pipeline stage
-// (lex, parse, semantic-validate, restructure, generate, serialize) is
-// recorded as a span on tr with wall time, sizes, and stage detail. A nil
-// trace is valid and costs nothing beyond the untraced path.
-func (t *Translator) TranslateTraced(sql string, tr *obsv.Trace) (*Result, error) {
-	return t.TranslateTracedContext(context.Background(), sql, tr)
-}
-
-// TranslateTracedContext combines context propagation with stage tracing —
-// the driver's entry point.
-func (t *Translator) TranslateTracedContext(ctx context.Context, sql string, tr *obsv.Trace) (*Result, error) {
-	// Stage one: syntactic recognition, observed as lex + parse.
-	sp := tr.StartStage(obsv.StageLex)
-	sp.SetInput(len(sql))
-	toks, err := sqlparser.Lex(sql)
+// TranslateFrontend runs the full pipeline with an explicit query front
+// end: stage one (lex + parse, with its own stage spans) is delegated to
+// fe, and the statement it emits flows through the front-end-agnostic
+// kernel (stages two and three). This is the seam every dialect enters
+// through; the SQL-language helpers in sqldefault.go are wrappers over
+// it.
+func (t *Translator) TranslateFrontend(ctx context.Context, fe qfront.Frontend, text string, tr *obsv.Trace) (*Result, error) {
+	stmt, err := fe.Parse(text, tr)
 	if err != nil {
 		obsv.Global.TranslateErrors.Inc()
 		return nil, err
 	}
-	sp.SetOutput(len(toks))
-	sp.End()
-
-	sp = tr.StartStage(obsv.StageParse)
-	sp.SetInput(len(toks))
-	stmt, err := sqlparser.ParseTokens(toks)
-	if err != nil {
-		obsv.Global.TranslateErrors.Inc()
-		return nil, err
-	}
-	sp.Add("params", int64(stmt.ParamCount))
-	sp.End()
-
 	return t.translateStmt(ctx, stmt, tr)
 }
 
 // TranslateStmt translates an already-parsed statement (used by the driver,
 // which parses once to count parameters and validate early).
-func (t *Translator) TranslateStmt(stmt *sqlparser.SelectStmt) (*Result, error) {
+func (t *Translator) TranslateStmt(stmt *qfront.SelectStmt) (*Result, error) {
 	return t.translateStmt(context.Background(), stmt, nil)
 }
 
-func (t *Translator) translateStmt(ctx context.Context, stmt *sqlparser.SelectStmt, tr *obsv.Trace) (*Result, error) {
+func (t *Translator) translateStmt(ctx context.Context, stmt *qfront.SelectStmt, tr *obsv.Trace) (*Result, error) {
 	// Stage one's semantic capture: the query-context tree (§3.4.3).
 	sp := tr.StartStage(obsv.StageValidate)
 	contexts := CaptureContexts(stmt)

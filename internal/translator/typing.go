@@ -2,7 +2,7 @@ package translator
 
 import (
 	"repro/internal/catalog"
-	"repro/internal/sqlparser"
+	"repro/internal/qfront"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -85,7 +85,7 @@ func castTo(e xquery.Expr, target xdm.AtomicType) xquery.Expr {
 
 // typeFromTypeName maps a parsed SQL type (CAST target) to typeInfo,
 // carrying declared precision and scale into result metadata.
-func typeFromTypeName(tn sqlparser.TypeName) typeInfo {
+func typeFromTypeName(tn qfront.TypeName) typeInfo {
 	st := catalog.SQLTypeFromName(tn.Name)
 	ti := typeInfo{SQL: st, X: st.Atomic(), Nullable: true}
 	if tn.Precision > 0 {

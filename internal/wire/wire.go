@@ -88,10 +88,13 @@ type HandshakeResponse struct {
 }
 
 // PrepareRequest compiles a statement into the session's prepared table.
+// Dialect names the query language the SQL field is written in; empty
+// selects SQL-92, so pre-dialect clients interoperate unchanged.
 type PrepareRequest struct {
 	Session string `json:"session"`
 	SQL     string `json:"sql"`
-	Mode    string `json:"mode"` // "text" (default) or "xml"
+	Mode    string `json:"mode"`              // "text" (default) or "xml"
+	Dialect string `json:"dialect,omitempty"` // query language; "" = "sql"
 }
 
 // PrepareResponse describes the prepared statement.
@@ -116,6 +119,7 @@ type ExecuteRequest struct {
 	Stmt     int64   `json:"stmt,omitempty"`
 	SQL      string  `json:"sql,omitempty"`
 	Mode     string  `json:"mode,omitempty"`
+	Dialect  string  `json:"dialect,omitempty"` // ad-hoc SQL's language; "" = "sql"
 	Args     []*Atom `json:"args,omitempty"`
 	ExecKey  string  `json:"exec_key,omitempty"`
 	BudgetMS int64   `json:"budget_ms,omitempty"`
@@ -179,6 +183,7 @@ type ExplainRequest struct {
 	Session string `json:"session"`
 	SQL     string `json:"sql"`
 	Mode    string `json:"mode"`
+	Dialect string `json:"dialect,omitempty"` // query language; "" = "sql"
 }
 
 // ExplainResponse is the rendered plan text.
