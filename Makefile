@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race chaos soak fuzz bench bench-smoke serve-smoke clean
+.PHONY: ci vet build test race chaos soak federate-smoke fuzz bench bench-smoke serve-smoke clean
 
-ci: vet build race chaos soak serve-smoke bench-smoke fuzz
+ci: vet build race chaos soak federate-smoke serve-smoke bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,12 @@ soak:
 	$(GO) test -race -count=1 -run='TestNetChaosDifferential|TestShedVsCancel|TestExecuteReplay|TestFetchSeqReplay|TestFetchAgainstRestarted|TestHedgedFetch' .
 	$(GO) test -race -count=1 -run='TestOverloadSweepSmall' ./internal/bench/
 
+# Federation smoke: the multi-source mediation stack end-to-end — the
+# federated catalog, shard-pinned pushdown, and the per-source stats
+# surface — against the single-source oracle.
+federate-smoke:
+	$(GO) test -race -count=1 -run='TestFederated' .
+
 # Fuzz smoke: run each native fuzz target briefly. Corpus crashers found
 # by longer runs land in testdata/fuzz/ and replay as regular tests.
 fuzz:
@@ -46,9 +52,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStreamDifferential -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzServeDifferential -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzParallelDifferential -fuzztime=$(FUZZTIME) ./internal/xqeval/
+	$(GO) test -run='^$$' -fuzz=FuzzFederatedDifferential -fuzztime=$(FUZZTIME) .
 
 bench:
-	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json -servejson BENCH_serve.json -overloadjson BENCH_overload.json
+	$(GO) run ./cmd/benchharness -stagejson BENCH_stages.json -evaljson BENCH_eval.json -faultjson BENCH_faults.json -compilejson BENCH_compile.json -streamjson BENCH_stream.json -servejson BENCH_serve.json -overloadjson BENCH_overload.json -federatejson BENCH_federate.json
 
 # Serve smoke: the network front end end-to-end — loopback and real-TCP
 # conformance against the in-process oracle, the wire session-state

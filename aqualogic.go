@@ -148,6 +148,22 @@ type (
 	// per-column distinct estimates, average row width) — the cost model's
 	// input, populated lazily on first scan or eagerly by AnalyzeStats.
 	SourceStats = xqeval.SourceStats
+	// Federation is the multi-backend catalog AddSource builds: named
+	// metadata sources resolved together, each behind its own cache and
+	// generation.
+	Federation = catalog.Federation
+	// PartitionSpec declares a horizontally partitioned data service:
+	// shard functions (possibly on different sources), the shard key, and
+	// an optional shard-routing function enabling partition pruning.
+	PartitionSpec = xqeval.PartitionSpec
+	// ShardSpec names one shard of a partitioned data service.
+	ShardSpec = xqeval.ShardSpec
+	// Atomic is an XQuery atomic value — what PartitionSpec.ShardFor
+	// routes on (compare with its Lexical form or a typed accessor).
+	Atomic = xdm.Atomic
+	// BreakerState is a circuit breaker's position (closed, open,
+	// half-open); FederationStats reports one per data service breaker.
+	BreakerState = resilient.BreakerState
 )
 
 // Error kinds a QueryError can carry.
@@ -217,6 +233,19 @@ type Platform struct {
 	qc         *qcache.Cache
 	resilience *resilient.Config
 	injector   *faultnet.Injector
+	guard      *resilient.EngineGuard
+
+	// sources are the extra federation backends added with AddSource; when
+	// non-empty the metadata stack is a catalog.Federation with the App as
+	// its first backend (named App.Name), each behind its own cache.
+	sources []namedSource
+	fed     *catalog.Federation
+}
+
+// namedSource is one federation backend registered with AddSource.
+type namedSource struct {
+	name string
+	src  catalog.Source
 }
 
 // New creates a platform over application metadata and an engine.
@@ -244,7 +273,8 @@ func (p *Platform) EnableFaults(cfg FaultConfig) *FaultInjector {
 	p.cacheMu.Lock()
 	p.injector = inj
 	p.cache = nil // rebuild the metadata stack with the chaos layer inside
-	p.qc = nil    // artifacts compiled over the old stack are stale
+	p.fed = nil
+	p.qc = nil // artifacts compiled over the old stack are stale
 	p.cacheMu.Unlock()
 	p.Engine.InvalidateSourceStats() // sources now misbehave; observations are stale
 	p.Engine.Use(inj.Middleware())
@@ -259,13 +289,16 @@ func (p *Platform) EnableFaults(cfg FaultConfig) *FaultInjector {
 // after any EnableFaults.
 func (p *Platform) EnableResilience(cfg ResilienceConfig) {
 	cfg = cfg.WithDefaults()
+	guard := resilient.NewEngineGuard(cfg)
 	p.cacheMu.Lock()
 	p.resilience = &cfg
+	p.guard = guard
 	p.cache = nil // rebuild the metadata stack with retries + staleness
-	p.qc = nil    // rebuild the compile cache with CompileCacheEntries applied
+	p.fed = nil
+	p.qc = nil // rebuild the compile cache with CompileCacheEntries applied
 	p.cacheMu.Unlock()
 	p.Engine.InvalidateSourceStats() // the rebuilt stack may change what scans observe
-	p.Engine.Use(resilient.NewEngineGuard(cfg).Middleware())
+	p.Engine.Use(guard.Middleware())
 	if cfg.MaxRows > 0 {
 		lim := p.Engine.Limits()
 		lim.MaxRows = cfg.MaxRows
@@ -313,13 +346,95 @@ func (p *Platform) AnalyzeStats(ctx context.Context) (int, error) {
 	return analyzed, firstErr
 }
 
+// AddSource registers an extra federation backend under a name: its
+// tables and procedures become resolvable alongside the App's, behind
+// the backend's own metadata cache and generation. The first AddSource
+// turns the platform's metadata stack into a catalog.Federation with the
+// App as its first backend (named App.Name); unqualified table names
+// resolve across every backend (colliding names raise a typed
+// AmbiguousError listing the sources), and a source-qualified name
+// (`billing.INVOICES`) pins resolution to one backend without touching
+// the others. Call during setup; adding a source rebuilds the metadata
+// stack and retires compiled artifacts.
+func (p *Platform) AddSource(name string, src catalog.Source) error {
+	if name == "" || src == nil {
+		return fmt.Errorf("aqualogic: AddSource requires a name and a source")
+	}
+	p.cacheMu.Lock()
+	if strings.EqualFold(name, p.App.Name) {
+		p.cacheMu.Unlock()
+		return fmt.Errorf("aqualogic: source %s collides with the application name", name)
+	}
+	for _, ns := range p.sources {
+		if strings.EqualFold(ns.name, name) {
+			p.cacheMu.Unlock()
+			return fmt.Errorf("aqualogic: source %s already registered", name)
+		}
+	}
+	p.sources = append(p.sources, namedSource{name: name, src: src})
+	p.fed = nil // rebuild the federation with the new backend
+	p.cache = nil
+	p.qc = nil
+	p.cacheMu.Unlock()
+	p.Engine.InvalidateSourceStats() // new names may shadow observed sources
+	return nil
+}
+
+// SourceNames lists the federation's backends in registration order (the
+// App first). A platform with no added sources reports just the App.
+func (p *Platform) SourceNames() []string {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	out := []string{p.App.Name}
+	for _, ns := range p.sources {
+		out = append(out, ns.name)
+	}
+	return out
+}
+
+// InvalidateSourceMetadata drops one backend's cached metadata and
+// advances that backend's generation, retiring only the compiled
+// artifacts whose statements touched it — the other backends' caches and
+// artifacts stay warm. Outside a federation it flushes the single
+// metadata cache.
+func (p *Platform) InvalidateSourceMetadata(name string) {
+	if fed := p.federation(); fed != nil {
+		fed.InvalidateSource(name)
+		return
+	}
+	if c := p.metaCache(); c != nil {
+		c.Invalidate()
+	}
+}
+
 // metaSource builds the metadata stack, inside out: application
 // (→ simulated remote) (→ fault injection) (→ retries) → client-side
-// cache with stale-serving. Lazy construction is guarded so concurrent
-// callers (parallel Translate/Query, RegisterDriver) share one cache.
+// cache with stale-serving. With added sources the stack is a
+// Federation instead: each backend gets its own injection/retry stack
+// and its own cache, so one backend's faults or invalidations stay its
+// own. Lazy construction is guarded so concurrent callers (parallel
+// Translate/Query, RegisterDriver) share one cache.
 func (p *Platform) metaSource() catalog.Source {
 	p.cacheMu.Lock()
 	defer p.cacheMu.Unlock()
+	if len(p.sources) > 0 {
+		if p.fed == nil {
+			fed := catalog.NewFederation(p.App.Name)
+			if p.resilience != nil {
+				fed.FreshFor = p.resilience.StaleTTL
+			}
+			var appSrc catalog.Source = p.App
+			if p.MetadataLatency > 0 {
+				appSrc = &catalog.Remote{Inner: p.App, Latency: p.MetadataLatency}
+			}
+			fed.Register(p.App.Name, p.backendStackLocked(p.App.Name, appSrc))
+			for _, ns := range p.sources {
+				fed.Register(ns.name, p.backendStackLocked(ns.name, ns.src))
+			}
+			p.fed = fed
+		}
+		return p.fed
+	}
 	if p.cache == nil {
 		var src catalog.Source = p.App
 		if p.MetadataLatency > 0 {
@@ -339,6 +454,47 @@ func (p *Platform) metaSource() catalog.Source {
 	return p.cache
 }
 
+// backendStackLocked wraps one federation backend in the per-source
+// chaos and retry layers (the Federation itself adds the per-source
+// cache). Callers hold cacheMu.
+func (p *Platform) backendStackLocked(name string, src catalog.Source) catalog.Source {
+	if p.injector != nil {
+		src = p.injector.SourceNamed(name, src)
+	}
+	if p.resilience != nil {
+		src = resilient.NewSource(src, *p.resilience)
+	}
+	return src
+}
+
+// federation returns the platform's federation, building the metadata
+// stack if needed; nil when no sources have been added.
+func (p *Platform) federation() *catalog.Federation {
+	p.cacheMu.Lock()
+	has := len(p.sources) > 0
+	fed := p.fed
+	p.cacheMu.Unlock()
+	if fed == nil && has {
+		p.metaSource()
+		p.cacheMu.Lock()
+		fed = p.fed
+		p.cacheMu.Unlock()
+	}
+	return fed
+}
+
+// sourceGeneration is the per-backend epoch the compile cache validates
+// hits against: the backend's metadata generation plus its source-scoped
+// statistics generation. Both are monotonic, so the sum changes whenever
+// either does.
+func (p *Platform) sourceGeneration(source string) uint64 {
+	var gen uint64
+	if fed := p.federation(); fed != nil {
+		gen = fed.SourceGeneration(source)
+	}
+	return gen + p.Engine.SourceStatsGeneration(source)
+}
+
 // queryCache lazily builds the platform's shared compiled-query cache,
 // keyed on the metadata cache's generation so catalog changes retire
 // stale artifacts. The same instance backs Compile/Query on the facade
@@ -348,6 +504,12 @@ func (p *Platform) queryCache() *qcache.Cache {
 	defer p.cacheMu.Unlock()
 	if p.qc == nil {
 		cfg := qcache.Config{Generation: p.metadataGeneration, StatsGeneration: p.Engine.StatsGeneration}
+		if len(p.sources) > 0 {
+			// Federated: hits additionally revalidate each backend the
+			// artifact touched, so one source's invalidation never churns
+			// artifacts compiled purely over the others.
+			cfg.SourceGeneration = p.sourceGeneration
+		}
 		if p.resilience != nil {
 			cfg.MaxEntries = p.resilience.CompileCacheEntries
 		}
@@ -549,12 +711,86 @@ func (p *Platform) metaCache() *catalog.Cache {
 	return p.cache
 }
 
-// MetadataStats reports the metadata cache's hit/miss counters.
+// MetadataStats reports the metadata cache's hit/miss counters. In a
+// federation the per-backend counters are summed; FederationStats breaks
+// them out per source.
 func (p *Platform) MetadataStats() catalog.CacheStats {
+	if fed := p.federation(); fed != nil {
+		var sum catalog.CacheStats
+		for _, name := range fed.SourceNames() {
+			if st, ok := fed.SourceStats(name); ok {
+				sum.Hits += st.Hits
+				sum.Misses += st.Misses
+				sum.StaleServes += st.StaleServes
+				sum.Shared += st.Shared
+				sum.Degraded = sum.Degraded || st.Degraded
+			}
+		}
+		return sum
+	}
 	if c := p.metaCache(); c != nil {
 		return c.Stats()
 	}
 	return catalog.CacheStats{}
+}
+
+// SourceHealth is one federation backend's health snapshot: its metadata
+// cache counters, its current generation, and the circuit breakers of
+// the data services registered against it.
+type SourceHealth struct {
+	// Name is the backend's registration name.
+	Name string
+	// Generation is the backend's metadata epoch (advanced by
+	// invalidations, refresh changes, and degradation transitions).
+	Generation uint64
+	// Metadata is the backend's cache counters.
+	Metadata catalog.CacheStats
+	// Breakers maps data service names to breaker state for services
+	// registered against this source (the App owns services registered
+	// without a source tag). Nil until EnableResilience has installed the
+	// guard and calls have exercised it.
+	Breakers map[string]BreakerState
+}
+
+// FederationStats snapshots every backend's health in registration
+// order; nil when no sources have been added.
+func (p *Platform) FederationStats() []SourceHealth {
+	fed := p.federation()
+	if fed == nil {
+		return nil
+	}
+	p.cacheMu.Lock()
+	guard := p.guard
+	p.cacheMu.Unlock()
+	var breakers map[string]resilient.BreakerState
+	if guard != nil {
+		breakers = guard.Snapshot()
+	}
+	names := fed.SourceNames()
+	out := make([]SourceHealth, 0, len(names))
+	for _, name := range names {
+		h := SourceHealth{Name: name, Generation: fed.SourceGeneration(name)}
+		if st, ok := fed.SourceStats(name); ok {
+			h.Metadata = st
+		}
+		for svc, state := range breakers {
+			// Source-tagged registrations name breakers "<source>/<local>";
+			// untagged ones (in-process App functions) have no slash.
+			if i := strings.IndexByte(svc, '/'); i >= 0 {
+				if !strings.EqualFold(svc[:i], name) {
+					continue
+				}
+			} else if !strings.EqualFold(name, p.App.Name) {
+				continue
+			}
+			if h.Breakers == nil {
+				h.Breakers = map[string]BreakerState{}
+			}
+			h.Breakers[svc] = state
+		}
+		out = append(out, h)
+	}
+	return out
 }
 
 // Explain runs a traced translation: the returned Trace holds one stage
@@ -656,15 +892,22 @@ func (p *Platform) DefineView(path, name, sql string) error {
 	p.App.AddDSFile(&DSFile{Path: path, Name: name, Functions: []*Function{fn}})
 	// The metadata cache may hold a negative entry for the new name; the
 	// generation bump from Invalidate retires compiled artifacts by keying,
-	// and flushing the compile cache frees them immediately.
-	if c := p.metaCache(); c != nil {
-		c.Invalidate()
-	}
-	p.cacheMu.Lock()
-	qc := p.qc
-	p.cacheMu.Unlock()
-	if qc != nil {
-		qc.Invalidate()
+	// and flushing the compile cache frees them immediately. In a
+	// federation only the App backend changed, so only it is invalidated —
+	// artifacts over the other backends stay cached (per-source hit
+	// validation retires the ones that touched the App).
+	if fed := p.federation(); fed != nil {
+		fed.InvalidateSource(p.App.Name)
+	} else {
+		if c := p.metaCache(); c != nil {
+			c.Invalidate()
+		}
+		p.cacheMu.Lock()
+		qc := p.qc
+		p.cacheMu.Unlock()
+		if qc != nil {
+			qc.Invalidate()
+		}
 	}
 	// Catalog contents changed: collected statistics may describe sources
 	// the view now shadows or composes over.

@@ -12,7 +12,9 @@
 // translates to), \c (query contexts), \p (evaluator query plan), \s
 // (pipeline metrics snapshot),
 // \r (resilience counters: retries, breaker trips, stale serves, injected
-// faults), \q (compile-cache counters: hits, misses, single-flight
+// faults), \src (per-source federation health: metadata generations,
+// breaker states, and scan attribution for every registered backend),
+// \q (compile-cache counters: hits, misses, single-flight
 // shares, evictions, invalidations, size, metadata generation), and
 // \f n (fetch size: page results n rows at a time straight off the live
 // cursor — rows print as the evaluation produces them, and abandoning a
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -67,7 +70,8 @@ func main() {
 	fmt.Println(`(with per-scan cardinality and hash-join cost annotations once source`)
 	fmt.Println(`statistics are observed — run a query first, or ANALYZE via the API),`)
 	fmt.Println(`"\s" for pipeline metrics (incl. stats hits and parallel workers),`)
-	fmt.Println(`"\r" for resilience counters, "\q" for`)
+	fmt.Println(`"\r" for resilience counters, "\src" for per-source federation`)
+	fmt.Println(`health (metadata generations, breakers, scan attribution), "\q" for`)
 	fmt.Println(`compile-cache counters, "\f n" to page results n rows at a time off`)
 	fmt.Println(`the live cursor (\f 0 to turn paging off), "\d <dialect>" to switch`)
 	fmt.Printf("query language (registered: %s), \"quit\" or \"exit\" to leave\n",
@@ -147,6 +151,25 @@ func main() {
 			cache := p.MetadataStats()
 			fmt.Printf("metadata cache: stale serves=%d shared fetches=%d degraded=%v\n",
 				cache.StaleServes, cache.Shared, cache.Degraded)
+		case line == `\src`:
+			health := p.FederationStats()
+			if len(health) == 0 {
+				fmt.Printf("single-source platform (%s): no federation registered\n", p.App.Name)
+				continue
+			}
+			scans := aqualogic.Stats().SourceScans
+			for _, h := range health {
+				fmt.Printf("source %s: metadata generation=%d cache hits=%d misses=%d degraded=%v scans=%d\n",
+					h.Name, h.Generation, h.Metadata.Hits, h.Metadata.Misses, h.Metadata.Degraded, scans[h.Name])
+				svcs := make([]string, 0, len(h.Breakers))
+				for svc := range h.Breakers {
+					svcs = append(svcs, svc)
+				}
+				sort.Strings(svcs)
+				for _, svc := range svcs {
+					fmt.Printf("  breaker %s: %v\n", svc, h.Breakers[svc])
+				}
+			}
 		case strings.HasPrefix(line, `\p `):
 			cq, err := p.CompileDialect(context.Background(), dialect, strings.TrimPrefix(line, `\p `), aqualogic.ModeText)
 			if err != nil {

@@ -17,7 +17,10 @@
 // cached) is written as well (conventionally BENCH_compile.json). With
 // -streamjson, the P9 streaming-delivery sweep (pull cursor vs
 // materialize-then-decode: time to first row, total latency, live-heap
-// high-water) is written too (conventionally BENCH_stream.json).
+// high-water) is written too (conventionally BENCH_stream.json). With
+// -federatejson, the P13 federation sweep (shard-key pruning vs full
+// scatter-gather over simulated remote shards) is written as well
+// (conventionally BENCH_federate.json).
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	overloadJSON := flag.String("overloadjson", "", "also write the P12 overload-resilience sweep as JSON to this path (e.g. BENCH_overload.json)")
 	overloadCap := flag.Int("overloadcap", bench.DefaultOverloadCapacity, "weighted admission capacity for the P12 sweep")
 	overloadOps := flag.Int("overloadops", bench.DefaultOverloadOps, "operations per client for the P12 sweep")
+	federateJSON := flag.String("federatejson", "", "also write the P13 federation sweep as JSON to this path (e.g. BENCH_federate.json)")
 	flag.Parse()
 
 	if err := bench.Report(os.Stdout); err != nil {
@@ -97,5 +101,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote overload-resilience sweep to %s\n", *overloadJSON)
+	}
+	if *federateJSON != "" {
+		if err := bench.WriteFederateJSON(*federateJSON, bench.DefaultFederateShards, bench.DefaultFederateRows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote federation sweep to %s\n", *federateJSON)
 	}
 }

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// federate.go is the P13 workload: scatter-gather execution of a
+// horizontally partitioned data service whose shards live on simulated
+// remote sources — the paper's mediation scenario, where the optimizer's
+// job is to touch as few sources as possible. Each shard call blocks in a
+// real nanosleep syscall (like P11, so backend latency overlaps even on a
+// one-CPU host) before returning its rows. The sweep times the same
+// shard-key-pinned query with partition pushdown on (the executor prunes
+// the scatter to the one shard the pinned key can live on, and filters and
+// projects rows at the shard boundary) and off (every shard's full rows
+// flow into the central pipeline), byte-comparing the two runs: pushdown
+// may only change where work happens, never the answer.
+
+// FederateQuery is the P13 query: a scan of the partitioned ORDERS service
+// pinned to one shard-key value. Written directly in XQuery because the
+// interesting axis is the federated executor, not the translator.
+const FederateQuery = `import schema namespace b = "ld:BenchFed" at "BenchFed.xsd";
+for $o in b:ORDERS()
+where $o/ACCOUNTID = 103
+return <RECORD>{$o/ORDERID}{$o/ACCOUNTID}{$o/ITEM}</RECORD>`
+
+// DefaultFederateShards is the shard-count sweep.
+var DefaultFederateShards = []int{2, 4, 8, 16}
+
+// DefaultFederateRows is the total-cardinality sweep (rows are spread
+// round-robin across the shards by account id).
+var DefaultFederateRows = []int{4_000, 40_000}
+
+// federateCallNanos is the simulated per-shard-call source latency — one
+// network round trip to a remote backend, paid once per shard touched.
+const federateCallNanos = 200_000
+
+// federateWorkers bounds the scatter's concurrent shard calls, so a full
+// scatter over more shards than workers pays multiple latency rounds while
+// a pruned scan pays exactly one.
+const federateWorkers = 4
+
+// federateIters is the per-arm repeat count; each point reports the best
+// run, which is the stable estimator for a latency-floor workload.
+const federateIters = 3
+
+// FederatePoint is one row of the P13 table.
+type FederatePoint struct {
+	// Workload names the swept query shape.
+	Workload string `json:"workload"`
+	// Shards is the partition width of the ORDERS service.
+	Shards int `json:"shards"`
+	// Rows is the total cardinality across all shards.
+	Rows int `json:"rows"`
+	// Pushdown reports whether shard pruning + per-shard filter/projection
+	// were enabled for this run.
+	Pushdown bool `json:"pushdown"`
+	// ShardCalls is the number of shard (remote source) calls the run made.
+	ShardCalls int64 `json:"shard_calls"`
+	// Nanos is the measured wall time of the best run.
+	Nanos int64 `json:"ns"`
+	// ScatterNanos is the pushdown-off wall time for the same point,
+	// repeated on every row so each is self-contained.
+	ScatterNanos int64 `json:"scatter_ns"`
+	// SpeedupVsScatter is ScatterNanos / Nanos.
+	SpeedupVsScatter float64 `json:"speedup_vs_scatter"`
+}
+
+// FederateReport is the JSON document benchharness -federatejson writes.
+type FederateReport struct {
+	Experiment string          `json:"experiment"`
+	Query      string          `json:"query"`
+	Points     []FederatePoint `json:"points"`
+}
+
+// federateEngine builds a partitioned ORDERS service with the given total
+// cardinality spread over the given number of shards, each shard a
+// simulated remote source: its function sleeps one federateCallNanos
+// round trip, then returns the shard's rows.
+func federateEngine(totalRows, shards int) *xqeval.Engine {
+	perShard := make([]xdm.Sequence, shards)
+	for i := 0; i < totalRows; i++ {
+		acct := 100 + i%977
+		sh := acct % shards
+		row := xdm.NewElement("ORDERS")
+		row.AddChild(xdm.NewTextElement("ORDERID", fmt.Sprintf("%d", 5000+i)))
+		row.AddChild(xdm.NewTextElement("ACCOUNTID", fmt.Sprintf("%d", acct)))
+		row.AddChild(xdm.NewTextElement("ITEM", fmt.Sprintf("SKU-%d", i%97)))
+		perShard[sh] = append(perShard[sh], row)
+	}
+	e := xqeval.New()
+	specShards := make([]xqeval.ShardSpec, shards)
+	for s := 0; s < shards; s++ {
+		rows := perShard[s]
+		src := fmt.Sprintf("shard%d", s)
+		local := fmt.Sprintf("ORDERS_S%d", s)
+		e.RegisterSourceContext(src, "ld:BenchFed", local, func(ctx context.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			ts := syscall.Timespec{Nsec: federateCallNanos}
+			syscall.Nanosleep(&ts, nil)
+			return rows, nil
+		})
+		specShards[s] = xqeval.ShardSpec{Source: src, Namespace: "ld:BenchFed", Local: local}
+	}
+	e.RegisterPartitioned("ld:BenchFed", "ORDERS", &xqeval.PartitionSpec{
+		Key:    "ACCOUNTID",
+		Shards: specShards,
+		ShardFor: func(v xdm.Atomic) int {
+			n, err := strconv.Atoi(strings.TrimSpace(v.Lexical()))
+			if err != nil || n < 0 {
+				return -1
+			}
+			return n % shards
+		},
+	})
+	return e
+}
+
+// runFederateArm times one pushdown arm: best wall time over federateIters
+// runs through the streaming cursor, plus the run's output digest, row
+// count, and shard-call count (identical across iterations, so the last
+// run's counters stand for the point).
+func runFederateArm(e *xqeval.Engine, plan *xqeval.Plan, pushdown bool) (best int64, digest uint64, rows, calls int64, err error) {
+	e.SetExec(xqeval.ExecConfig{Workers: federateWorkers, DisablePartitionPushdown: !pushdown})
+	ctx := context.Background()
+	for it := 0; it < federateIters; it++ {
+		callsBefore := obsv.Global.ShardScans.Load()
+		start := time.Now()
+		d, n, err := drainStreamed(e.EvalStream(ctx, plan, nil, nil))
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		if it == 0 {
+			best, digest, rows = elapsed, d, n
+		} else if d != digest || n != rows {
+			return 0, 0, 0, 0, fmt.Errorf("federate arm: output unstable across iterations")
+		} else if elapsed < best {
+			best = elapsed
+		}
+		calls = obsv.Global.ShardScans.Load() - callsBefore
+	}
+	return best, digest, rows, calls, nil
+}
+
+// RunFederate sweeps shard count × total cardinality over the pinned
+// federated scan, timing each point with partition pushdown off (full
+// scatter-gather: every shard called, every row shipped centrally) and on
+// (shard pruning plus per-shard filter and projection). The two arms must
+// be byte-identical — pushdown is an execution strategy, not a semantics
+// change — and the pushdown-on arm of a pinned query must touch exactly
+// one shard.
+func RunFederate(shardCounts, rowSizes []int) ([]FederatePoint, error) {
+	q, err := xqeval.Compile(FederateQuery)
+	if err != nil {
+		return nil, fmt.Errorf("federate workload: %w", err)
+	}
+	var out []FederatePoint
+	for _, shards := range shardCounts {
+		if shards < 2 {
+			return nil, fmt.Errorf("federate sweep: shard counts must be >= 2, got %d", shards)
+		}
+		for _, rows := range rowSizes {
+			e := federateEngine(rows, shards)
+			// CompileAST is the stats-aware production path; only its plans
+			// see the partition spec and scatter. (xqeval.Compile above only
+			// parsed the query text.)
+			plan, err := e.CompileAST(q, nil)
+			if err != nil {
+				return nil, fmt.Errorf("federate compile (%d shards × %d rows): %w", shards, rows, err)
+			}
+			scatterNs, scatterDigest, scatterRows, scatterCalls, err := runFederateArm(e, plan, false)
+			if err != nil {
+				return nil, fmt.Errorf("federate %d shards × %d rows, full scatter: %w", shards, rows, err)
+			}
+			prunedNs, prunedDigest, prunedRows, prunedCalls, err := runFederateArm(e, plan, true)
+			if err != nil {
+				return nil, fmt.Errorf("federate %d shards × %d rows, pushdown: %w", shards, rows, err)
+			}
+			if prunedDigest != scatterDigest || prunedRows != scatterRows {
+				return nil, fmt.Errorf("federate %d shards × %d rows: pushdown output diverges from full scatter", shards, rows)
+			}
+			if scatterCalls != int64(shards) {
+				return nil, fmt.Errorf("federate %d shards × %d rows: full scatter made %d shard calls, want %d",
+					shards, rows, scatterCalls, shards)
+			}
+			if prunedCalls != 1 {
+				return nil, fmt.Errorf("federate %d shards × %d rows: pinned pushdown made %d shard calls, want 1",
+					shards, rows, prunedCalls)
+			}
+			mk := func(pushdown bool, ns, calls int64) FederatePoint {
+				pt := FederatePoint{
+					Workload: "shard-key-pinned federated scan",
+					Shards:   shards, Rows: rows, Pushdown: pushdown,
+					ShardCalls: calls, Nanos: ns, ScatterNanos: scatterNs,
+				}
+				if ns > 0 {
+					pt.SpeedupVsScatter = float64(scatterNs) / float64(ns)
+				}
+				return pt
+			}
+			out = append(out, mk(false, scatterNs, scatterCalls), mk(true, prunedNs, prunedCalls))
+		}
+	}
+	return out, nil
+}
+
+// ReportFederate prints the P13 table.
+func ReportFederate(w io.Writer, shardCounts, rowSizes []int) error {
+	fmt.Fprintln(w, "P13 Federated execution: shard pruning vs full scatter-gather on a pinned scan")
+	fmt.Fprintf(w, "shards  rows    pushdown  shard calls  elapsed      speedup vs scatter\n")
+	points, err := RunFederate(shardCounts, rowSizes)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(w, "%-7d %-7d %-9v %-12d %-12s %.1fx\n",
+			p.Shards, p.Rows, p.Pushdown, p.ShardCalls,
+			time.Duration(p.Nanos).Round(time.Microsecond), p.SpeedupVsScatter)
+	}
+	return nil
+}
+
+// WriteFederateJSON runs the P13 sweep and writes it as JSON.
+func WriteFederateJSON(path string, shardCounts, rowSizes []int) error {
+	points, err := RunFederate(shardCounts, rowSizes)
+	if err != nil {
+		return err
+	}
+	doc := FederateReport{
+		Experiment: "P13 federated scatter-gather: partition pushdown (shard pruning + per-shard filter/projection) vs full scatter on a shard-key-pinned scan",
+		Query:      FederateQuery,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

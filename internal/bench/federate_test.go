@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/xqeval"
+)
+
+// TestRunFederateSmall exercises the P13 sweep at one small point: the
+// pushdown arm must byte-match the full scatter (RunFederate errors on
+// divergence), the pinned scan must touch exactly one shard, and the full
+// scatter must touch all of them.
+func TestRunFederateSmall(t *testing.T) {
+	points, err := RunFederate([]int{4}, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	scatter, pruned := points[0], points[1]
+	if scatter.Pushdown || !pruned.Pushdown {
+		t.Fatalf("arm order malformed: %+v", points)
+	}
+	if scatter.ShardCalls != 4 || pruned.ShardCalls != 1 {
+		t.Fatalf("shard calls: scatter=%d pruned=%d, want 4 and 1", scatter.ShardCalls, pruned.ShardCalls)
+	}
+	if scatter.Nanos <= 0 || pruned.Nanos <= 0 || pruned.ScatterNanos != scatter.Nanos {
+		t.Fatalf("points not timed: %+v", points)
+	}
+}
+
+// TestRunFederateRejectsDegenerate locks the >= 2 shard contract — one
+// shard is not a federation.
+func TestRunFederateRejectsDegenerate(t *testing.T) {
+	if _, err := RunFederate([]int{1}, []int{100}); err == nil {
+		t.Fatal("sweep with a single shard must be rejected")
+	}
+}
+
+// BenchmarkFederatedShardScan is the bench-smoke entry for the federated
+// path: one pinned scatter-gather scan per iteration, pushdown enabled.
+func BenchmarkFederatedShardScan(b *testing.B) {
+	q, err := xqeval.Compile(FederateQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := federateEngine(2000, 4)
+	plan, err := e.CompileAST(q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetExec(xqeval.ExecConfig{Workers: federateWorkers})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := drainStreamed(e.EvalStream(ctx, plan, nil, nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

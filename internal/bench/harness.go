@@ -44,7 +44,13 @@ func Report(w io.Writer) error {
 	// A reduced P11 sweep: one cardinality just above the parallel
 	// threshold keeps the human-readable report quick; the full rows ×
 	// workers table is what -evaljson records.
-	return ReportEvalParallel(w, []int{8192}, DefaultEvalParallelWorkers)
+	if err := ReportEvalParallel(w, []int{8192}, DefaultEvalParallelWorkers); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	// A reduced P13 sweep for the same reason; -federatejson records the
+	// full shards × rows table.
+	return ReportFederate(w, []int{4}, []int{4000})
 }
 
 // ResultHandlingPoint is one cell of the §4 sweep.

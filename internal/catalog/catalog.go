@@ -282,6 +282,7 @@ func (r TableRef) String() string {
 // and the column metadata for validation and wildcard expansion.
 type TableMeta struct {
 	Schema   string // SQL schema name (the .ds path)
+	Source   string // backend that owns the table (the application or federation source name)
 	Function *Function
 }
 
@@ -295,13 +296,20 @@ func (e *NotFoundError) Error() string {
 }
 
 // AmbiguousError reports an unqualified table name matching functions in
-// more than one schema.
+// more than one schema — or, in a federation, across more than one source.
 type AmbiguousError struct {
 	Ref     TableRef
 	Schemas []string
+	// Sources names the federated backends involved when the collision
+	// crosses source boundaries; empty for single-source ambiguity.
+	Sources []string
 }
 
 func (e *AmbiguousError) Error() string {
+	if len(e.Sources) > 0 {
+		return fmt.Sprintf("catalog: table name %s is ambiguous across sources %s (schemas %s)",
+			e.Ref.Table, strings.Join(e.Sources, ", "), strings.Join(e.Schemas, ", "))
+	}
 	return fmt.Sprintf("catalog: table name %s is ambiguous across schemas %s",
 		e.Ref.Table, strings.Join(e.Schemas, ", "))
 }
@@ -330,7 +338,7 @@ func (a *Application) Lookup(ref TableRef) (*TableMeta, error) {
 			continue
 		}
 		if f, ok := ds.Function(ref.Table); ok {
-			matches = append(matches, &TableMeta{Schema: ds.SchemaName(), Function: f})
+			matches = append(matches, &TableMeta{Schema: ds.SchemaName(), Source: a.Name, Function: f})
 		}
 	}
 	switch len(matches) {
@@ -365,7 +373,7 @@ func (a *Application) Tables() ([]*TableMeta, error) {
 	for _, ds := range a.dsFiles() {
 		for _, f := range ds.Functions {
 			if f.IsTable() {
-				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})
+				out = append(out, &TableMeta{Schema: ds.SchemaName(), Source: a.Name, Function: f})
 			}
 		}
 	}
@@ -384,7 +392,7 @@ func (a *Application) Procedures() ([]*TableMeta, error) {
 	for _, ds := range a.dsFiles() {
 		for _, f := range ds.Functions {
 			if !f.IsTable() {
-				out = append(out, &TableMeta{Schema: ds.SchemaName(), Function: f})
+				out = append(out, &TableMeta{Schema: ds.SchemaName(), Source: a.Name, Function: f})
 			}
 		}
 	}

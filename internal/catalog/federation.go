@@ -1,0 +1,260 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Federation is the mediator-side catalog of a multi-source deployment: a
+// registry of named backends (each an arbitrary Source — an in-memory
+// Application, an XML-file-backed one, a latency-simulating Remote, ...)
+// presented as one Source to the translator and driver.
+//
+// Each backend gets its own client-side Cache, so the caching, single-flight
+// and stale-while-revalidate behavior of §3.5 applies per source and one
+// backend's invalidation or outage never churns the entries — or the
+// metadata generation — of the others. Resolution of an unqualified
+// TableRef consults every backend in registration order; a reference whose
+// Catalog names a registered source is pinned to that backend alone, which
+// is also how callers keep resolution isolated from unrelated degraded
+// sources.
+type Federation struct {
+	// Name is the federation's own catalog name, used only for display.
+	Name string
+	// FreshFor is applied to each backend's Cache at registration time;
+	// zero keeps entries fresh forever.
+	FreshFor time.Duration
+
+	mu       sync.RWMutex
+	names    []string // registration order
+	backends map[string]*Cache
+	// epoch is the topology generation: it advances when a source is
+	// registered. Per-source metadata epochs live in each backend's Cache —
+	// deliberately NOT folded in here, so invalidating one source does not
+	// retire plans compiled against the others.
+	epoch uint64
+}
+
+// NewFederation builds an empty federation.
+func NewFederation(name string) *Federation {
+	return &Federation{Name: name, backends: make(map[string]*Cache)}
+}
+
+// Register adds a named backend, wrapping it in its own Cache. Registering
+// a name twice replaces the backend (and advances the topology epoch either
+// way). Source names are case-insensitive at resolution time.
+func (f *Federation) Register(name string, src Source) {
+	c := NewCache(src)
+	c.FreshFor = f.FreshFor
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.backends[name]; !ok {
+		f.names = append(f.names, name)
+	}
+	f.backends[name] = c
+	f.epoch++
+}
+
+// SourceNames returns the registered source names in registration order.
+func (f *Federation) SourceNames() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.names...)
+}
+
+// Backend returns the named backend's Cache, or nil.
+func (f *Federation) Backend(name string) *Cache {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, n := range f.names {
+		if strings.EqualFold(n, name) {
+			return f.backends[n]
+		}
+	}
+	return nil
+}
+
+// InvalidateSource drops the named backend's cache entries and advances its
+// metadata epoch, leaving every other source's cache and epoch untouched.
+func (f *Federation) InvalidateSource(name string) {
+	if c := f.Backend(name); c != nil {
+		c.Invalidate()
+	}
+}
+
+// SourceGeneration returns the named backend's metadata epoch (zero for an
+// unknown source). The compiled-query cache keys each cached plan on the
+// epochs of exactly the sources it touches.
+func (f *Federation) SourceGeneration(name string) uint64 {
+	if c := f.Backend(name); c != nil {
+		return c.Generation()
+	}
+	return 0
+}
+
+// SourceStats returns the named backend's cache statistics.
+func (f *Federation) SourceStats(name string) (CacheStats, bool) {
+	if c := f.Backend(name); c != nil {
+		return c.Stats(), true
+	}
+	return CacheStats{}, false
+}
+
+// Generation returns the topology epoch: it advances only when the set of
+// registered sources changes, never on per-source invalidation.
+func (f *Federation) Generation() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.epoch
+}
+
+// snapshot returns the name list and backend map for lock-free iteration.
+func (f *Federation) snapshot() ([]string, map[string]*Cache) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.names, f.backends
+}
+
+// Lookup implements Source.
+func (f *Federation) Lookup(ref TableRef) (*TableMeta, error) {
+	return f.LookupContext(context.Background(), ref)
+}
+
+// LookupContext implements ContextSource, resolving ref across every
+// registered backend. A ref whose Catalog names a registered source is
+// pinned to that backend (the Catalog qualifier is consumed by the pin).
+// Otherwise each backend is consulted in registration order: per-source
+// not-found answers are skipped, matches from more than one source raise an
+// AmbiguousError naming the sources involved, and an infrastructure failure
+// from any backend propagates — resolution cannot be known complete without
+// that backend's answer. (Per-source caches absorb such failures after
+// warm-up: cached negative answers are authoritative.)
+func (f *Federation) LookupContext(ctx context.Context, ref TableRef) (*TableMeta, error) {
+	names, backends := f.snapshot()
+
+	if ref.Catalog != "" {
+		for _, name := range names {
+			if strings.EqualFold(ref.Catalog, name) {
+				pinned := ref
+				pinned.Catalog = ""
+				meta, err := LookupContext(ctx, backends[name], pinned)
+				if err != nil {
+					return nil, stampAmbiguous(err, name)
+				}
+				return stampMeta(meta, name), nil
+			}
+		}
+	}
+
+	type hit struct {
+		source string
+		meta   *TableMeta
+	}
+	var hits []hit
+	var ambSchemas []string
+	var ambSources []string
+	for _, name := range names {
+		meta, err := LookupContext(ctx, backends[name], ref)
+		var nf *NotFoundError
+		var amb *AmbiguousError
+		switch {
+		case err == nil:
+			hits = append(hits, hit{source: name, meta: meta})
+		case errors.As(err, &nf):
+			// This source simply doesn't have the table.
+		case errors.As(err, &amb):
+			ambSchemas = append(ambSchemas, amb.Schemas...)
+			ambSources = append(ambSources, name)
+		default:
+			return nil, err
+		}
+	}
+
+	if len(hits) == 1 && len(ambSources) == 0 {
+		return stampMeta(hits[0].meta, hits[0].source), nil
+	}
+	if len(hits) == 0 && len(ambSources) == 0 {
+		return nil, &NotFoundError{Ref: ref}
+	}
+	if len(hits) == 0 && len(ambSources) == 1 {
+		// Ambiguity wholly inside one source: report it as that source's.
+		sort.Strings(ambSchemas)
+		return nil, &AmbiguousError{Ref: ref, Schemas: ambSchemas, Sources: ambSources}
+	}
+	schemas := ambSchemas
+	sources := ambSources
+	for _, h := range hits {
+		schemas = append(schemas, h.meta.Schema)
+		sources = append(sources, h.source)
+	}
+	sort.Strings(schemas)
+	// Sources stay in registration order (ambiguous-within first, then
+	// matches) — dedup while preserving that order.
+	return nil, &AmbiguousError{Ref: ref, Schemas: schemas, Sources: dedupInOrder(sources)}
+}
+
+// Tables implements Source: the concatenation of every backend's listing in
+// registration order (each backend's own listing is already sorted), every
+// entry stamped with its source name — a deterministic ordering for
+// DatabaseMetaData browsing.
+func (f *Federation) Tables() ([]*TableMeta, error) {
+	return f.list(func(c *Cache) ([]*TableMeta, error) { return c.Tables() })
+}
+
+// Procedures implements Source.
+func (f *Federation) Procedures() ([]*TableMeta, error) {
+	return f.list(func(c *Cache) ([]*TableMeta, error) { return c.Procedures() })
+}
+
+func (f *Federation) list(get func(*Cache) ([]*TableMeta, error)) ([]*TableMeta, error) {
+	names, backends := f.snapshot()
+	var out []*TableMeta
+	for _, name := range names {
+		metas, err := get(backends[name])
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metas {
+			out = append(out, stampMeta(m, name))
+		}
+	}
+	return out, nil
+}
+
+// stampMeta returns a copy of meta attributed to the registered source name.
+// Backends share cached *TableMeta pointers, so the federation never
+// mutates them in place.
+func stampMeta(meta *TableMeta, source string) *TableMeta {
+	if meta == nil {
+		return nil
+	}
+	m := *meta
+	m.Source = source
+	return &m
+}
+
+// stampAmbiguous rewrites a pinned backend's AmbiguousError to carry the
+// federation-level source name; other errors pass through.
+func stampAmbiguous(err error, source string) error {
+	var amb *AmbiguousError
+	if errors.As(err, &amb) {
+		return &AmbiguousError{Ref: amb.Ref, Schemas: amb.Schemas, Sources: []string{source}}
+	}
+	return err
+}
+
+func dedupInOrder(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

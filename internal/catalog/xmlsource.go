@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/xdm"
+)
+
+// LoadXMLApplication reads an XML application document — the on-disk form
+// of a deployed data-service project — into an in-memory Application plus
+// the row data each parameterless function serves, keyed by the function's
+// target namespace. The format mirrors what the catalog models:
+//
+//	<application name="FilesApp">
+//	  <dataservice path="FileServices" name="REGIONS">
+//	    <function name="REGIONS">
+//	      <column name="REGIONID" type="INTEGER"/>
+//	      <column name="NAME" type="VARCHAR" nullable="true" precision="32"/>
+//	      <rows>
+//	        <REGIONS><REGIONID>1</REGIONID><NAME>EMEA</NAME></REGIONS>
+//	      </rows>
+//	    </function>
+//	  </dataservice>
+//	</application>
+//
+// It backs the federation's "XML-file source" flavor: the returned
+// Application answers metadata lookups like any other, and the row map is
+// registered with the engine so queries against the file-backed tables
+// evaluate exactly like in-memory ones.
+func LoadXMLApplication(r io.Reader) (*Application, map[string][]*xdm.Element, error) {
+	doc, err := xdm.Parse(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("catalog: load XML application: %w", err)
+	}
+	root := doc.Root()
+	if root == nil || root.Name.Local != "application" {
+		return nil, nil, fmt.Errorf("catalog: load XML application: expected <application> root")
+	}
+	name, _ := root.Attribute("name")
+	if name == "" {
+		return nil, nil, fmt.Errorf("catalog: load XML application: <application> needs a name attribute")
+	}
+	app := &Application{Name: name}
+	rows := make(map[string][]*xdm.Element)
+	for _, dsEl := range root.ChildElements("dataservice") {
+		dsName, _ := dsEl.Attribute("name")
+		if dsName == "" {
+			return nil, nil, fmt.Errorf("catalog: load XML application: <dataservice> needs a name attribute")
+		}
+		path, _ := dsEl.Attribute("path")
+		ds := &DSFile{Path: path, Name: dsName}
+		for _, fnEl := range dsEl.ChildElements("function") {
+			fnName, _ := fnEl.Attribute("name")
+			if fnName == "" {
+				return nil, nil, fmt.Errorf("catalog: load XML application: <function> in %s needs a name attribute", ds.SchemaName())
+			}
+			cols, err := parseColumns(fnEl)
+			if err != nil {
+				return nil, nil, fmt.Errorf("catalog: load XML application: function %s.%s: %w", ds.SchemaName(), fnName, err)
+			}
+			fn := NewRelationalImport(ds.Path, fnName, cols)
+			ds.Functions = append(ds.Functions, fn)
+			if rowsEl := fnEl.FirstChildElement("rows"); rowsEl != nil {
+				var data []*xdm.Element
+				for _, child := range rowsEl.Children {
+					if el, ok := child.(*xdm.Element); ok {
+						xdm.TrimBoundaryWhitespace(el)
+						data = append(data, el)
+					}
+				}
+				rows[fn.Namespace] = data
+			}
+		}
+		app.AddDSFile(ds)
+	}
+	return app, rows, nil
+}
+
+func parseColumns(fnEl *xdm.Element) ([]Column, error) {
+	var cols []Column
+	for _, colEl := range fnEl.ChildElements("column") {
+		name, _ := colEl.Attribute("name")
+		if name == "" {
+			return nil, fmt.Errorf("<column> needs a name attribute")
+		}
+		typeName, _ := colEl.Attribute("type")
+		t := SQLTypeFromName(typeName)
+		if t == SQLUnknown {
+			return nil, fmt.Errorf("column %s has unknown type %q", name, typeName)
+		}
+		col := Column{Name: name, Type: t}
+		if v, ok := colEl.Attribute("nullable"); ok {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: bad nullable %q", name, v)
+			}
+			col.Nullable = b
+		}
+		if v, ok := colEl.Attribute("precision"); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: bad precision %q", name, v)
+			}
+			col.Precision = n
+		}
+		if v, ok := colEl.Attribute("scale"); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: bad scale %q", name, v)
+			}
+			col.Scale = n
+		}
+		cols = append(cols, col)
+	}
+	return cols, nil
+}

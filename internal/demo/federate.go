@@ -1,0 +1,302 @@
+package demo
+
+// federate.go generates the multi-source demo deployment: a central
+// application plus two extra federation backends (a billing system and an
+// XML-file-backed source), with one table horizontally partitioned into
+// shards that live on different sources. It is the fixture behind the
+// federated differential tests, the per-source chaos test, and the P13
+// federation benchmark. OracleSetup builds the same tables as one
+// single-source application serving identical rows in identical order —
+// the byte-identity oracle the federated deployment is held to.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/xdm"
+	"repro/internal/xqeval"
+)
+
+// Federation backend names (the central backend is the App's own name,
+// FederatedAppName).
+const (
+	FederatedAppName = "TestApp"
+	SourceBilling    = "billing"
+	SourceFiles      = "files"
+)
+
+// FederatedSizes parameterizes the multi-source dataset.
+type FederatedSizes struct {
+	Accounts int
+	Invoices int
+	Orders   int
+	// Shards is the number of ORDERS shards (assigned round-robin across
+	// the central, billing, and files sources).
+	Shards int
+}
+
+// DefaultFederatedSizes is the dataset used by tests.
+var DefaultFederatedSizes = FederatedSizes{Accounts: 30, Invoices: 60, Orders: 120, Shards: 3}
+
+// NamedBackend is one extra federation backend to register with
+// Platform.AddSource.
+type NamedBackend struct {
+	Name   string
+	Source catalog.Source
+}
+
+// FederatedFixture is the assembled multi-source deployment.
+type FederatedFixture struct {
+	// App is the central backend's metadata (accounts plus the logical
+	// partitioned ORDERS table).
+	App *catalog.Application
+	// Engine serves every source's rows: central functions are untagged,
+	// the other backends' functions are source-tagged (per-source fault
+	// sites and breakers), and ORDERS is registered partitioned.
+	Engine *xqeval.Engine
+	// Extra lists the non-central backends in registration order.
+	Extra []NamedBackend
+	// Spec is the ORDERS partition spec (exposed for tests).
+	Spec *xqeval.PartitionSpec
+}
+
+// regionsXML is the files backend: a whole application defined as an XML
+// document, the way a file-backed data service ships its metadata and
+// rows together.
+const regionsXML = `<application name="Files">
+  <dataservice path="Files" name="REGIONS">
+    <function name="REGIONS">
+      <column name="REGION" type="VARCHAR" nullable="false"/>
+      <column name="COUNTRY" type="VARCHAR"/>
+      <rows>
+        <REGIONS><REGION>NA</REGION><COUNTRY>US</COUNTRY></REGIONS>
+        <REGIONS><REGION>EMEA</REGION><COUNTRY>DE</COUNTRY></REGIONS>
+        <REGIONS><REGION>APAC</REGION><COUNTRY>JP</COUNTRY></REGIONS>
+        <REGIONS><REGION>LATAM</REGION><COUNTRY>BR</COUNTRY></REGIONS>
+      </rows>
+    </function>
+  </dataservice>
+  <dataservice path="Files" name="RATES">
+    <function name="RATES">
+      <column name="CURRENCY" type="VARCHAR" nullable="false"/>
+      <column name="RATE" type="DECIMAL"/>
+      <rows>
+        <RATES><CURRENCY>EUR</CURRENCY><RATE>1.08</RATE></RATES>
+        <RATES><CURRENCY>JPY</CURRENCY><RATE>0.0067</RATE></RATES>
+      </rows>
+    </function>
+  </dataservice>
+</application>`
+
+var regions = []string{"NA", "EMEA", "APAC", "LATAM"}
+
+// federatedData is every generated row set, shared by the federated and
+// oracle engines so both serve identical bytes.
+type federatedData struct {
+	accounts []*xdm.Element
+	invoices []*xdm.Element
+	// orderShards[i] holds shard i's ORDERS rows; the logical table is
+	// their in-order concatenation.
+	orderShards [][]*xdm.Element
+	// filesApp/filesRows are the parsed XML backend.
+	filesApp  *catalog.Application
+	filesRows map[string][]*xdm.Element
+}
+
+func generateFederated(sz FederatedSizes) *federatedData {
+	if sz.Shards < 1 {
+		sz.Shards = 1
+	}
+	r := &rng{state: 20060705}
+	d := &federatedData{orderShards: make([][]*xdm.Element, sz.Shards)}
+
+	for i := 0; i < sz.Accounts; i++ {
+		id := 100 + i
+		row := xdm.NewElement("ACCOUNTS")
+		row.AddChild(xdm.NewTextElement("ACCOUNTID", itoa(id)))
+		row.AddChild(xdm.NewTextElement("NAME",
+			fmt.Sprintf("%s %s", firstNames[r.intn(len(firstNames))], companySuffixes[r.intn(len(companySuffixes))])))
+		row.AddChild(xdm.NewTextElement("REGION", regions[r.intn(len(regions))]))
+		d.accounts = append(d.accounts, row)
+	}
+
+	for i := 0; i < sz.Invoices; i++ {
+		row := xdm.NewElement("INVOICES")
+		row.AddChild(xdm.NewTextElement("INVOICEID", itoa(9000+i)))
+		row.AddChild(xdm.NewTextElement("ACCOUNTID", itoa(100+r.intn(maxInt(sz.Accounts, 1)))))
+		cents := 500 + r.intn(900000)
+		row.AddChild(xdm.NewTextElement("AMOUNT", fmt.Sprintf("%d.%02d", cents/100, cents%100)))
+		row.AddChild(xdm.NewTextElement("STATUS", statuses[r.intn(len(statuses))]))
+		d.invoices = append(d.invoices, row)
+	}
+
+	for i := 0; i < sz.Orders; i++ {
+		acct := 100 + r.intn(maxInt(sz.Accounts, 1))
+		row := xdm.NewElement("ORDERS")
+		row.AddChild(xdm.NewTextElement("ORDERID", itoa(5000+i)))
+		row.AddChild(xdm.NewTextElement("ACCOUNTID", itoa(acct)))
+		row.AddChild(xdm.NewTextElement("ITEM", products[r.intn(len(products))]))
+		row.AddChild(xdm.NewTextElement("QTY", itoa(1+r.intn(20))))
+		// Shard assignment must agree with the spec's ShardFor: rows for
+		// an account live on exactly one shard, which is what makes
+		// equality pruning on ACCOUNTID sound.
+		shard := acct % sz.Shards
+		d.orderShards[shard] = append(d.orderShards[shard], row)
+	}
+
+	app, rows, err := catalog.LoadXMLApplication(strings.NewReader(regionsXML))
+	if err != nil {
+		panic("demo: bad embedded files application: " + err.Error())
+	}
+	d.filesApp, d.filesRows = app, rows
+	return d
+}
+
+func accountsFn() *catalog.Function {
+	return catalog.NewRelationalImport("Central", "ACCOUNTS", []catalog.Column{
+		{Name: "ACCOUNTID", Type: catalog.SQLInteger},
+		{Name: "NAME", Type: catalog.SQLVarchar},
+		{Name: "REGION", Type: catalog.SQLVarchar},
+	})
+}
+
+func ordersFn() *catalog.Function {
+	return catalog.NewRelationalImport("Central", "ORDERS", []catalog.Column{
+		{Name: "ORDERID", Type: catalog.SQLInteger},
+		{Name: "ACCOUNTID", Type: catalog.SQLInteger},
+		{Name: "ITEM", Type: catalog.SQLVarchar},
+		{Name: "QTY", Type: catalog.SQLInteger},
+	})
+}
+
+func invoicesFn() *catalog.Function {
+	return catalog.NewRelationalImport("Billing", "INVOICES", []catalog.Column{
+		{Name: "INVOICEID", Type: catalog.SQLInteger},
+		{Name: "ACCOUNTID", Type: catalog.SQLInteger},
+		{Name: "AMOUNT", Type: catalog.SQLDecimal},
+		{Name: "STATUS", Type: catalog.SQLVarchar},
+	})
+}
+
+// billingRatesFn collides with the files backend's RATES table on purpose:
+// resolving unqualified RATES across the federation raises the typed
+// cross-source AmbiguousError.
+func billingRatesFn() *catalog.Function {
+	return catalog.NewRelationalImport("Billing", "RATES", []catalog.Column{
+		{Name: "CURRENCY", Type: catalog.SQLVarchar},
+		{Name: "RATE", Type: catalog.SQLDecimal},
+	})
+}
+
+var billingRates = []*xdm.Element{
+	NewFlatRow("RATES", "CURRENCY", "EUR", "RATE", "1.10"),
+	NewFlatRow("RATES", "CURRENCY", "GBP", "RATE", "1.27"),
+}
+
+// NewFlatRow builds a flat row element from column/value pairs.
+func NewFlatRow(name string, pairs ...string) *xdm.Element {
+	row := xdm.NewElement(name)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		row.AddChild(xdm.NewTextElement(pairs[i], pairs[i+1]))
+	}
+	return row
+}
+
+// ordersSpec builds the ORDERS partition spec: shard i serves the rows of
+// accounts with ACCOUNTID ≡ i (mod shards), hosted round-robin on the
+// central, billing, and files sources.
+func ordersSpec(shards int, partial bool) *xqeval.PartitionSpec {
+	ns := "ld:Central/ORDERS"
+	hosts := []string{FederatedAppName, SourceBilling, SourceFiles}
+	spec := &xqeval.PartitionSpec{Key: "ACCOUNTID", Partial: partial}
+	for i := 0; i < shards; i++ {
+		spec.Shards = append(spec.Shards, xqeval.ShardSpec{
+			Source:    hosts[i%len(hosts)],
+			Namespace: ns,
+			Local:     "ORDERS_S" + strconv.Itoa(i),
+		})
+	}
+	spec.ShardFor = func(v xdm.Atomic) int {
+		n, err := strconv.Atoi(strings.TrimSpace(v.Lexical()))
+		if err != nil || n < 0 {
+			return -1
+		}
+		return n % shards
+	}
+	return spec
+}
+
+// FederatedSetup builds the multi-source deployment: central metadata and
+// engine, the extra backends for Platform.AddSource, and the partitioned
+// ORDERS table with shards tagged to their hosting sources. partial
+// selects the mediator's partial-results mode (degraded shards are
+// skipped rather than failing the scan).
+func FederatedSetup(sz FederatedSizes, partial bool) *FederatedFixture {
+	d := generateFederated(sz)
+
+	app := &catalog.Application{Name: FederatedAppName}
+	app.AddDSFile(&catalog.DSFile{Path: "Central", Name: "ACCOUNTS", Functions: []*catalog.Function{accountsFn()}})
+	app.AddDSFile(&catalog.DSFile{Path: "Central", Name: "ORDERS", Functions: []*catalog.Function{ordersFn()}})
+
+	billing := &catalog.Application{Name: "Billing"}
+	billing.AddDSFile(&catalog.DSFile{Path: "Billing", Name: "INVOICES", Functions: []*catalog.Function{invoicesFn()}})
+	billing.AddDSFile(&catalog.DSFile{Path: "Billing", Name: "RATES", Functions: []*catalog.Function{billingRatesFn()}})
+
+	e := xqeval.New()
+	e.RegisterRows("ld:Central/ACCOUNTS", "ACCOUNTS", d.accounts)
+	e.RegisterSourceRows(SourceBilling, "ld:Billing/INVOICES", "INVOICES", d.invoices)
+	e.RegisterSourceRows(SourceBilling, "ld:Billing/RATES", "RATES", billingRates)
+	for nsKey, rows := range d.filesRows {
+		// nsKey is "ld:<path>/<name>"; the local name is the last segment.
+		local := nsKey[strings.LastIndexByte(nsKey, '/')+1:]
+		e.RegisterSourceRows(SourceFiles, nsKey, local, rows)
+	}
+
+	spec := ordersSpec(len(d.orderShards), partial)
+	for i, sh := range spec.Shards {
+		e.RegisterSourceRows(sh.Source, sh.Namespace, sh.Local, d.orderShards[i])
+	}
+	e.RegisterPartitioned("ld:Central/ORDERS", "ORDERS", spec)
+
+	return &FederatedFixture{
+		App:    app,
+		Engine: e,
+		Extra: []NamedBackend{
+			{Name: SourceBilling, Source: billing},
+			{Name: SourceFiles, Source: d.filesApp},
+		},
+		Spec: spec,
+	}
+}
+
+// OracleSetup builds the single-source oracle: one application holding
+// every federated table, one engine serving identical rows — ORDERS as a
+// plain function returning the shard concatenation. Federated execution
+// is held byte-identical to this deployment.
+func OracleSetup(sz FederatedSizes) (*catalog.Application, *xqeval.Engine) {
+	d := generateFederated(sz)
+
+	app := &catalog.Application{Name: FederatedAppName}
+	app.AddDSFile(&catalog.DSFile{Path: "Central", Name: "ACCOUNTS", Functions: []*catalog.Function{accountsFn()}})
+	app.AddDSFile(&catalog.DSFile{Path: "Central", Name: "ORDERS", Functions: []*catalog.Function{ordersFn()}})
+	app.AddDSFile(&catalog.DSFile{Path: "Billing", Name: "INVOICES", Functions: []*catalog.Function{invoicesFn()}})
+	for _, ds := range d.filesApp.DSFiles {
+		app.AddDSFile(ds)
+	}
+
+	e := xqeval.New()
+	e.RegisterRows("ld:Central/ACCOUNTS", "ACCOUNTS", d.accounts)
+	e.RegisterRows("ld:Billing/INVOICES", "INVOICES", d.invoices)
+	for nsKey, rows := range d.filesRows {
+		local := nsKey[strings.LastIndexByte(nsKey, '/')+1:]
+		e.RegisterRows(nsKey, local, rows)
+	}
+	var orders []*xdm.Element
+	for _, shard := range d.orderShards {
+		orders = append(orders, shard...)
+	}
+	e.RegisterRows("ld:Central/ORDERS", "ORDERS", orders)
+	return app, e
+}

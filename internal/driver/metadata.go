@@ -189,6 +189,11 @@ func newExplainStmt(ctx context.Context, c *conn, sql string) (driver.Stmt, erro
 		}
 	}
 	addLines(fmt.Sprintf("-- dialect: %s", cq.Dialect))
+	if len(cq.Res.Sources) > 0 {
+		// Scan attribution: which federation backends the statement's
+		// table references resolved against, in first-touch order.
+		addLines(fmt.Sprintf("-- sources: %s", strings.Join(cq.Res.Sources, ", ")))
+	}
 	addLines("-- stage trace:")
 	addLines(cq.Trace.RenderString(true))
 	addLines(fmt.Sprintf("-- compile cache: %s", status))

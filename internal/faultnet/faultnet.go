@@ -116,6 +116,18 @@ type Injector struct {
 
 	mu    sync.Mutex
 	sites map[string]*site
+
+	// siteRates holds per-prefix rate overrides (longest prefix wins),
+	// letting a chaos test take one backend hard-down while the rest of
+	// the deployment runs at the base rate.
+	rateMu    sync.RWMutex
+	siteRates []siteRate
+}
+
+// siteRate is one per-prefix rate override.
+type siteRate struct {
+	prefix string
+	rate   float64
 }
 
 // site is one registered fault point.
@@ -159,6 +171,47 @@ func (inj *Injector) Rate() float64 {
 	return math.Float64frombits(inj.rateBits.Load())
 }
 
+// SetSiteRate overrides the fault probability for every site whose name
+// starts with prefix ("ds/billing/" takes one backend's data services
+// hard-down without touching the rest). The longest matching prefix wins;
+// setting a negative rate removes the override. The schedule stays
+// deterministic: overrides change only the acceptance threshold, not the
+// per-site counters or the pseudo-random stream.
+func (inj *Injector) SetSiteRate(prefix string, rate float64) {
+	inj.rateMu.Lock()
+	defer inj.rateMu.Unlock()
+	for i, sr := range inj.siteRates {
+		if sr.prefix == prefix {
+			if rate < 0 {
+				inj.siteRates = append(inj.siteRates[:i], inj.siteRates[i+1:]...)
+			} else {
+				inj.siteRates[i].rate = rate
+			}
+			return
+		}
+	}
+	if rate < 0 {
+		return
+	}
+	inj.siteRates = append(inj.siteRates, siteRate{prefix: prefix, rate: rate})
+}
+
+// rateFor resolves the effective rate for a site name: the longest
+// matching prefix override, or the global rate when none matches.
+func (inj *Injector) rateFor(name string) float64 {
+	inj.rateMu.RLock()
+	defer inj.rateMu.RUnlock()
+	rate := inj.Rate()
+	best := -1
+	for _, sr := range inj.siteRates {
+		if len(sr.prefix) > best && len(sr.prefix) <= len(name) && name[:len(sr.prefix)] == sr.prefix {
+			best = len(sr.prefix)
+			rate = sr.rate
+		}
+	}
+	return rate
+}
+
 func (inj *Injector) site(name string) *site {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
@@ -186,7 +239,7 @@ func splitmix64(x uint64) uint64 {
 func (inj *Injector) roll(s *site, allowed []Kind) (Kind, bool) {
 	s.calls.Add(1)
 	n := s.seq.Add(1)
-	rate := inj.Rate()
+	rate := inj.rateFor(s.name)
 	if rate <= 0 {
 		return 0, false
 	}
@@ -285,9 +338,17 @@ func (inj *Injector) Source(inner catalog.Source) catalog.Source {
 	return &faultSource{inj: inj, inner: inner}
 }
 
+// SourceNamed wraps one federation backend's metadata source, prefixing
+// its fault points with the backend name ("meta/billing/CATALOG.TABLE")
+// so SetSiteRate can target a single backend's metadata plane.
+func (inj *Injector) SourceNamed(name string, inner catalog.Source) catalog.Source {
+	return &faultSource{inj: inj, inner: inner, prefix: "meta/" + name + "/"}
+}
+
 type faultSource struct {
-	inj   *Injector
-	inner catalog.Source
+	inj    *Injector
+	inner  catalog.Source
+	prefix string // "" means the default "meta/" prefix
 }
 
 func (f *faultSource) Lookup(ref catalog.TableRef) (*catalog.TableMeta, error) {
@@ -295,7 +356,11 @@ func (f *faultSource) Lookup(ref catalog.TableRef) (*catalog.TableMeta, error) {
 }
 
 func (f *faultSource) LookupContext(ctx context.Context, ref catalog.TableRef) (*catalog.TableMeta, error) {
-	st := f.inj.site("meta/" + ref.String())
+	prefix := f.prefix
+	if prefix == "" {
+		prefix = "meta/"
+	}
+	st := f.inj.site(prefix + ref.String())
 	// Metadata lookups return a single struct — nothing to truncate.
 	if k, ok := f.inj.roll(st, f.inj.allowedFor(KindTruncate)); ok {
 		if err := f.inj.perform(ctx, st, k); err != nil {

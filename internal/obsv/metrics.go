@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -145,6 +147,38 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// LabeledCounter is a counter partitioned by a string label (e.g. scans
+// per federated source). It trades the plain counters' lock-freedom for a
+// mutex-guarded map — fine for per-scan granularity, wrong for per-row.
+type LabeledCounter struct {
+	mu sync.Mutex
+	v  map[string]int64
+}
+
+// Add adds n under label.
+func (c *LabeledCounter) Add(label string, n int64) {
+	c.mu.Lock()
+	if c.v == nil {
+		c.v = make(map[string]int64)
+	}
+	c.v[label] += n
+	c.mu.Unlock()
+}
+
+// Snapshot copies the per-label values (nil when nothing was counted).
+func (c *LabeledCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.v) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c.v))
+	for k, v := range c.v {
+		out[k] = v
+	}
+	return out
+}
+
 // Metrics aggregates pipeline activity. The zero value is ready to use;
 // every field updates atomically, so one Metrics may be shared by any
 // number of goroutines. The process-wide instance is Global; the driver
@@ -197,6 +231,18 @@ type Metrics struct {
 	MergeBacklog      Gauge
 	SourceStatsHits   Counter
 	SourceStatsMisses Counter
+
+	// Federation counters (internal/xqeval partition.go): FederatedScans
+	// counts scatter-gather evaluations of partitioned scans, ShardScans
+	// the individual shard calls they made, ShardsPruned the shards a
+	// pinned shard key let the executor skip entirely, and ShardsSkipped
+	// the degraded shards a partial-tolerant scan dropped. SourceScans
+	// attributes shard calls to their federated source.
+	FederatedScans Counter
+	ShardScans     Counter
+	ShardsPruned   Counter
+	ShardsSkipped  Counter
+	SourceScans    LabeledCounter
 
 	// Compile-cache counters (internal/qcache): lookups of CompiledQuery
 	// artifacts at the compiled-query boundary. Hits reuse a compiled
@@ -324,6 +370,14 @@ type Snapshot struct {
 	SourceStatsHits   int64
 	SourceStatsMisses int64
 
+	FederatedScans int64
+	ShardScans     int64
+	ShardsPruned   int64
+	ShardsSkipped  int64
+	// SourceScans maps federated source name → shard calls attributed to
+	// it; nil when the process never ran a federated scan.
+	SourceScans map[string]int64
+
 	CompileCacheHits          int64
 	CompileCacheMisses        int64
 	CompileCacheShared        int64
@@ -392,6 +446,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		MergeBacklog:      m.MergeBacklog.Load(),
 		SourceStatsHits:   m.SourceStatsHits.Load(),
 		SourceStatsMisses: m.SourceStatsMisses.Load(),
+
+		FederatedScans: m.FederatedScans.Load(),
+		ShardScans:     m.ShardScans.Load(),
+		ShardsPruned:   m.ShardsPruned.Load(),
+		ShardsSkipped:  m.ShardsSkipped.Load(),
+		SourceScans:    m.SourceScans.Snapshot(),
 
 		CompileCacheHits:          m.CompileCacheHits.Load(),
 		CompileCacheMisses:        m.CompileCacheMisses.Load(),
@@ -482,6 +542,9 @@ func (s Snapshot) Render(w io.Writer) {
 		fmt.Fprintf(w, "parallel: workers=%d morsels=%d peak merge backlog=%d\n",
 			s.ParallelWorkers, s.MorselsProcessed, s.MergeBacklog)
 	}
+	if s.FederatedScans > 0 {
+		s.RenderFederation(w)
+	}
 	if s.CompileCacheHits+s.CompileCacheMisses+s.CompileCacheShared > 0 {
 		s.RenderCompileCache(w)
 	}
@@ -525,6 +588,26 @@ func (s Snapshot) RenderServer(w io.Writer) {
 		s.ShedQueueFull, s.ShedQueueTimeout, s.ShedBrownout, s.ExecReplays, s.FetchReplays)
 	fmt.Fprintf(w, "server cursors: opened=%d reaped=%d\n",
 		s.CursorsOpened, s.CursorsReaped)
+}
+
+// RenderFederation writes the federated-scan counter block (aqlshell's
+// `\f`), unconditionally — zeros included, so a federation that has never
+// scattered is also visible.
+func (s Snapshot) RenderFederation(w io.Writer) {
+	fmt.Fprintf(w, "federation: scans=%d shard calls=%d pruned=%d skipped=%d\n",
+		s.FederatedScans, s.ShardScans, s.ShardsPruned, s.ShardsSkipped)
+	if len(s.SourceScans) > 0 {
+		names := make([]string, 0, len(s.SourceScans))
+		for n := range s.SourceScans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "federation per-source scans:")
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%d", n, s.SourceScans[n])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // resilienceActive reports whether any resilience counter has moved (the

@@ -81,6 +81,13 @@ type CompiledQuery struct {
 	// Trace holds the compile-time stage spans (lex … serialize, compile);
 	// EXPLAIN renders it instead of re-translating.
 	Trace *obsv.Trace
+	// Sources lists the federation backends the statement's table
+	// references resolved against, in first-touch order (nil outside a
+	// federation). SourceGens records the per-source generation each was
+	// at when the artifact was stored; a hit revalidates them so one
+	// backend's invalidation retires only the artifacts that touched it.
+	Sources    []string
+	SourceGens map[string]uint64
 	// CostScore is the plan's admission score (Plan.CostEstimate), computed
 	// once at compile time so cost-aware admission is cache-hot: the server
 	// weighs a statement without touching the plan again.
@@ -164,6 +171,16 @@ type Config struct {
 	// retires artifacts whose plans were costed against stale statistics:
 	// the next Get recompiles and picks up the fresh numbers.
 	StatsGeneration func() uint64
+	// SourceGeneration supplies the per-backend epoch for one named
+	// federation source (typically the backend's metadata generation plus
+	// its source-scoped statistics generation — both monotonic, so their
+	// sum changes whenever either does). When set, cache hits revalidate
+	// every source the artifact touched, so invalidating one backend
+	// retires only the artifacts compiled against it while the rest of
+	// the cache stays warm. Nil disables per-source validation (the
+	// single-source configuration, where the global Generation covers
+	// everything).
+	SourceGeneration func(source string) uint64
 }
 
 // Stats is a point-in-time snapshot of one cache's counters.
@@ -173,6 +190,9 @@ type Stats struct {
 	Shared        int64
 	Evictions     int64
 	Invalidations int64
+	// SourceRetirements counts entries dropped because one of their
+	// federation sources advanced its generation since the store.
+	SourceRetirements int64
 	// Size is the current entry count; MaxEntries the configured bound.
 	Size       int
 	MaxEntries int
@@ -275,11 +295,37 @@ func (c *Cache) Get(ctx context.Context, fe qfront.Frontend, text string, mode t
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
+		cq := el.Value.(*entry).cq
+		if len(cq.SourceGens) == 0 || c.cfg.SourceGeneration == nil {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			c.mu.Unlock()
+			obsv.Global.CompileCacheHits.Inc()
+			return cq, true, nil
+		}
+		// Per-source validation calls the SourceGeneration func, which may
+		// take platform locks — release c.mu around it, like the key reads.
 		c.mu.Unlock()
-		obsv.Global.CompileCacheHits.Inc()
-		return el.Value.(*entry).cq, true, nil
+		fresh := c.sourcesFresh(cq)
+		c.mu.Lock()
+		if fresh {
+			if el, ok := c.entries[key]; ok {
+				c.lru.MoveToFront(el)
+			}
+			c.stats.Hits++
+			c.mu.Unlock()
+			obsv.Global.CompileCacheHits.Inc()
+			return cq, true, nil
+		}
+		// One of the artifact's backends invalidated: retire this entry
+		// (only this entry — artifacts over other sources stay warm) and
+		// fall through to the miss path.
+		if el, ok := c.entries[key]; ok && el.Value.(*entry).cq == cq {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.stats.SourceRetirements++
+			c.reportSizeLocked()
+		}
 	}
 	if fl, ok := c.flights[key]; ok {
 		c.stats.Shared++
@@ -303,6 +349,16 @@ func (c *Cache) Get(ctx context.Context, fe qfront.Frontend, text string, mode t
 	obsv.Global.CompileCacheMisses.Inc()
 
 	cq, err := compile(ctx, text)
+	if err == nil {
+		// Stamp the per-source generations the artifact was stored under.
+		// The sources are only known after translation, so the gens are
+		// read post-compile: an invalidation racing the compile can stamp
+		// a generation the compile's lookups mostly preceded — the same
+		// narrow window the global key accepts between its pre-compile
+		// read and the store, and closed the same way (the next
+		// invalidation advances the gen again and retires the entry).
+		c.stampSources(cq)
+	}
 
 	c.mu.Lock()
 	if err == nil {
@@ -320,6 +376,31 @@ func (c *Cache) Get(ctx context.Context, fe qfront.Frontend, text string, mode t
 	return cq, false, err
 }
 
+// stampSources copies the translation's resolved source list onto the
+// artifact and records each source's current generation. Called outside
+// c.mu (the SourceGeneration func may take platform locks).
+func (c *Cache) stampSources(cq *CompiledQuery) {
+	if c.cfg.SourceGeneration == nil || cq == nil || cq.Res == nil || len(cq.Res.Sources) == 0 {
+		return
+	}
+	cq.Sources = cq.Res.Sources
+	cq.SourceGens = make(map[string]uint64, len(cq.Sources))
+	for _, s := range cq.Sources {
+		cq.SourceGens[s] = c.cfg.SourceGeneration(s)
+	}
+}
+
+// sourcesFresh reports whether every backend the artifact touched is
+// still at the generation it was stored under. Called outside c.mu.
+func (c *Cache) sourcesFresh(cq *CompiledQuery) bool {
+	for s, gen := range cq.SourceGens {
+		if c.cfg.SourceGeneration(s) != gen {
+			return false
+		}
+	}
+	return true
+}
+
 // Peek reports whether an artifact for text/mode in fe's dialect is
 // cached under the current generation, without populating or promoting
 // it.
@@ -330,11 +411,17 @@ func (c *Cache) Peek(fe qfront.Frontend, text string, mode translator.ResultMode
 	}
 	key := Key{Dialect: fe.Dialect(), SQL: norm, Mode: mode, Generation: c.generation(), StatsGen: c.statsGeneration()}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		return el.Value.(*entry).cq, true
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
 	}
-	return nil, false
+	cq := el.Value.(*entry).cq
+	c.mu.Unlock()
+	if len(cq.SourceGens) > 0 && c.cfg.SourceGeneration != nil && !c.sourcesFresh(cq) {
+		return nil, false
+	}
+	return cq, true
 }
 
 // storeLocked inserts (or refreshes) an artifact and evicts beyond the

@@ -370,6 +370,20 @@ func (g *EngineGuard) BreakerFor(name string) *Breaker {
 	return b
 }
 
+// Snapshot returns the current state of every breaker the guard has
+// created, keyed by the data service function name it guards — how the
+// federation layer reports per-source breaker health without reaching
+// into breaker internals.
+func (g *EngineGuard) Snapshot() map[string]BreakerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]BreakerState, len(g.breakers))
+	for name, b := range g.breakers {
+		out[name] = b.State()
+	}
+	return out
+}
+
 // Middleware returns the engine middleware applying breaker, retries, and
 // panic recovery to every data service call.
 func (g *EngineGuard) Middleware() xqeval.Middleware {

@@ -27,6 +27,11 @@ type generator struct {
 
 	pTypes map[int]catalog.SQLType
 
+	// sources records the federation backends table lookups resolved
+	// against, in first-touch order without duplicates (empty when the
+	// metadata source does not name sources).
+	sources []string
+
 	// stat counts stage-two work for the restructure trace span.
 	stat genStats
 }
@@ -206,7 +211,23 @@ func (g *generator) lookupTable(t *qfront.TableName) (*catalog.TableMeta, error)
 	if !meta.Function.IsTable() {
 		return nil, semErr(t.Pos, "%s is a parameterized data service function; call it as a stored procedure, not a table", t.Name)
 	}
+	g.noteSource(meta.Source)
 	return meta, nil
+}
+
+// noteSource records which federation backend a lookup resolved against
+// (first-touch order, deduplicated). Single-backend sources leave
+// TableMeta.Source empty and record nothing.
+func (g *generator) noteSource(source string) {
+	if source == "" {
+		return
+	}
+	for _, s := range g.sources {
+		if s == source {
+			return
+		}
+	}
+	g.sources = append(g.sources, source)
 }
 
 // addDerivedTable translates the subquery, binds it with a let (the

@@ -100,6 +100,11 @@ type Result struct {
 	Contexts *Context
 	// Mode records which result handling the query was generated for.
 	Mode ResultMode
+	// Sources lists the federation backends the statement's base tables
+	// and procedures resolved against, in first-touch order with
+	// duplicates removed (nil when the metadata source does not name
+	// sources — the single-backend configuration).
+	Sources []string
 
 	// xq is the serialized query text, filled during traced translation
 	// (the serialize stage) and never mutated afterwards.
@@ -213,6 +218,7 @@ func (t *Translator) translateStmt(ctx context.Context, stmt *qfront.SelectStmt,
 		ParamTypes: g.paramTypes(stmt.ParamCount),
 		Contexts:   contexts,
 		Mode:       t.Options.Mode,
+		Sources:    g.sources,
 	}
 	sp.Add("columns", int64(len(resultCols)))
 	sp.Add("imports", int64(len(q.Prolog.SchemaImports)))

@@ -62,6 +62,11 @@ type ExecConfig struct {
 	// MinParallelItems is the smallest outer scan worth fanning out
 	// (default 4096); below it the serial path always wins.
 	MinParallelItems int
+	// DisablePartitionPushdown turns off shard pruning and the per-shard
+	// filter/projection on partitioned scans (partition.go) — shards are
+	// still scattered concurrently, but every shard's full rows flow into
+	// the central pipeline. The federation benchmark's on/off toggle.
+	DisablePartitionPushdown bool
 }
 
 func (c ExecConfig) withDefaults() ExecConfig {

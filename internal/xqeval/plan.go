@@ -46,6 +46,11 @@ type Plan struct {
 	// cardinality — zero when the plan was built without statistics (the
 	// structural fallback) or before any source had been observed.
 	StatsSources int
+	// PartitionedScans counts scans of partitioned data services the plan
+	// will scatter-gather; ShardPins counts those whose shard key is pinned
+	// by an equality conjunct (eligible for partition pruning).
+	PartitionedScans int
+	ShardPins        int
 }
 
 // StatsProvider supplies per-data-service statistics to the planner; the
@@ -128,6 +133,13 @@ type planOp struct {
 	// unknown (no provider, or source not yet observed).
 	scan    *scanRef
 	estRows int64
+
+	// part annotates an invariant scan of a partitioned data service
+	// (partition.go): the executor scatter-gathers its shards instead of
+	// calling the serial concatenation function. Only stats-built plans
+	// carry it, so the structural plan and the naive pipeline remain the
+	// single-source differential oracle.
+	part *partitionPlan
 }
 
 // hashJoinSpec executes an equi-join conjunct as a build/probe hash join:
@@ -304,6 +316,26 @@ func planFLWOR(f *xquery.FLWOR, p *Plan, pc *planCtx) *flworPlan {
 					if spec := pickHashConjunct(c, conds, j, localBefore, st); spec != nil {
 						op.hash = spec
 						p.HashJoins++
+					}
+				}
+				if op.scan != nil {
+					if pp, ok := pc.sp.(PartitionProvider); ok {
+						if spec, ok := pp.SourcePartition(op.scan.namespace, op.scan.local); ok {
+							op.part = &partitionPlan{spec: spec}
+							p.PartitionedScans++
+							// Positional binding pins row indices to the full
+							// concatenation; pruning and filtering would shift
+							// them, so the pushdowns require no `at` clause.
+							if c.At == "" {
+								if cond, probe, valueCmp, ok := findShardPin(c, conds, j, spec); ok {
+									op.part.pinCond = cond
+									op.part.pinProbe = probe
+									op.part.pinValueCmp = valueCmp
+									p.ShardPins++
+								}
+								op.part.projCols = projectionColumns(f, c.Var, spec.Key)
+							}
+						}
 					}
 				}
 			}
@@ -608,6 +640,16 @@ func describeOp(op planOp) string {
 			} else {
 				b.WriteString(" [invariant]")
 			}
+		}
+		if op.part != nil {
+			fmt.Fprintf(&b, " [partitioned: %d shards on %s", len(op.part.spec.Shards), op.part.spec.Key)
+			if op.part.pinCond != nil {
+				b.WriteString(", shard-pinned")
+			}
+			if op.part.projCols != nil {
+				fmt.Fprintf(&b, ", project %s", strings.Join(op.part.projCols, "+"))
+			}
+			b.WriteString("]")
 		}
 		return b.String()
 	case opKindLet:

@@ -22,10 +22,14 @@ type flworExec struct {
 
 // opState is the lazily-filled per-run state of one op: the cached
 // sequence of an invariant for/let, and the hash table of a hash join.
+// transformed marks a partitioned scan whose gathered sequence differs
+// from the plain shard concatenation (pruned, filtered, projected, or a
+// partial-mode skip) — such sequences must not feed the statistics store.
 type opState struct {
-	done bool
-	seq  xdm.Sequence
-	hash *hashTable
+	done        bool
+	transformed bool
+	seq         xdm.Sequence
+	hash        *hashTable
 }
 
 // tupleSink receives each tuple that survives a segment's ops.
@@ -146,11 +150,19 @@ func (ex *flworExec) prepare(ops []planOp, t *scope) (dead bool, err error) {
 		switch op.kind {
 		case opKindFor:
 			if !st.done {
-				s, err := evalExpr(op.forClause.In, t)
+				var s xdm.Sequence
+				var err error
+				if op.part != nil {
+					s, st.transformed, err = ex.gatherPartitioned(op, t)
+				} else {
+					s, err = evalExpr(op.forClause.In, t)
+				}
 				if err != nil {
 					return false, err
 				}
-				maybeObserveScan(t, op, s)
+				if !st.transformed {
+					maybeObserveScan(t, op, s)
+				}
 				st.seq, st.done = s, true
 			}
 			if op.hash != nil && st.hash == nil {
@@ -226,11 +238,19 @@ func (ex *flworExec) feed(ops []planOp, i int, t *scope, out tupleSink) error {
 		if op.invariant {
 			st := &ex.states[op.stateIdx]
 			if !st.done {
-				s, err := evalExpr(op.forClause.In, t)
+				var s xdm.Sequence
+				var err error
+				if op.part != nil {
+					s, st.transformed, err = ex.gatherPartitioned(op, t)
+				} else {
+					s, err = evalExpr(op.forClause.In, t)
+				}
 				if err != nil {
 					return err
 				}
-				maybeObserveScan(t, op, s)
+				if !st.transformed {
+					maybeObserveScan(t, op, s)
+				}
 				st.seq, st.done = s, true
 			}
 			seq = st.seq

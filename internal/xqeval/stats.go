@@ -62,6 +62,12 @@ type sourceStatsStore struct {
 	mu    sync.RWMutex
 	stats map[funcKey]*SourceStats
 	gen   atomic.Uint64
+	// srcGens (guarded by mu) are per-federated-source statistics epochs:
+	// an eager collection on a source-tagged function advances only its own
+	// source's epoch, so a stats refresh on one backend retires only the
+	// compiled plans that touch it. Untagged (single-source) collections
+	// advance the global gen, the historical behavior.
+	srcGens map[string]uint64
 }
 
 // SourceStats returns the cached statistics for one data service function.
@@ -88,13 +94,28 @@ func (e *Engine) StatsGeneration() uint64 {
 	return e.srcStats.gen.Load()
 }
 
+// SourceStatsGeneration is the per-federated-source statistics epoch:
+// advanced by eager collections on functions registered under that source
+// name. Zero for sources never eagerly collected. The compiled-query cache
+// folds it (with the source's metadata epoch) into per-source plan
+// validity.
+func (e *Engine) SourceStatsGeneration(source string) uint64 {
+	e.srcStats.mu.RLock()
+	defer e.srcStats.mu.RUnlock()
+	return e.srcStats.srcGens[source]
+}
+
 // InvalidateSourceStats drops every cached statistic and advances the
 // generation — called when the catalog changes underneath the engine
 // (view definition, fault/resilience stack rebuild), since the shapes and
 // cardinalities behind the function registry may have changed with it.
+// Per-source epochs advance too: everything may have changed.
 func (e *Engine) InvalidateSourceStats() {
 	e.srcStats.mu.Lock()
 	e.srcStats.stats = nil
+	for src := range e.srcStats.srcGens {
+		e.srcStats.srcGens[src]++
+	}
 	e.srcStats.mu.Unlock()
 	e.srcStats.gen.Add(1)
 }
@@ -137,14 +158,35 @@ func (e *Engine) CollectSourceStats(ctx context.Context, namespace, local string
 		return nil, err
 	}
 	s := statsFromRows(out)
+	source := e.registeredSource(namespace, local)
 	e.srcStats.mu.Lock()
 	if e.srcStats.stats == nil {
 		e.srcStats.stats = make(map[funcKey]*SourceStats)
 	}
 	e.srcStats.stats[funcKey{namespace, local}] = s
+	if source != "" {
+		// A source-tagged refresh retires only plans touching this source.
+		if e.srcStats.srcGens == nil {
+			e.srcStats.srcGens = make(map[string]uint64)
+		}
+		e.srcStats.srcGens[source]++
+	}
 	e.srcStats.mu.Unlock()
-	e.srcStats.gen.Add(1)
+	if source == "" {
+		e.srcStats.gen.Add(1)
+	}
 	return s, nil
+}
+
+// registeredSource returns the federated source a function was registered
+// under, or "" for single-source registrations.
+func (e *Engine) registeredSource(namespace, local string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if reg, ok := e.funcs[funcKey{namespace, local}]; ok {
+		return reg.source
+	}
+	return ""
 }
 
 // maybeObserveScan is the lazy collection hook: invariant planned scans of
